@@ -1,0 +1,158 @@
+package wcle_test
+
+import (
+	"testing"
+
+	"wcle"
+	"wcle/internal/experiments"
+)
+
+// benchExperiment runs one reproduction experiment per iteration with a
+// fresh suite (no cross-iteration caching), so ns/op is the true cost of
+// regenerating the table. The quick regime keeps `go test -bench=.`
+// tractable; cmd/benchsuite runs the full regime.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tab, err := wcle.RunExperiment(id, 42, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tab.Rows)
+	}
+	b.ReportMetric(float64(rows), "table-rows")
+}
+
+// One benchmark per experiment of DESIGN.md section 3. Each regenerates the
+// corresponding EXPERIMENTS.md table.
+
+func BenchmarkE1MessageScaling(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2TimeScaling(b *testing.B)            { benchExperiment(b, "E2") }
+func BenchmarkE3ContenderConcentration(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4UniqueLeader(b *testing.B)           { benchExperiment(b, "E4") }
+func BenchmarkE5GuessDouble(b *testing.B)            { benchExperiment(b, "E5") }
+func BenchmarkE6MessageModes(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE7Explicit(b *testing.B)               { benchExperiment(b, "E7") }
+func BenchmarkE8LowerBoundGraph(b *testing.B)        { benchExperiment(b, "E8") }
+func BenchmarkE9InterCliqueDiscovery(b *testing.B)   { benchExperiment(b, "E9") }
+func BenchmarkE10BudgetedElection(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11BroadcastST(b *testing.B)           { benchExperiment(b, "E11") }
+func BenchmarkE12Dumbbell(b *testing.B)              { benchExperiment(b, "E12") }
+func BenchmarkE13KnownTmix(b *testing.B)             { benchExperiment(b, "E13") }
+func BenchmarkE14Ablations(b *testing.B)             { benchExperiment(b, "E14") }
+
+// Micro-benchmarks of the building blocks, with model-level custom metrics.
+
+func BenchmarkElectExpander128(b *testing.B) {
+	g, err := wcle.NewRandomRegular(128, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := wcle.Elect(g, wcle.DefaultConfig(), wcle.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Metrics.Messages
+	}
+	b.ReportMetric(float64(msgs), "congest-msgs")
+}
+
+func BenchmarkElectClique64(b *testing.B) {
+	g, err := wcle.NewClique(64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := wcle.Elect(g, wcle.DefaultConfig(), wcle.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Metrics.Messages
+	}
+	b.ReportMetric(float64(msgs), "congest-msgs")
+}
+
+func BenchmarkElectConcurrentEngine(b *testing.B) {
+	g, err := wcle.NewRandomRegular(128, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := wcle.Elect(g, wcle.DefaultConfig(), wcle.Options{Seed: int64(i), Concurrent: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFloodMax256(b *testing.B) {
+	g, err := wcle.NewRandomRegular(256, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := wcle.FloodMax(g, int64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Metrics.Messages
+	}
+	b.ReportMetric(float64(msgs), "congest-msgs")
+}
+
+func BenchmarkPushPull256(b *testing.B) {
+	g, err := wcle.NewRandomRegular(256, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := wcle.PushPull(g, 0, 7, int64(i), 200, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllInformed {
+			b.Fatal("push-pull did not complete")
+		}
+	}
+}
+
+func BenchmarkMixingTimeHypercube256(b *testing.B) {
+	g, err := wcle.NewHypercube(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tm int
+	for i := 0; i < b.N; i++ {
+		v, err := wcle.MixingTimeSampled(g, 1_000_000, []int{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tm = v
+	}
+	b.ReportMetric(float64(tm), "tmix-steps")
+}
+
+func BenchmarkLowerBoundConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := wcle.NewLowerBoundGraph(1024, 1.0/196, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Regenerate the full suite exactly once (the EXPERIMENTS.md pipeline),
+// verifying every runner stays green under the bench harness.
+func BenchmarkFullQuickSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(42, true)
+		for _, r := range experiments.All() {
+			if _, err := r.Run(s); err != nil {
+				b.Fatalf("%s: %v", r.ID, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command electsim runs one leader election of the paper's algorithm on a
+// chosen graph family and prints the outcome and model-level costs.
+//
+// Examples:
+//
+//	electsim -graph rr -n 256 -d 8 -seed 7
+//	electsim -graph clique -n 128 -explicit
+//	electsim -graph lb -n 1024 -alpha 0.005
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wcle"
+	"wcle/internal/core"
+	"wcle/internal/protocol"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "electsim:", err)
+		os.Exit(1)
+	}
+}
+
+func buildGraph(family string, n, d int, alpha float64, seed int64) (*wcle.Graph, error) {
+	switch family {
+	case "clique":
+		return wcle.NewClique(n, seed)
+	case "cycle":
+		return wcle.NewCycle(n, seed)
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		return wcle.NewHypercube(dim, seed)
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return wcle.NewTorus(side, side, seed)
+	case "rr":
+		return wcle.NewRandomRegular(n, d, seed)
+	case "lb":
+		lb, err := wcle.NewLowerBoundGraph(n, alpha, seed)
+		if err != nil {
+			return nil, err
+		}
+		return lb.Graph, nil
+	case "dumbbell":
+		db, err := wcle.NewDumbbell(n/2, d, seed)
+		if err != nil {
+			return nil, err
+		}
+		return db.Graph, nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func run() error {
+	var (
+		family   = flag.String("graph", "rr", "graph family: clique|cycle|hypercube|torus|rr|lb|dumbbell")
+		n        = flag.Int("n", 128, "target node count")
+		d        = flag.Int("d", 8, "degree for rr/dumbbell")
+		alpha    = flag.Float64("alpha", 1.0/196, "conductance scale for lb")
+		seed     = flag.Int64("seed", 1, "run seed")
+		c1       = flag.Float64("c1", 0, "override c1 (0 = default)")
+		c2       = flag.Float64("c2", 0, "override c2 (0 = default)")
+		large    = flag.Bool("large", false, "use O(log^3 n)-bit messages (Lemma 12 mode)")
+		fixed    = flag.Int("fixed-tu", 0, "known-tmix baseline: single phase of this walk length")
+		budget   = flag.Int64("budget", 0, "message budget (0 = unlimited)")
+		explicit = flag.Bool("explicit", false, "append the Corollary 14 push-pull broadcast")
+		phases   = flag.Bool("phases", false, "print a per-phase message breakdown")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*family, *n, *d, *alpha, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := wcle.DefaultConfig()
+	if *c1 > 0 {
+		cfg.C1 = *c1
+	}
+	if *c2 > 0 {
+		cfg.C2 = *c2
+	}
+	if *large {
+		cfg.Mode = protocol.ModeLarge
+	}
+	if *fixed > 0 {
+		cfg.FixedWalkLen = *fixed
+	}
+	opts := wcle.Options{Seed: *seed, Budget: *budget}
+	var phaseObs *core.PhaseObserver
+	if *phases {
+		var err error
+		phaseObs, err = core.NewPhaseObserver(g.N(), cfg)
+		if err != nil {
+			return err
+		}
+		opts.Observer = phaseObs
+	}
+
+	fmt.Printf("graph %s: n=%d m=%d\n", g.Name(), g.N(), g.M())
+	if *explicit {
+		res, err := wcle.ElectExplicit(g, cfg, opts, 0)
+		if err != nil {
+			return err
+		}
+		printResult(res.Implicit)
+		if res.Broadcast != nil {
+			fmt.Printf("broadcast: informed=%d/%d rounds=%d messages=%d\n",
+				res.Broadcast.Informed, g.N(), res.Broadcast.CompletionRound, res.Broadcast.Metrics.Messages)
+		}
+		fmt.Printf("explicit total messages: %d\n", res.TotalMessages)
+		return nil
+	}
+	res, err := wcle.Elect(g, cfg, opts)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if phaseObs != nil {
+		fmt.Println("per-phase breakdown (tu doubles each phase):")
+		for p := 0; p < phaseObs.UsedPhases(); p++ {
+			fmt.Printf("   phase %d (tu=%d): %d messages, %d bits, kinds %v\n",
+				p, 1<<p, phaseObs.Messages[p], phaseObs.Bits[p], phaseObs.Kinds[p])
+		}
+	}
+	return nil
+}
+
+func printResult(res *wcle.Result) {
+	fmt.Printf("contenders=%d (p=%.4f, walks=%d, thresholds inter=%d distinct=%d)\n",
+		len(res.Contenders), res.ContenderProb, res.Walks, res.InterThreshold, res.DistinctThreshold)
+	fmt.Printf("outcome: leaders=%v success=%v stopped=%d suppressed=%d failed=%d\n",
+		res.Leaders, res.Success, len(res.Stopped), len(res.Suppressed), len(res.Failed))
+	fmt.Printf("phases=%d leaderRound=%d totalRounds=%d\n", res.PhasesUsed, res.LeaderRound, res.Rounds)
+	fmt.Printf("messages=%d bits=%d dropped=%d byKind=%v\n",
+		res.Metrics.Messages, res.Metrics.Bits, res.Metrics.Dropped, res.Metrics.ByKind)
+}

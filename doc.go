@@ -1,0 +1,36 @@
+// Package wcle (Well-Connected Leader Election) is a full reproduction of
+//
+//	"Leader Election in Well-Connected Graphs",
+//	Seth Gilbert, Peter Robinson, Suman Sourav — PODC 2018
+//	(arXiv:1901.00342)
+//
+// It implements the paper's randomized implicit leader-election algorithm at
+// CONGEST message fidelity on a synchronous network simulator, every
+// substrate the paper depends on (port-numbered graphs, lazy random walks
+// and their spectral theory, push-pull rumor spreading, flooding baselines,
+// the Section 4 lower-bound graph constructions), and an experiment suite
+// that regenerates a measurement for every quantitative claim in the paper
+// (Theorems 13/15/28, Lemmas 1-25, Corollaries 14/26/27, Figures 1-2).
+//
+// # Quick start
+//
+//	g, err := wcle.NewRandomRegular(256, 8, 1)   // an expander
+//	if err != nil { ... }
+//	res, err := wcle.Elect(g, wcle.DefaultConfig(), wcle.Options{Seed: 7})
+//	if err != nil { ... }
+//	fmt.Println(res.Success, res.Leaders, res.Metrics.Messages)
+//
+// The elected node raises its leader flag; with the implicit variant nobody
+// else needs to learn its identity. ElectExplicit appends the Corollary 14
+// push-pull broadcast so every node learns the leader id.
+//
+// # Packages
+//
+// The root package is a facade over the internal packages: internal/core
+// (the algorithm), internal/sim (the synchronous CONGEST engine),
+// internal/graph (families and the lower-bound constructions),
+// internal/spectral (mixing times and conductance), internal/protocol
+// (CONGEST message plumbing), internal/broadcast, internal/baseline,
+// internal/lowerbound, and internal/experiments (the E1-E14 suite described
+// in DESIGN.md, rendered into EXPERIMENTS.md by cmd/benchsuite).
+package wcle

@@ -1,0 +1,60 @@
+package wcle
+
+import (
+	"fmt"
+)
+
+// ExplicitResult reports an explicit election (Corollary 14): the implicit
+// election followed by a push-pull broadcast of the leader's id.
+type ExplicitResult struct {
+	// Implicit is the election phase result.
+	Implicit *Result
+	// Broadcast is the dissemination phase result (nil if no leader was
+	// elected, in which case nothing is broadcast).
+	Broadcast *BroadcastResult
+	// TotalMessages sums both phases (the Corollary 14 quantity
+	// O(sqrt(n) log^{7/2} n tmix + n log n / phi)).
+	TotalMessages int64
+	// AllInformed reports whether every node learned the leader id.
+	AllInformed bool
+}
+
+// errUnknownExperiment keeps the facade free of fmt imports spread around.
+func errUnknownExperiment(id string) error {
+	return fmt.Errorf("wcle: unknown experiment %q (known: %v)", id, ExperimentIDs())
+}
+
+// ElectExplicit runs the implicit election and then broadcasts the leader's
+// id with push-pull gossip, per Corollary 14. The broadcast horizon is
+// found by probing (a first pass to coverage, then a truncated pass whose
+// message count is the cost to full coverage); pass horizon > 0 to fix it.
+func ElectExplicit(g *Graph, cfg Config, opts Options, horizon int) (*ExplicitResult, error) {
+	res, err := Elect(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExplicitResult{Implicit: res, TotalMessages: res.Metrics.Messages}
+	if len(res.Leaders) == 0 {
+		return out, nil
+	}
+	source := res.Leaders[0]
+	rumor := res.LeaderIDs[0]
+	if horizon <= 0 {
+		probe, err := PushPull(g, source, rumor, opts.Seed+1, 40*g.N(), false)
+		if err != nil {
+			return nil, err
+		}
+		horizon = probe.CompletionRound
+		if horizon <= 0 {
+			horizon = 40 * g.N()
+		}
+	}
+	bc, err := PushPull(g, source, rumor, opts.Seed+1, horizon, false)
+	if err != nil {
+		return nil, err
+	}
+	out.Broadcast = bc
+	out.TotalMessages += bc.Metrics.Messages
+	out.AllInformed = bc.AllInformed
+	return out, nil
+}

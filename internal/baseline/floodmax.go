@@ -1,0 +1,135 @@
+// Package baseline implements the comparison algorithms the paper measures
+// against: FloodMax-style explicit leader election, representative of the
+// Omega(m)-message class of general-graph algorithms ([24]'s lower bound
+// regime), against which Theorem 13's sublinear bound is contrasted on
+// well-connected graphs.
+package baseline
+
+import (
+	"fmt"
+
+	"wcle/internal/graph"
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+)
+
+// idMsg carries a candidate id during flooding.
+type idMsg struct {
+	id   protocol.ID
+	bits int
+}
+
+func (m *idMsg) Bits() int    { return m.bits }
+func (m *idMsg) Kind() string { return "floodmax" }
+
+var _ sim.Message = (*idMsg)(nil)
+
+// floodNode runs FloodMax: every node draws a random id, repeatedly floods
+// the largest id seen (once per improvement), and after the scheduled
+// horizon the node still holding its own id as the maximum declares itself
+// leader. With horizon >= diameter the true maximum wins everywhere, making
+// this an explicit election: every node knows the leader's id.
+type floodNode struct {
+	sizing  protocol.Sizing
+	horizon int
+
+	initialized bool
+	id          protocol.ID
+	maxSeen     protocol.ID
+	leader      bool
+	done        bool
+}
+
+func (nd *floodNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	if nd.done {
+		return nil
+	}
+	improved := false
+	if !nd.initialized {
+		nd.initialized = true
+		nd.id = protocol.RandomID(ctx.Rand().Uint64, ctx.N())
+		nd.maxSeen = nd.id
+		improved = true
+		ctx.WakeAt(nd.horizon)
+	}
+	for _, env := range inbox {
+		m, ok := env.Payload.(*idMsg)
+		if !ok {
+			return fmt.Errorf("baseline: unexpected message kind %q", env.Payload.Kind())
+		}
+		if m.id > nd.maxSeen {
+			nd.maxSeen = m.id
+			improved = true
+		}
+	}
+	if ctx.Round() >= nd.horizon {
+		nd.leader = nd.maxSeen == nd.id
+		nd.done = true
+		return nil
+	}
+	if improved {
+		for port := 0; port < ctx.Degree(); port++ {
+			msg := &idMsg{id: nd.maxSeen, bits: nd.sizing.IDBits() + protocol.FlagBits}
+			if err := ctx.Send(port, msg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FloodMaxResult reports a FloodMax run.
+type FloodMaxResult struct {
+	// Leaders holds the node indices that declared leadership (exactly one
+	// when the horizon covers the diameter).
+	Leaders []int
+	// LeaderID is the elected id (the global maximum).
+	LeaderID protocol.ID
+	// AllAgree reports whether every node's maxSeen converged to LeaderID.
+	AllAgree bool
+	Metrics  sim.Metrics
+}
+
+// FloodMax runs the baseline on g. horizon is the number of rounds before
+// nodes decide; 0 means n (always >= diameter + 1).
+func FloodMax(g *graph.Graph, seed int64, horizon int) (*FloodMaxResult, error) {
+	if horizon <= 0 {
+		horizon = g.N()
+	}
+	sizing, err := protocol.NewSizing(g.N())
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*floodNode, g.N())
+	procs := make([]sim.Process, g.N())
+	for v := range nodes {
+		nodes[v] = &floodNode{sizing: sizing, horizon: horizon}
+		procs[v] = nodes[v]
+	}
+	metrics, err := sim.Run(sim.Config{
+		Graph:          g,
+		Seed:           seed,
+		MaxMessageBits: sizing.CongestCap(),
+		MaxRounds:      horizon + 8,
+	}, procs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: floodmax failed: %w", err)
+	}
+	res := &FloodMaxResult{Metrics: metrics, AllAgree: true}
+	var max protocol.ID
+	for _, nd := range nodes {
+		if nd.id > max {
+			max = nd.id
+		}
+	}
+	res.LeaderID = max
+	for v, nd := range nodes {
+		if nd.leader {
+			res.Leaders = append(res.Leaders, v)
+		}
+		if nd.maxSeen != max {
+			res.AllAgree = false
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"wcle/internal/sim"
+)
+
+// PhaseObserver attributes every message of a run to the guess-and-double
+// phase whose schedule window it was sent in, split by message kind. It
+// shows where the algorithm's cost concentrates (the last phase dominates:
+// a geometric series, which is why guess-and-double only costs a constant
+// factor over knowing tmix).
+type PhaseObserver struct {
+	sched *schedule
+	// Messages[p] counts messages sent during phase p's window.
+	Messages []int64
+	// Kinds[p] splits phase p's messages by kind.
+	Kinds []map[string]int64
+	// Bits[p] sums message sizes per phase.
+	Bits []int64
+}
+
+var _ sim.Observer = (*PhaseObserver)(nil)
+
+// NewPhaseObserver builds an observer for runs of the given network size
+// and configuration (the schedule is derived exactly as the nodes derive
+// it).
+func NewPhaseObserver(n int, cfg Config) (*PhaseObserver, error) {
+	rt, err := newRuntime(n, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := rt.sched.numPhases()
+	o := &PhaseObserver{
+		sched:    rt.sched,
+		Messages: make([]int64, p),
+		Kinds:    make([]map[string]int64, p),
+		Bits:     make([]int64, p),
+	}
+	for i := range o.Kinds {
+		o.Kinds[i] = make(map[string]int64)
+	}
+	return o, nil
+}
+
+// OnSend implements sim.Observer.
+func (o *PhaseObserver) OnSend(round int, from, fromPort, to, toPort int, m sim.Message) {
+	p := o.sched.phaseAt(round)
+	o.Messages[p]++
+	o.Bits[p] += int64(m.Bits())
+	o.Kinds[p][m.Kind()]++
+}
+
+// UsedPhases returns the highest phase index with any traffic, plus one.
+func (o *PhaseObserver) UsedPhases() int {
+	for p := len(o.Messages) - 1; p >= 0; p-- {
+		if o.Messages[p] > 0 {
+			return p + 1
+		}
+	}
+	return 0
+}
+
+// Total returns the total message count across phases.
+func (o *PhaseObserver) Total() int64 {
+	var t int64
+	for _, c := range o.Messages {
+		t += c
+	}
+	return t
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"wcle/internal/graph"
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+)
+
+// RunOptions are the simulation-level knobs of one election run.
+type RunOptions struct {
+	// Seed drives all randomness (node ids, contender coins, walks).
+	Seed int64
+	// Budget, when positive, drops messages beyond the budget (the
+	// lower-bound experiments of Section 4).
+	Budget int64
+	// Concurrent selects the goroutine-based engine.
+	Concurrent bool
+	// Observer taps every accepted send.
+	Observer sim.Observer
+	// MaxRounds overrides the default round cap (0 = derived from the
+	// schedule).
+	MaxRounds int
+}
+
+// Result summarizes one election run.
+type Result struct {
+	// Leaders lists node indices with the leader flag raised. Success
+	// means exactly one.
+	Leaders   []int
+	LeaderIDs []protocol.ID
+	Success   bool
+
+	// Contenders lists the self-selected candidate nodes; Stopped those
+	// that satisfied both properties, Suppressed those that quit after a
+	// winner sighting, Failed those that hit the walk-length cap.
+	Contenders []int
+	Stopped    []int
+	Suppressed []int
+	Failed     []int
+
+	// FinalTu maps contender node index -> last walk-length guess.
+	FinalTu map[int]int
+	// PhasesUsed is the highest phase index any contender reached, plus 1.
+	PhasesUsed int
+
+	// LeaderRound is the round of the (first) self-election, -1 if none.
+	LeaderRound int
+	// Rounds is the simulated round at which all activity ceased.
+	Rounds int
+
+	Metrics    sim.Metrics
+	StaleDrops int64
+
+	// ProxyTotals maps contender node index -> total walk completions
+	// registered network-wide for that contender's last phase. In an
+	// unbudgeted run every launched token eventually completes, so this
+	// equals Walks for every contender whose last phase ran fully (the
+	// conservation invariant; see TestTokenConservation).
+	ProxyTotals map[int]int
+	// DistinctProxies maps contender node index -> nodes where exactly one
+	// of its walks ended (the Distinctness Property's quantity).
+	DistinctProxies map[int]int
+
+	// Resolved parameters, for reporting.
+	Walks             int
+	InterThreshold    int
+	DistinctThreshold int
+	ContenderProb     float64
+}
+
+// Run executes one election of the paper's algorithm (or the known-tmix
+// baseline when cfg.FixedWalkLen is set) on g.
+func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
+	believedN := g.N()
+	if cfg.AssumedN > 0 {
+		believedN = cfg.AssumedN
+	}
+	rt, err := newRuntime(believedN, g.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*node, g.N())
+	procs := make([]sim.Process, g.N())
+	for v := 0; v < g.N(); v++ {
+		nodes[v] = newNode(rt, v, g.Degree(v))
+		procs[v] = nodes[v]
+	}
+	last := rt.sched.numPhases() - 1
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = rt.sched.ends[last] + 2*rt.sched.stage[last] + 1000
+	}
+	simCfg := sim.Config{
+		Graph:          g,
+		Seed:           opts.Seed,
+		MaxRounds:      maxRounds,
+		MaxMessageBits: rt.codec.Cap(),
+		MessageBudget:  opts.Budget,
+		Concurrent:     opts.Concurrent,
+		Observer:       opts.Observer,
+	}
+	metrics, err := sim.Run(simCfg, procs)
+	if err != nil {
+		return nil, fmt.Errorf("core: election run failed: %w", err)
+	}
+	return collect(nodes, metrics, rt), nil
+}
+
+func collect(nodes []*node, metrics sim.Metrics, rt *runtime) *Result {
+	res := &Result{
+		FinalTu:           make(map[int]int),
+		LeaderRound:       -1,
+		Rounds:            metrics.FinalRound,
+		Metrics:           metrics,
+		Walks:             rt.walks,
+		InterThreshold:    rt.interT,
+		DistinctThreshold: rt.distT,
+		ContenderProb:     rt.pCont,
+		ProxyTotals:       make(map[int]int),
+		DistinctProxies:   make(map[int]int),
+	}
+	// Network-wide proxy accounting per contender, keyed by protocol id.
+	idToIdx := make(map[protocol.ID]int)
+	phaseOf := make(map[protocol.ID]int)
+	for _, nd := range nodes {
+		if nd.contender {
+			idToIdx[nd.id] = nd.idx
+			phaseOf[nd.id] = nd.phase
+		}
+	}
+	for _, nd := range nodes {
+		for origin, tr := range nd.trees {
+			idx, ok := idToIdx[origin]
+			if !ok || tr.phase != phaseOf[origin] || tr.proxyCount == 0 {
+				continue
+			}
+			res.ProxyTotals[idx] += tr.proxyCount
+			if tr.proxyCount == 1 {
+				res.DistinctProxies[idx]++
+			}
+		}
+	}
+	for _, nd := range nodes {
+		res.StaleDrops += nd.staleDrops
+		if !nd.contender {
+			continue
+		}
+		res.Contenders = append(res.Contenders, nd.idx)
+		if nd.phase+1 > res.PhasesUsed {
+			res.PhasesUsed = nd.phase + 1
+		}
+		if nd.phase >= 0 {
+			res.FinalTu[nd.idx] = rt.sched.tus[nd.phase]
+		}
+		if nd.stopped {
+			res.Stopped = append(res.Stopped, nd.idx)
+		}
+		if nd.suppressed {
+			res.Suppressed = append(res.Suppressed, nd.idx)
+		}
+		if nd.failed {
+			res.Failed = append(res.Failed, nd.idx)
+		}
+		if nd.leader {
+			res.Leaders = append(res.Leaders, nd.idx)
+			res.LeaderIDs = append(res.LeaderIDs, nd.id)
+			if res.LeaderRound == -1 || nd.leadRound < res.LeaderRound {
+				res.LeaderRound = nd.leadRound
+			}
+		}
+	}
+	res.Success = len(res.Leaders) == 1
+	return res
+}

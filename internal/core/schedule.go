@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// schedule is the global phase timetable every node derives from n and the
+// configuration (nodes know n, so all clocks agree). Phase p uses walk
+// length tu(p) = 2^p, spans 6T(p) rounds with T(p) = ceil(TMult * tu(p) *
+// L^2), L = ceil(log2 n): the paper's walk stage (T), three exchange stages
+// (3T), and the 2T winner-propagation wait (Algorithm 2 line 8). Decisions
+// happen at start + 4T. In FixedWalkLen mode there is exactly one phase.
+type schedule struct {
+	tus     []int // walk length per phase
+	starts  []int // start round per phase
+	stage   []int // T per phase
+	decides []int // decision round per phase (start + 4T)
+	ends    []int // end round per phase   (start + 6T)
+}
+
+func newSchedule(n int, cfg Config) (*schedule, error) {
+	l := bits.Len(uint(n - 1))
+	tmul := cfg.TMult
+	stageLen := func(tu int) int {
+		t := int(tmul * float64(tu) * float64(l*l))
+		if t < tu+1 {
+			t = tu + 1 // T must at least cover the walk itself
+		}
+		return t
+	}
+	s := &schedule{}
+	add := func(tu, start int) int {
+		t := stageLen(tu)
+		s.tus = append(s.tus, tu)
+		s.starts = append(s.starts, start)
+		s.stage = append(s.stage, t)
+		s.decides = append(s.decides, start+4*t)
+		s.ends = append(s.ends, start+6*t)
+		return start + 6*t
+	}
+	if cfg.FixedWalkLen > 0 {
+		add(cfg.FixedWalkLen, 0)
+		return s, nil
+	}
+	if cfg.MaxWalkLen < 1 {
+		return nil, fmt.Errorf("core: MaxWalkLen must be positive, got %d", cfg.MaxWalkLen)
+	}
+	start := 0
+	for tu := 1; tu <= cfg.MaxWalkLen; tu *= 2 {
+		start = add(tu, start)
+	}
+	return s, nil
+}
+
+// numPhases returns the number of scheduled phases.
+func (s *schedule) numPhases() int { return len(s.tus) }
+
+// phaseAt returns the phase index containing the given round (the last
+// phase for rounds beyond the schedule).
+func (s *schedule) phaseAt(round int) int {
+	lo, hi := 0, len(s.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.starts[mid] <= round {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

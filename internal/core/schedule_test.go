@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"wcle/internal/protocol"
+)
+
+func testSchedule(t *testing.T, n int, cfg Config) *schedule {
+	t.Helper()
+	s, err := newSchedule(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScheduleDoubling(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxWalkLen = 16
+	cfg.TMult = 2
+	s := testSchedule(t, 64, cfg)
+	if s.numPhases() != 5 { // tu = 1,2,4,8,16
+		t.Fatalf("phases = %d, want 5", s.numPhases())
+	}
+	for p := 0; p < s.numPhases(); p++ {
+		if s.tus[p] != 1<<p {
+			t.Fatalf("tu[%d] = %d", p, s.tus[p])
+		}
+		if s.decides[p] != s.starts[p]+4*s.stage[p] {
+			t.Fatal("decide must be start + 4T")
+		}
+		if s.ends[p] != s.starts[p]+6*s.stage[p] {
+			t.Fatal("end must be start + 6T")
+		}
+		if p > 0 && s.starts[p] != s.ends[p-1] {
+			t.Fatal("phases must be contiguous")
+		}
+		if s.stage[p] <= s.tus[p] {
+			t.Fatalf("stage %d must exceed the walk length %d", s.stage[p], s.tus[p])
+		}
+	}
+}
+
+func TestScheduleFixedMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FixedWalkLen = 12
+	s := testSchedule(t, 64, cfg)
+	if s.numPhases() != 1 || s.tus[0] != 12 {
+		t.Fatalf("fixed mode schedule wrong: %+v", s)
+	}
+}
+
+func TestSchedulePhaseAt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxWalkLen = 8
+	cfg.TMult = 1
+	s := testSchedule(t, 16, cfg)
+	for p := 0; p < s.numPhases(); p++ {
+		if got := s.phaseAt(s.starts[p]); got != p {
+			t.Fatalf("phaseAt(start[%d]) = %d", p, got)
+		}
+		if got := s.phaseAt(s.ends[p] - 1); got != p {
+			t.Fatalf("phaseAt(end[%d]-1) = %d", p, got)
+		}
+	}
+	if got := s.phaseAt(s.ends[s.numPhases()-1] + 10_000); got != s.numPhases()-1 {
+		t.Fatalf("phaseAt beyond schedule = %d", got)
+	}
+	if got := s.phaseAt(0); got != 0 {
+		t.Fatalf("phaseAt(0) = %d", got)
+	}
+}
+
+func TestRuntimeThresholds(t *testing.T) {
+	cfg := DefaultConfig()
+	rt, err := newRuntime(1024, 1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ln(1024) ~ 6.93: pCont ~ 6*6.93/1024, interT = ceil(0.75*6*6.93) = 32,
+	// walks = ceil(2*sqrt(1024*6.93)) = ceil(168.5) = 169, distT = 85.
+	if rt.interT != 32 {
+		t.Fatalf("interT = %d, want 32", rt.interT)
+	}
+	if rt.walks != 169 {
+		t.Fatalf("walks = %d, want 169", rt.walks)
+	}
+	if rt.distT != 85 {
+		t.Fatalf("distT = %d, want 85", rt.distT)
+	}
+	if rt.pCont <= 0 || rt.pCont >= 1 {
+		t.Fatalf("pCont = %v", rt.pCont)
+	}
+	if rt.cfg.TMult != 25.0/16.0*cfg.C1 {
+		t.Fatalf("default TMult = %v", rt.cfg.TMult)
+	}
+	if rt.cfg.MaxWalkLen != 4096 {
+		t.Fatalf("default MaxWalkLen = %d", rt.cfg.MaxWalkLen)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	if _, err := newRuntime(1, 1, DefaultConfig()); err == nil {
+		t.Fatal("n=1 should fail")
+	}
+	if _, err := newRuntime(16, 16, Config{}); err == nil {
+		t.Fatal("zero config should fail (C1=0)")
+	}
+	cfg := DefaultConfig()
+	cfg.LogBase = 1
+	if _, err := newRuntime(16, 16, cfg); err == nil {
+		t.Fatal("LogBase <= 1 should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.ForcedContenders = []int{99}
+	if _, err := newRuntime(16, 16, cfg); err == nil {
+		t.Fatal("out-of-range forced contender should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Mode = protocol.Mode(42)
+	if _, err := newRuntime(16, 16, cfg); err == nil {
+		t.Fatal("bad mode should fail")
+	}
+}

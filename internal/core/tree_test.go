@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"wcle/internal/protocol"
+)
+
+func TestTreeAddChildSortedAndDeduped(t *testing.T) {
+	tr := newTree(1, 3, false)
+	if !tr.addChild(5) || !tr.addChild(2) || !tr.addChild(9) {
+		t.Fatal("fresh children rejected")
+	}
+	if tr.addChild(5) {
+		t.Fatal("duplicate child accepted")
+	}
+	want := []int{2, 5, 9}
+	if len(tr.children) != len(want) {
+		t.Fatalf("children = %v", tr.children)
+	}
+	for i, p := range want {
+		if tr.children[i] != p {
+			t.Fatalf("children not sorted: %v", tr.children)
+		}
+	}
+}
+
+func TestTreeResetForPhase(t *testing.T) {
+	tr := newTree(1, 3, false)
+	tr.addChild(4)
+	tr.proxyCount = 7
+	tr.final = true
+	tr.finalDown = true
+	tr.winnerDown = true
+	tr.winnerID = 42
+	tr.storedI2[protocol.ID(8)] = struct{}{}
+	tr.downX2[protocol.ID(9)] = struct{}{}
+
+	tr.resetForPhase(2, 6, false)
+	if tr.phase != 2 || tr.parentPort != 6 || tr.isRoot {
+		t.Fatalf("reset basics wrong: %+v", tr)
+	}
+	if tr.final || tr.finalDown || tr.winnerDown || tr.winnerID != 0 {
+		t.Fatal("control latches must clear on phase reset")
+	}
+	if tr.proxyCount != 0 || len(tr.children) != 0 || len(tr.childSet) != 0 {
+		t.Fatal("per-phase registration state must clear")
+	}
+	if len(tr.downX2) != 0 {
+		t.Fatal("down-flood record must clear (new phase, new tree)")
+	}
+	// storedI2 persists across phases per the paper's "I2 sets received".
+	if _, ok := tr.storedI2[protocol.ID(8)]; !ok {
+		t.Fatal("storedI2 must persist across phases")
+	}
+}
+
+func TestDOf(t *testing.T) {
+	// A proxy is distinct iff exactly one walk ended there.
+	cases := map[int]int{0: 0, 1: 1, 2: 0, 5: 0}
+	for count, want := range cases {
+		if got := dOf(count); got != want {
+			t.Fatalf("dOf(%d) = %d, want %d", count, got, want)
+		}
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	set := map[protocol.ID]struct{}{5: {}, 1: {}, 9: {}, 3: {}}
+	got := sortedIDs(set)
+	want := []protocol.ID{1, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("sortedIDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedIDs = %v, want %v", got, want)
+		}
+	}
+	if len(sortedIDs(nil)) != 0 {
+		t.Fatal("nil set should give empty slice")
+	}
+}

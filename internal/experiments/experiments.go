@@ -1,0 +1,123 @@
+// Package experiments defines the reproduction suite: one runner per
+// experiment E1..E14 of DESIGN.md, each regenerating the measurements that
+// stand in for the paper's quantitative claims (the paper is a theory paper
+// with no empirical tables; every theorem/lemma/corollary with a complexity
+// statement becomes a table here, plus the Figure 1/2 construction checks).
+//
+// Runners return Tables that cmd/benchsuite renders to Markdown (the
+// contents of EXPERIMENTS.md) and that bench_test.go exposes as testing.B
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a free-form note rendered under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Markdown renders the table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("\n> " + n + "\n")
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Suite runs experiments with a shared seed and size regime.
+type Suite struct {
+	// Seed drives every run in the suite deterministically.
+	Seed int64
+	// Quick shrinks sizes and trial counts for CI/tests; the full regime is
+	// what EXPERIMENTS.md records.
+	Quick bool
+
+	cache map[string]interface{}
+}
+
+// NewSuite returns a Suite.
+func NewSuite(seed int64, quick bool) *Suite {
+	return &Suite{Seed: seed, Quick: quick, cache: make(map[string]interface{})}
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(s *Suite) (*Table, error)
+}
+
+// All returns every experiment runner in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "message-scaling", (*Suite).E1MessageScaling},
+		{"E2", "time-scaling", (*Suite).E2TimeScaling},
+		{"E3", "contender-concentration", (*Suite).E3ContenderConcentration},
+		{"E4", "unique-leader", (*Suite).E4UniqueLeader},
+		{"E5", "guess-and-double", (*Suite).E5GuessDouble},
+		{"E6", "message-modes", (*Suite).E6MessageModes},
+		{"E7", "explicit-election", (*Suite).E7Explicit},
+		{"E8", "lower-bound-graph", (*Suite).E8LowerBoundGraph},
+		{"E9", "inter-clique-discovery", (*Suite).E9InterCliqueDiscovery},
+		{"E10", "budgeted-election", (*Suite).E10BudgetedElection},
+		{"E11", "broadcast-spanning-tree", (*Suite).E11BroadcastST},
+		{"E12", "dumbbell-knowledge-of-n", (*Suite).E12Dumbbell},
+		{"E13", "known-tmix-baseline", (*Suite).E13KnownTmix},
+		{"E14", "ablations", (*Suite).E14Ablations},
+	}
+}
+
+// Get runs a single experiment by id.
+func Get(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists all experiment ids.
+func IDs() []string {
+	var out []string
+	for _, r := range All() {
+		out = append(out, r.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func g3(v float64) string { return fmt.Sprintf("%.3g", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+func d64(v int64) string  { return fmt.Sprintf("%d", v) }

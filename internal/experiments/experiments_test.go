@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	md := tab.Markdown()
+	for _, want := range []string{"### EX — demo", "| a | b |", "| 1 | 2 |", "> note 7"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestAllRunnersRegistered(t *testing.T) {
+	runners := All()
+	if len(runners) != 14 {
+		t.Fatalf("got %d runners, want 14", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Fatalf("runner %s incomplete", r.ID)
+		}
+	}
+	if _, ok := Get("E1"); !ok {
+		t.Fatal("Get(E1) failed")
+	}
+	if _, ok := Get("E99"); ok {
+		t.Fatal("Get(E99) should fail")
+	}
+	if len(IDs()) != 14 {
+		t.Fatal("IDs() wrong length")
+	}
+}
+
+func TestBuildFamilyErrors(t *testing.T) {
+	if _, err := buildFamily("nope", 16, 1); err == nil {
+		t.Fatal("unknown family should fail")
+	}
+	if _, err := buildFamily("hypercube", 48, 1); err == nil {
+		t.Fatal("non-power-of-two hypercube should fail")
+	}
+}
+
+// TestQuickSuite exercises every experiment end to end in the quick regime.
+// This is the integration test of the whole reproduction pipeline.
+func TestQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite still takes tens of seconds; skipped in -short mode")
+	}
+	s := NewSuite(42, true)
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(s)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", r.ID)
+			}
+			if len(tab.Columns) == 0 || tab.ID != r.ID {
+				t.Fatalf("%s table malformed: %+v", r.ID, tab)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s row width %d != %d columns", r.ID, len(row), len(tab.Columns))
+				}
+			}
+			md := tab.Markdown()
+			if !strings.Contains(md, r.ID) {
+				t.Fatalf("%s markdown missing id", r.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"wcle/internal/core"
+	"wcle/internal/stats"
+)
+
+func TestThm13References(t *testing.T) {
+	// sqrt(256) * ln(256)^3.5 * 10
+	want := 16 * math.Pow(math.Log(256), 3.5) * 10
+	if got := thm13Messages(256, 10); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("thm13Messages = %v, want %v", got, want)
+	}
+	wantT := 10 * math.Log(256) * math.Log(256)
+	if got := thm13Time(256, 10); math.Abs(got-wantT) > 1e-9 {
+		t.Fatalf("thm13Time = %v, want %v", got, wantT)
+	}
+}
+
+func TestCrossoverSolvesIntersection(t *testing.T) {
+	// y1 = e^0 * x^1, y2 = e^2 * x^0.5 cross where x^0.5 = e^2, x = e^4.
+	f1 := stats.Fit{Intercept: 0, Slope: 1}
+	f2 := stats.Fit{Intercept: 2, Slope: 0.5}
+	got := crossover(f1, f2)
+	want := math.Exp(4)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("crossover = %v, want %v", got, want)
+	}
+	if !math.IsInf(crossover(f1, f1), 1) {
+		t.Fatal("parallel fits should give +inf crossover")
+	}
+}
+
+func TestFitExponentPerFamily(t *testing.T) {
+	recs := []ubRecord{
+		{family: "a", n: 10},
+		{family: "a", n: 100},
+		{family: "b", n: 10},
+	}
+	b, err := fitExponent(recs, "a", func(r ubRecord) float64 { return float64(r.n * r.n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-2) > 1e-9 {
+		t.Fatalf("exponent = %v, want 2", b)
+	}
+	// Single point: NaN, no error.
+	b, err = fitExponent(recs, "b", func(r ubRecord) float64 { return 1 })
+	if err != nil || !math.IsNaN(b) {
+		t.Fatalf("single-point fit: %v, %v", b, err)
+	}
+}
+
+func TestUBRecordMedians(t *testing.T) {
+	mk := func(msgs int64, success bool) *core.Result {
+		r := &core.Result{Success: success}
+		r.Metrics.Messages = msgs
+		return r
+	}
+	rec := ubRecord{trials: []*core.Result{mk(10, true), mk(30, false), mk(20, true)}}
+	med := rec.medianOf(func(r *core.Result) float64 { return float64(r.Metrics.Messages) })
+	if med != 20 {
+		t.Fatalf("median = %v, want 20", med)
+	}
+	if rec.successCount() != 2 {
+		t.Fatalf("successes = %d, want 2", rec.successCount())
+	}
+	empty := ubRecord{}
+	if !math.IsNaN(empty.medianOf(func(*core.Result) float64 { return 0 })) {
+		t.Fatal("empty record median should be NaN")
+	}
+}
+
+func TestSuiteRegimes(t *testing.T) {
+	quick := NewSuite(1, true)
+	full := NewSuite(1, false)
+	if len(quick.families()) != 3 || len(full.families()) != 4 {
+		t.Fatalf("family sets wrong: quick=%d full=%d (full adds the torus family)",
+			len(quick.families()), len(full.families()))
+	}
+	if quick.ubTrials() >= full.ubTrials() {
+		t.Fatal("quick must run fewer trials")
+	}
+	if len(quick.lbAlphas()) >= len(full.lbAlphas()) {
+		t.Fatal("quick must sweep fewer alphas")
+	}
+	if quick.lbSize() >= full.lbSize() {
+		t.Fatal("quick must use smaller lower-bound graphs")
+	}
+}
+
+func TestMeasuredTmixTransitive(t *testing.T) {
+	g, err := buildFamily("hypercube", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := measuredTmix(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm < 5 || tm > 200 {
+		t.Fatalf("hypercube-32 tmix = %d out of plausible range", tm)
+	}
+}
+
+func TestFormatterHelpers(t *testing.T) {
+	if f1(1.25) != "1.2" && f1(1.25) != "1.3" {
+		t.Fatalf("f1 = %q", f1(1.25))
+	}
+	if f2(1.234) != "1.23" || f3(1.2345) != "1.234" && f3(1.2345) != "1.235" {
+		t.Fatalf("f2/f3 wrong: %q %q", f2(1.234), f3(1.2345))
+	}
+	if d(7) != "7" || d64(9) != "9" {
+		t.Fatal("d/d64 wrong")
+	}
+	if g3(0.00123456) != "0.00123" {
+		t.Fatalf("g3 = %q", g3(0.00123456))
+	}
+}

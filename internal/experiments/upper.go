@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wcle/internal/core"
+	"wcle/internal/graph"
+	"wcle/internal/protocol"
+	"wcle/internal/spectral"
+	"wcle/internal/stats"
+)
+
+// ubRecord is one upper-bound measurement point (several trials of the same
+// family and size), shared across E1/E2/E5/E13.
+type ubRecord struct {
+	family string
+	n      int
+	m      int
+	tmix   int
+	trials []*core.Result
+}
+
+// medianOf extracts the median of a per-trial scalar.
+func (r ubRecord) medianOf(f func(*core.Result) float64) float64 {
+	vals := make([]float64, 0, len(r.trials))
+	for _, res := range r.trials {
+		vals = append(vals, f(res))
+	}
+	med, err := stats.Quantile(vals, 0.5)
+	if err != nil {
+		return math.NaN()
+	}
+	return med
+}
+
+// successCount counts trials that elected exactly one leader.
+func (r ubRecord) successCount() int {
+	var k int
+	for _, res := range r.trials {
+		if res.Success {
+			k++
+		}
+	}
+	return k
+}
+
+// families returns the upper-bound graph families and sizes for the suite's
+// regime.
+func (s *Suite) families() []struct {
+	family string
+	sizes  []int
+} {
+	if s.Quick {
+		return []struct {
+			family string
+			sizes  []int
+		}{
+			{"clique", []int{32, 64}},
+			{"hypercube", []int{32, 64}},
+			{"rr8", []int{64, 128}},
+		}
+	}
+	return []struct {
+		family string
+		sizes  []int
+	}{
+		{"clique", []int{64, 128, 256}},
+		{"hypercube", []int{64, 128, 256}},
+		{"rr8", []int{64, 128, 256, 512, 1024}},
+		// Tori mix in Theta(n) — a genuinely different tmix growth that
+		// exercises Theorem 13's tmix-dependence, not just its n-dependence.
+		{"torus", []int{64, 144, 256}},
+	}
+}
+
+// buildFamily constructs one graph of a family at size n.
+func buildFamily(family string, n int, seed int64) (*graph.Graph, error) {
+	switch family {
+	case "clique":
+		return graph.Clique(n, rand.New(rand.NewSource(seed)))
+	case "hypercube":
+		dim := 0
+		for 1<<dim < n {
+			dim++
+		}
+		if 1<<dim != n {
+			return nil, fmt.Errorf("experiments: hypercube size %d not a power of two", n)
+		}
+		return graph.Hypercube(dim, rand.New(rand.NewSource(seed)))
+	case "rr8":
+		return graph.RandomRegular(n, 8, rand.New(rand.NewSource(seed)))
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		return graph.Torus2D(side, side, rand.New(rand.NewSource(seed)))
+	default:
+		return nil, fmt.Errorf("experiments: unknown family %q", family)
+	}
+}
+
+// measuredTmix returns the sampled mixing time (exact on vertex-transitive
+// families).
+func measuredTmix(g *graph.Graph) (int, error) {
+	starts := []int{0}
+	if g.N() > 3 {
+		starts = append(starts, g.N()/3, 2*g.N()/3)
+	}
+	return spectral.MixingTimeSampled(g, spectral.DefaultEps(g.N()), 40_000_000, starts)
+}
+
+// ubTrials is the number of election runs per measurement point (medians
+// damp the phase-count quantization of guess-and-double).
+func (s *Suite) ubTrials() int {
+	if s.Quick {
+		return 1
+	}
+	return 3
+}
+
+// upperBoundData runs the algorithm ubTrials times per (family, n) and
+// caches the records for every upper-bound table.
+func (s *Suite) upperBoundData() ([]ubRecord, error) {
+	if v, ok := s.cache["ub"]; ok {
+		return v.([]ubRecord), nil
+	}
+	var out []ubRecord
+	for _, fam := range s.families() {
+		for _, n := range fam.sizes {
+			g, err := buildFamily(fam.family, n, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tmix, err := measuredTmix(g)
+			if err != nil {
+				return nil, err
+			}
+			rec := ubRecord{family: fam.family, n: n, m: g.M(), tmix: tmix}
+			for i := 0; i < s.ubTrials(); i++ {
+				res, err := core.Run(g, core.DefaultConfig(),
+					core.RunOptions{Seed: s.Seed + int64(n) + int64(1000*i)})
+				if err != nil {
+					return nil, err
+				}
+				rec.trials = append(rec.trials, res)
+			}
+			out = append(out, rec)
+		}
+	}
+	s.cache["ub"] = out
+	return out, nil
+}
+
+// thm13Messages is the Theorem 13 message reference sqrt(n) ln^{7/2} n tmix.
+func thm13Messages(n, tmix int) float64 {
+	ln := math.Log(float64(n))
+	return math.Sqrt(float64(n)) * math.Pow(ln, 3.5) * float64(tmix)
+}
+
+// thm13Time is the Theorem 13 time reference tmix ln^2 n.
+func thm13Time(n, tmix int) float64 {
+	ln := math.Log(float64(n))
+	return float64(tmix) * ln * ln
+}
+
+// fitExponent fits y ~ n^b for one family's series.
+func fitExponent(recs []ubRecord, family string, y func(ubRecord) float64) (float64, error) {
+	var xs, ys []float64
+	for _, r := range recs {
+		if r.family != family {
+			continue
+		}
+		xs = append(xs, float64(r.n))
+		ys = append(ys, y(r))
+	}
+	if len(xs) < 2 {
+		return math.NaN(), nil
+	}
+	f, err := stats.LogLogFit(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	return f.Slope, nil
+}
+
+// E1MessageScaling reproduces Theorem 13's message bound
+// O(sqrt(n) log^{7/2} n * tmix): per family, measured CONGEST messages and
+// their ratio to the reference, plus fitted growth exponents.
+func (s *Suite) E1MessageScaling() (*Table, error) {
+	recs, err := s.upperBoundData()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "E1",
+		Title: "Theorem 13 (messages): CONGEST messages vs sqrt(n) ln^{7/2} n * tmix",
+		Columns: []string{"family", "n", "m", "tmix", "median messages", "msgs/ref",
+			"msgs/m", "elected"},
+	}
+	msgs := func(res *core.Result) float64 { return float64(res.Metrics.Messages) }
+	for _, r := range recs {
+		ref := thm13Messages(r.n, r.tmix)
+		med := r.medianOf(msgs)
+		t.AddRow(r.family, d(r.n), d(r.m), d(r.tmix),
+			d64(int64(med)), f3(med/ref), f1(med/float64(r.m)),
+			fmt.Sprintf("%d/%d", r.successCount(), len(r.trials)))
+	}
+	for _, fam := range s.families() {
+		// Theorem 13 predicts messages/(ln^{7/2} n * tmix) ~ sqrt(n), i.e.
+		// a fitted exponent near 0.5 for the normalized series.
+		b, err := fitExponent(recs, fam.family, func(r ubRecord) float64 {
+			ln := math.Log(float64(r.n))
+			return r.medianOf(msgs) / (math.Pow(ln, 3.5) * float64(r.tmix))
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddNote("%s: fitted msgs/(ln^{7/2} n * tmix) ~ n^%.2f. Theorem 13 is an upper bound: exponent <= 0.5 confirms it (0.5 would be tight; lower means the per-edge filtering beats the paper's worst-case congestion log, which its O~ absorbs).", fam.family, b)
+	}
+	t.AddNote("msgs/ref bounded (non-growing) across n within a family is the Theorem 13 shape; absolute constants are implementation-specific. msgs/m falls as graphs get denser — the sublinearity claim is against m.")
+	return t, nil
+}
+
+// E2TimeScaling reproduces Theorem 13's time bound O(tmix log^2 n).
+func (s *Suite) E2TimeScaling() (*Table, error) {
+	recs, err := s.upperBoundData()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E2",
+		Title:   "Theorem 13 (time): rounds to election vs tmix ln^2 n",
+		Columns: []string{"family", "n", "tmix", "median leader round", "rounds/ref"},
+	}
+	for _, r := range recs {
+		med := r.medianOf(func(res *core.Result) float64 {
+			if res.LeaderRound >= 0 {
+				return float64(res.LeaderRound)
+			}
+			return float64(res.Rounds)
+		})
+		t.AddRow(r.family, d(r.n), d(r.tmix), d64(int64(med)), f1(med/thm13Time(r.n, r.tmix)))
+	}
+	t.AddNote("rounds/ref bounded across n within a family reproduces the O(tmix log^2 n) time shape; the constant includes the schedule multiplier TMult = (25/16) c1, and jumps by up to 2x between rows because guess-and-double quantizes the stopping phase.")
+	return t, nil
+}
+
+// E5GuessDouble reproduces Lemmas 3/6: the guess-and-double walk length
+// settles at Theta(tmix).
+func (s *Suite) E5GuessDouble() (*Table, error) {
+	recs, err := s.upperBoundData()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   "Lemmas 3/6: final guess-and-double walk length vs measured tmix",
+		Columns: []string{"family", "n", "tmix", "median final tu", "tu/tmix", "phases"},
+	}
+	for _, r := range recs {
+		var tus []float64
+		phases := 0
+		for _, res := range r.trials {
+			for _, v := range res.Stopped {
+				tus = append(tus, float64(res.FinalTu[v]))
+			}
+			if res.PhasesUsed > phases {
+				phases = res.PhasesUsed
+			}
+		}
+		if len(tus) == 0 {
+			t.AddRow(r.family, d(r.n), d(r.tmix), "-", "-", d(phases))
+			continue
+		}
+		med, err := stats.Quantile(tus, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.family, d(r.n), d(r.tmix), f1(med), f2(med/float64(r.tmix)), d(phases))
+	}
+	t.AddNote("Lemma 3 guarantees stopping once tu >= c3 tmix; guess-and-double overshoots by at most 2x. Contenders often stop below tmix because the properties only need near-uniform proxy spread, not full mixing (the paper's criteria are sufficient, not necessary).")
+	return t, nil
+}
+
+// E6MessageModes reproduces Lemma 12's two regimes: O(log n)-bit CONGEST
+// messages vs O(log^3 n)-bit messages.
+func (s *Suite) E6MessageModes() (*Table, error) {
+	sizes := []int{64, 128, 256}
+	if s.Quick {
+		sizes = []int{64, 128}
+	}
+	t := &Table{
+		ID:      "E6",
+		Title:   "Lemma 12: CONGEST (O(log n)-bit) vs large (O(log^3 n)-bit) message mode",
+		Columns: []string{"n", "congest msgs", "large msgs", "msg ratio", "ln^2 n", "congest bits", "large bits"},
+	}
+	for _, n := range sizes {
+		g, err := buildFamily("rr8", n, s.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		cfgC := core.DefaultConfig()
+		resC, err := core.Run(g, cfgC, core.RunOptions{Seed: s.Seed + 11})
+		if err != nil {
+			return nil, err
+		}
+		cfgL := core.DefaultConfig()
+		cfgL.Mode = protocol.ModeLarge
+		resL, err := core.Run(g, cfgL, core.RunOptions{Seed: s.Seed + 11})
+		if err != nil {
+			return nil, err
+		}
+		ln := math.Log(float64(n))
+		t.AddRow(d(n), d64(resC.Metrics.Messages), d64(resL.Metrics.Messages),
+			f2(float64(resC.Metrics.Messages)/float64(resL.Metrics.Messages)),
+			f1(ln*ln), d64(resC.Metrics.Bits), d64(resL.Metrics.Bits))
+	}
+	t.AddNote("Lemma 12 predicts a log^2 n gap between the modes' message counts; the measured ratio grows with n but is damped because much of the traffic (tokens, deltas) is already O(log n)-sized in both modes.")
+	return t, nil
+}
+
+// E13KnownTmix compares the paper's tmix-oblivious algorithm to the Kutten
+// et al. [25] baseline that knows tmix (single phase of length 2 tmix).
+func (s *Suite) E13KnownTmix() (*Table, error) {
+	recs, err := s.upperBoundData()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E13",
+		Title:   "Known-tmix baseline [25] vs guess-and-double (price of not knowing tmix)",
+		Columns: []string{"n", "tmix", "ours msgs", "[25] msgs", "msg ratio", "ours rounds", "[25] rounds", "both elect"},
+	}
+	for _, r := range recs {
+		if r.family != "rr8" {
+			continue
+		}
+		g, err := buildFamily("rr8", r.n, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.FixedWalkLen = 2 * r.tmix
+		var baseMsgs, baseRounds []float64
+		baseSuccess := 0
+		for i := 0; i < len(r.trials); i++ {
+			base, err := core.Run(g, cfg, core.RunOptions{Seed: s.Seed + int64(r.n) + int64(1000*i)})
+			if err != nil {
+				return nil, err
+			}
+			baseMsgs = append(baseMsgs, float64(base.Metrics.Messages))
+			baseRounds = append(baseRounds, float64(base.LeaderRound))
+			if base.Success {
+				baseSuccess++
+			}
+		}
+		bm, err := stats.Quantile(baseMsgs, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		br, err := stats.Quantile(baseRounds, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		ourMsgs := r.medianOf(func(res *core.Result) float64 { return float64(res.Metrics.Messages) })
+		ourRounds := r.medianOf(func(res *core.Result) float64 { return float64(res.LeaderRound) })
+		t.AddRow(d(r.n), d(r.tmix),
+			d64(int64(ourMsgs)), d64(int64(bm)), f2(ourMsgs/bm),
+			d64(int64(ourRounds)), d64(int64(br)),
+			fmt.Sprintf("%d+%d/%d", r.successCount(), baseSuccess, len(r.trials)))
+	}
+	t.AddNote("The baseline assumes tmix is known network-wide (the assumption the paper removes) and walks the full 2*tmix. Measured msg ratios below 1 show guess-and-double actually beats the oracle here: the stopping properties are satisfied before full mixing (see E5), so the adaptive algorithm quits with shorter walks while the oracle pays 2*tmix regardless. The paper's worst-case constant-factor overhead is an upper bound; adaptivity wins on these families.")
+	return t, nil
+}

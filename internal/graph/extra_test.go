@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHypercubeStructure(t *testing.T) {
+	g, err := Hypercube(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbors differ in exactly one bit.
+	for u := 0; u < g.N(); u++ {
+		for p := 0; p < g.Degree(u); p++ {
+			v := g.NeighborAt(u, p)
+			x := u ^ v
+			if x == 0 || x&(x-1) != 0 {
+				t.Fatalf("nodes %d and %d differ in %b bits", u, v, x)
+			}
+		}
+	}
+	// Distance equals Hamming distance.
+	dist := BFSDist(g, 0)
+	for v, d := range dist {
+		pop := 0
+		for x := v; x > 0; x >>= 1 {
+			pop += x & 1
+		}
+		if d != pop {
+			t.Fatalf("dist(0,%d) = %d, Hamming %d", v, d, pop)
+		}
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	rows, cols := 5, 7
+	g, err := Torus2D(rows, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := IsRegular(g); !ok || d != 4 {
+		t.Fatalf("torus degree = %d (%v)", d, ok)
+	}
+	// Diameter of a torus is floor(rows/2) + floor(cols/2).
+	want := rows/2 + cols/2
+	if got := Diameter(g); got != want {
+		t.Fatalf("diameter = %d, want %d", got, want)
+	}
+}
+
+func TestCliqueDiameterOne(t *testing.T) {
+	g, err := Clique(10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Diameter(g) != 1 {
+		t.Fatal("clique diameter must be 1")
+	}
+	if g.M() != 45 {
+		t.Fatalf("M = %d", g.M())
+	}
+}
+
+func TestBarbellBridge(t *testing.T) {
+	g, err := Barbell(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one edge crosses the two cliques.
+	var crossing int
+	for _, e := range g.Edges() {
+		if (e.U < 5) != (e.V < 5) {
+			crossing++
+		}
+	}
+	if crossing != 1 {
+		t.Fatalf("crossing edges = %d, want 1", crossing)
+	}
+}
+
+func TestDumbbellCliquesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db, err := NewDumbbellCliques(8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !Connected(db.Graph) {
+		t.Fatal("must be connected")
+	}
+	if d, ok := IsRegular(db.Graph); !ok || d != 7 {
+		t.Fatalf("degree = %d (%v), want uniform 7", d, ok)
+	}
+	var crossing int
+	for _, e := range db.Edges() {
+		if db.SideOf[e.U] != db.SideOf[e.V] {
+			crossing++
+			if !db.IsBridge(e.U, e.V) {
+				t.Fatalf("crossing edge %v not a bridge", e)
+			}
+		}
+	}
+	if crossing != 2 {
+		t.Fatalf("crossing = %d, want 2", crossing)
+	}
+	if _, err := NewDumbbellCliques(2, rng); err == nil {
+		t.Fatal("too-small cliques should fail")
+	}
+	if _, err := NewDumbbellCliques(8, nil); err == nil {
+		t.Fatal("nil rng should fail")
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along edges:
+// |d(u) - d(v)| <= 1 for every edge (u,v).
+func TestBFSLipschitzProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, err := RandomRegular(20, 4, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		dist := BFSDist(g, 0)
+		for _, e := range g.Edges() {
+			d := dist[e.U] - dist[e.V]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any cut vector, CutConductance is within [0, 1] on regular
+// graphs and symmetric under complement.
+func TestCutConductanceSymmetry(t *testing.T) {
+	g, err := Hypercube(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(mask uint16) bool {
+		inSet := make([]bool, g.N())
+		comp := make([]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			inSet[v] = mask&(1<<v) != 0
+			comp[v] = !inSet[v]
+		}
+		a := CutConductance(g, inSet)
+		b := CutConductance(g, comp)
+		return a == b && a >= 0 && a <= float64(g.N())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundDeterministicBySeed(t *testing.T) {
+	mk := func(seed int64) *LowerBound {
+		lb, err := NewLowerBound(512, 1.0/196, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lb
+	}
+	a, b := mk(9), mk(9)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ for identical seeds")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c := mk(10)
+	if len(c.Edges()) == len(ea) {
+		same := true
+		ec := c.Edges()
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds gave identical graphs")
+		}
+	}
+}
+
+func TestVolumeMatchesCutDenominator(t *testing.T) {
+	g, err := Barbell(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := make([]bool, g.N())
+	var side []int
+	for v := 0; v < 4; v++ {
+		inSet[v] = true
+		side = append(side, v)
+	}
+	phi := CutConductance(g, inSet)
+	want := float64(CutEdges(g, inSet)) / float64(g.Volume(side))
+	if phi != want {
+		t.Fatalf("phi = %v, want %v", phi, want)
+	}
+}

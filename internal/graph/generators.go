@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clique returns the complete graph K_n. Cliques have constant conductance
+// and mixing time O(1); the paper's Theorem 13 specializes on them to the
+// sublinear bound of Kutten et al. [25].
+func Clique(n int, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: clique needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("clique-%d", n), rng)
+}
+
+// Cycle returns the n-cycle, the canonical poorly connected graph
+// (conductance Theta(1/n), mixing time Theta(n^2 log n) for the lazy walk).
+func Cycle(n int, rng *rand.Rand) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		if err := b.AddEdge(u, (u+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(fmt.Sprintf("cycle-%d", n), rng)
+}
+
+// Path returns the path on n nodes.
+func Path(n int, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: path needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n)
+	for u := 0; u+1 < n; u++ {
+		if err := b.AddEdge(u, u+1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(fmt.Sprintf("path-%d", n), rng)
+}
+
+// Hypercube returns the d-dimensional hypercube on n = 2^d nodes. Per the
+// paper's introduction, hypercubes have mixing time O(log n log log n).
+func Hypercube(dim int, rng *rand.Rand) (*Graph, error) {
+	if dim < 1 || dim > 24 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of range [1,24]", dim)
+	}
+	n := 1 << dim
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < dim; bit++ {
+			v := u ^ (1 << bit)
+			if u < v {
+				if err := b.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("hypercube-%d", dim), rng)
+}
+
+// Torus2D returns the rows x cols wraparound grid (each node has degree 4
+// when both dimensions exceed 2). Mixing time Theta(n) for a square torus.
+func Torus2D(rows, cols int, rng *rand.Rand) (*Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows,cols >= 3, got %dx%d", rows, cols)
+	}
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if err := b.AddEdge(id(r, c), id((r+1)%rows, c)); err != nil {
+				return nil, err
+			}
+			if err := b.AddEdge(id(r, c), id(r, (c+1)%cols)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(fmt.Sprintf("torus-%dx%d", rows, cols), rng)
+}
+
+// maxRegularAttempts bounds configuration-model retries before giving up.
+const maxRegularAttempts = 200
+
+// RandomRegular returns a uniformly-ish random simple connected d-regular
+// graph on n nodes via the configuration model with rejection (as in
+// Bollobas [8], which the paper's lower-bound construction cites). For
+// constant d >= 3 these graphs are expanders with constant conductance with
+// high probability. n*d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("graph: RandomRegular requires an rng")
+	}
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("graph: regular degree %d out of range [1,%d)", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d must be even, got n=%d d=%d", n, d)
+	}
+	for attempt := 0; attempt < maxRegularAttempts; attempt++ {
+		g, ok, err := tryConfigurationModel(n, d, rng)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: failed to sample a simple connected %d-regular graph on %d nodes after %d attempts",
+		d, n, maxRegularAttempts)
+}
+
+// tryConfigurationModel performs one pairing attempt using stub matching
+// with local re-draws: two uniformly random remaining stubs are paired; a
+// pair that would create a self-loop or multi-edge is put back and redrawn.
+// If the remaining stubs get stuck (all pairs conflict), the attempt fails
+// and the caller restarts. This is the standard practical sampler for
+// simple regular graphs; unlike full rejection it stays feasible for d
+// beyond ~sqrt(log n).
+func tryConfigurationModel(n, d int, rng *rand.Rand) (*Graph, bool, error) {
+	stubs := make([]int, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	b := NewBuilder(n)
+	const maxLocalTries = 200
+	for len(stubs) > 0 {
+		ok := false
+		for try := 0; try < maxLocalTries; try++ {
+			i := rng.Intn(len(stubs))
+			j := rng.Intn(len(stubs))
+			if i == j {
+				continue
+			}
+			u, v := stubs[i], stubs[j]
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			if err := b.AddEdge(u, v); err != nil {
+				return nil, false, err
+			}
+			// Remove the two matched stubs (order-independent removal).
+			if i < j {
+				i, j = j, i
+			}
+			stubs[i] = stubs[len(stubs)-1]
+			stubs = stubs[:len(stubs)-1]
+			stubs[j] = stubs[len(stubs)-1]
+			stubs = stubs[:len(stubs)-1]
+			ok = true
+			break
+		}
+		if !ok {
+			return nil, false, nil // stuck: restart the whole attempt
+		}
+	}
+	g, err := b.Build(fmt.Sprintf("random-%dregular-%d", d, n), rng)
+	if err != nil {
+		return nil, false, err
+	}
+	if !Connected(g) {
+		return nil, false, nil
+	}
+	return g, true, nil
+}
+
+// Barbell returns two cliques of size k joined by a single edge — a simple
+// low-conductance family (phi = Theta(1/k^2)) useful as a stress test
+// distinct from the paper's Section 4.1 construction.
+func Barbell(k int, rng *rand.Rand) (*Graph, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("graph: barbell needs clique size >= 3, got %d", k)
+	}
+	b := NewBuilder(2 * k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+			if err := b.AddEdge(k+u, k+v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := b.AddEdge(0, k); err != nil {
+		return nil, err
+	}
+	return b.Build(fmt.Sprintf("barbell-%d", k), rng)
+}

@@ -1,0 +1,236 @@
+// Package graph implements the communication substrate of the paper: simple
+// undirected graphs with explicit port numbering. Each node u with degree d
+// has ports 0..d-1 (the paper numbers them 1..d; we use 0-based ports
+// throughout and document it). Port assignments on the two endpoints of an
+// edge are independent — node u may reach v via port i while v reaches u via
+// port j != i — exactly the paper's (asymmetric) port numbering model.
+//
+// The package also provides the graph families used in the evaluation:
+// cliques, cycles, paths, hypercubes, tori, random regular graphs
+// (expanders), the dumbbell graphs of Section 5, and the lower-bound
+// clique-of-cliques construction of Section 4.1 (Figures 1 and 2).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// portEntry describes one port of a node: the neighbor it connects to and
+// the port index at that neighbor which leads back.
+type portEntry struct {
+	node     int
+	backPort int
+}
+
+// Graph is an immutable simple undirected graph with port numbering.
+// The zero value is an empty graph with no nodes.
+type Graph struct {
+	name string
+	m    int
+	adj  [][]portEntry
+}
+
+// Builder accumulates edges and produces an immutable Graph. Builders are
+// not safe for concurrent use.
+type Builder struct {
+	n     int
+	adj   [][]int
+	seen  map[[2]int]struct{}
+	valid bool
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{
+		n:     n,
+		adj:   make([][]int, n),
+		seen:  make(map[[2]int]struct{}, n*2),
+		valid: true,
+	}
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// AddEdge adds the undirected edge {u, v}. Self-loops and duplicate edges
+// are rejected (the paper's graphs are simple).
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	k := edgeKey(u, v)
+	if _, dup := b.seen[k]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	b.seen[k] = struct{}{}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether the edge {u, v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	_, ok := b.seen[edgeKey(u, v)]
+	return ok
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.seen) }
+
+// Build finalizes the graph. If rng is non-nil, each node's neighbor list is
+// independently shuffled so that port numbers carry no structural
+// information (the model's arbitrary port assignment; required by the
+// lower-bound experiments). With a nil rng, ports follow insertion order,
+// which keeps small hand-built test graphs predictable.
+func (b *Builder) Build(name string, rng *rand.Rand) (*Graph, error) {
+	if !b.valid {
+		return nil, errors.New("graph: builder already consumed")
+	}
+	b.valid = false
+	g := &Graph{name: name, m: len(b.seen), adj: make([][]portEntry, b.n)}
+	if rng != nil {
+		for u := range b.adj {
+			rng.Shuffle(len(b.adj[u]), func(i, j int) {
+				b.adj[u][i], b.adj[u][j] = b.adj[u][j], b.adj[u][i]
+			})
+		}
+	}
+	// portAt[u][v] = port index at u leading to v. Built from the (possibly
+	// shuffled) neighbor order.
+	portAt := make([]map[int]int, b.n)
+	for u := range b.adj {
+		portAt[u] = make(map[int]int, len(b.adj[u]))
+		for p, v := range b.adj[u] {
+			portAt[u][v] = p
+		}
+	}
+	for u := range b.adj {
+		g.adj[u] = make([]portEntry, len(b.adj[u]))
+		for p, v := range b.adj[u] {
+			back, ok := portAt[v][u]
+			if !ok {
+				return nil, fmt.Errorf("graph: internal error, missing back edge %d->%d", v, u)
+			}
+			g.adj[u][p] = portEntry{node: v, backPort: back}
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Name returns the descriptive name given at build time.
+func (g *Graph) Name() string { return g.name }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// NeighborAt returns the neighbor reached from u via port p (0-based).
+func (g *Graph) NeighborAt(u, p int) int { return g.adj[u][p].node }
+
+// BackPort returns the port at the neighbor g.NeighborAt(u,p) which leads
+// back to u. Messages sent by u on port p arrive at the neighbor tagged with
+// this port.
+func (g *Graph) BackPort(u, p int) int { return g.adj[u][p].backPort }
+
+// PortTo returns the port at u that leads to v, or -1 if {u,v} is not an
+// edge. It is a linear scan and intended for tests and setup, not hot paths.
+func (g *Graph) PortTo(u, v int) int {
+	for p, e := range g.adj[u] {
+		if e.node == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.PortTo(u, v) >= 0 }
+
+// Neighbors returns a fresh slice of u's neighbors in port order.
+func (g *Graph) Neighbors(u int) []int {
+	out := make([]int, len(g.adj[u]))
+	for p, e := range g.adj[u] {
+		out[p] = e.node
+	}
+	return out
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct{ U, V int }
+
+// Edges returns all edges, each once, with U < V, in ascending order of U.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < e.node {
+				out = append(out, Edge{U: u, V: e.node})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the port numbering: back
+// ports round-trip, no self loops, no duplicate neighbors, and the edge
+// count matches the handshake sum. Generators call this in tests.
+func (g *Graph) Validate() error {
+	var degSum int
+	for u := range g.adj {
+		seen := make(map[int]struct{}, len(g.adj[u]))
+		degSum += len(g.adj[u])
+		for p, e := range g.adj[u] {
+			if e.node == u {
+				return fmt.Errorf("graph: self-loop at node %d port %d", u, p)
+			}
+			if e.node < 0 || e.node >= len(g.adj) {
+				return fmt.Errorf("graph: node %d port %d points out of range (%d)", u, p, e.node)
+			}
+			if _, dup := seen[e.node]; dup {
+				return fmt.Errorf("graph: duplicate edge %d-%d", u, e.node)
+			}
+			seen[e.node] = struct{}{}
+			if e.backPort < 0 || e.backPort >= len(g.adj[e.node]) {
+				return fmt.Errorf("graph: back port %d out of range at node %d", e.backPort, e.node)
+			}
+			back := g.adj[e.node][e.backPort]
+			if back.node != u || back.backPort != p {
+				return fmt.Errorf("graph: port mapping not involutive at %d port %d", u, p)
+			}
+		}
+	}
+	if degSum != 2*g.m {
+		return fmt.Errorf("graph: handshake violation, degree sum %d != 2m %d", degSum, 2*g.m)
+	}
+	return nil
+}
+
+// Volume returns the sum of degrees of the given node set (the paper's
+// Vol(U)). A nil set means all nodes.
+func (g *Graph) Volume(set []int) int {
+	if set == nil {
+		return 2 * g.m
+	}
+	var v int
+	for _, u := range set {
+		v += len(g.adj[u])
+	}
+	return v
+}

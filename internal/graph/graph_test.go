@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, b *Builder, name string, rng *rand.Rand) *Graph {
+	t.Helper()
+	g, err := b.Build(name, rng)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate(%s): %v", name, err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasEdge(1, 0) {
+		t.Fatal("HasEdge should be orientation-free")
+	}
+	if b.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", b.NumEdges())
+	}
+	g := mustBuild(t, b, "tiny", nil)
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(1))
+	}
+	if g.Name() != "tiny" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestBuilderRejects(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate (reversed) accepted")
+	}
+}
+
+func TestBuilderSingleUse(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build("b", nil); err == nil {
+		t.Fatal("second Build should fail")
+	}
+}
+
+func TestPortInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(6)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := mustBuild(t, b, "ports", rng)
+	for u := 0; u < g.N(); u++ {
+		for p := 0; p < g.Degree(u); p++ {
+			v := g.NeighborAt(u, p)
+			q := g.BackPort(u, p)
+			if g.NeighborAt(v, q) != u {
+				t.Fatalf("back port broken at %d:%d", u, p)
+			}
+			if g.PortTo(u, v) != p {
+				t.Fatalf("PortTo inconsistent at %d->%d", u, v)
+			}
+		}
+	}
+	if g.PortTo(0, 3) != -1 {
+		t.Fatal("PortTo for non-edge should be -1")
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("HasEdge(0,3) should be false")
+	}
+}
+
+func TestEdgesListing(t *testing.T) {
+	g, err := Cycle(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := g.Edges()
+	if len(es) != 5 {
+		t.Fatalf("len(Edges) = %d, want 5", len(es))
+	}
+	for _, e := range es {
+		if e.U >= e.V {
+			t.Fatalf("edge %v not normalized", e)
+		}
+	}
+}
+
+func TestVolume(t *testing.T) {
+	g, err := Clique(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Volume(nil) != 2*g.M() {
+		t.Fatal("full volume should be 2m")
+	}
+	if g.Volume([]int{0, 1}) != 6 {
+		t.Fatalf("Volume({0,1}) = %d, want 6", g.Volume([]int{0, 1}))
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name     string
+		make     func() (*Graph, error)
+		wantN    int
+		wantM    int
+		wantReg  int // -1 = not regular
+		wantDiam int // -1 = skip
+	}{
+		{"clique8", func() (*Graph, error) { return Clique(8, rng) }, 8, 28, 7, 1},
+		{"cycle9", func() (*Graph, error) { return Cycle(9, rng) }, 9, 9, 2, 4},
+		{"path5", func() (*Graph, error) { return Path(5, rng) }, 5, 4, -1, 4},
+		{"hc3", func() (*Graph, error) { return Hypercube(3, rng) }, 8, 12, 3, 3},
+		{"torus4x5", func() (*Graph, error) { return Torus2D(4, 5, rng) }, 20, 40, 4, 4},
+		{"barbell4", func() (*Graph, error) { return Barbell(4, rng) }, 8, 13, -1, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := c.make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != c.wantN || g.M() != c.wantM {
+				t.Fatalf("N=%d M=%d, want %d %d", g.N(), g.M(), c.wantN, c.wantM)
+			}
+			if !Connected(g) {
+				t.Fatal("not connected")
+			}
+			if c.wantReg >= 0 {
+				if d, ok := IsRegular(g); !ok || d != c.wantReg {
+					t.Fatalf("regularity: d=%d ok=%v, want %d", d, ok, c.wantReg)
+				}
+			}
+			if c.wantDiam >= 0 {
+				if d := Diameter(g); d != c.wantDiam {
+					t.Fatalf("Diameter = %d, want %d", d, c.wantDiam)
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Clique(1, nil); err == nil {
+		t.Fatal("Clique(1) should fail")
+	}
+	if _, err := Cycle(2, nil); err == nil {
+		t.Fatal("Cycle(2) should fail")
+	}
+	if _, err := Path(1, nil); err == nil {
+		t.Fatal("Path(1) should fail")
+	}
+	if _, err := Hypercube(0, nil); err == nil {
+		t.Fatal("Hypercube(0) should fail")
+	}
+	if _, err := Torus2D(2, 5, nil); err == nil {
+		t.Fatal("Torus2D(2,5) should fail")
+	}
+	if _, err := RandomRegular(10, 3, nil); err == nil {
+		t.Fatal("RandomRegular without rng should fail")
+	}
+	if _, err := RandomRegular(9, 3, rng); err == nil {
+		t.Fatal("odd n*d should fail")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil {
+		t.Fatal("d >= n should fail")
+	}
+	if _, err := Barbell(2, nil); err == nil {
+		t.Fatal("Barbell(2) should fail")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []int{3, 4, 8} {
+		g, err := RandomRegular(64, d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(64,%d): %v", d, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if deg, ok := IsRegular(g); !ok || deg != d {
+			t.Fatalf("not %d-regular", d)
+		}
+		if !Connected(g) {
+			t.Fatal("not connected")
+		}
+		if g.M() != 64*d/2 {
+			t.Fatalf("M = %d, want %d", g.M(), 64*d/2)
+		}
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	g1, err := RandomRegular(32, 4, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RandomRegular(32, 4, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("edge counts differ across identical seeds")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	g, err := Path(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BFSDist(g, 0)
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if d[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	if Eccentricity(g, 2) != 3 {
+		t.Fatalf("Eccentricity(path,2) = %d", Eccentricity(g, 2))
+	}
+	if Diameter(g) != 5 {
+		t.Fatalf("Diameter(path6) = %d", Diameter(g))
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g := mustBuild(t, b, "disc", nil)
+	if Connected(g) {
+		t.Fatal("should be disconnected")
+	}
+	if Diameter(g) != -1 {
+		t.Fatal("Diameter of disconnected graph should be -1")
+	}
+	if Eccentricity(g, 0) != -1 {
+		t.Fatal("Eccentricity should be -1 when unreachable")
+	}
+}
+
+func TestCutConductanceClique(t *testing.T) {
+	g, err := Clique(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := make([]bool, 6)
+	inSet[0], inSet[1], inSet[2] = true, true, true
+	// K6 half cut: 9 crossing edges, each side volume 15.
+	if c := CutEdges(g, inSet); c != 9 {
+		t.Fatalf("CutEdges = %d, want 9", c)
+	}
+	got := CutConductance(g, inSet)
+	want := 9.0 / 15.0
+	if got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("CutConductance = %v, want %v", got, want)
+	}
+	// Trivial cut.
+	if CutConductance(g, make([]bool, 6)) != 0 {
+		t.Fatal("empty cut should give 0")
+	}
+}
+
+// Property: every generated random regular graph satisfies the handshake
+// lemma and valid port involution, across seeds and parameters.
+func TestRandomRegularProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, dRaw uint8) bool {
+		n := 8 + int(nRaw)%40
+		d := 3 + int(dRaw)%3
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := RandomRegular(n, d, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil && Connected(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: port shuffling preserves the edge set.
+func TestPortShufflePreservesEdges(t *testing.T) {
+	base, err := Hypercube(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := Hypercube(4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := base.Edges(), shuffled.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("edge count changed by shuffling")
+	}
+	set := make(map[Edge]bool, len(e1))
+	for _, e := range e1 {
+		set[e] = true
+	}
+	for _, e := range e2 {
+		if !set[e] {
+			t.Fatalf("edge %v not in original", e)
+		}
+	}
+}

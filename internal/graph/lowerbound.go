@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LowerBound is the Section 4.1 construction (Figures 1 and 2): a random
+// 4-regular "super-node" graph GS on N = n^(1-eps) super-nodes, where each
+// super-node is expanded into a clique of s ~ n^eps nodes. Four nodes per
+// clique carry one inter-clique edge each ("external-edged nodes"); two
+// disjoint intra-clique edges between the four external nodes are removed so
+// every node has uniform degree s-1. The resulting graph has conductance
+// Theta(alpha) with alpha = n^(-2 eps) (Lemma 16).
+type LowerBound struct {
+	*Graph
+
+	// Alpha is the requested conductance scale; Epsilon = log(1/Alpha)/(2 log n).
+	Alpha   float64
+	Epsilon float64
+
+	// CliqueSize s and NumCliques N; the realized node count is s*N (the
+	// paper's Theta(n)).
+	CliqueSize int
+	NumCliques int
+
+	// CliqueOf maps node -> clique index; Cliques lists members per clique.
+	CliqueOf []int
+	Cliques  [][]int
+
+	// External lists, per clique, the four nodes carrying inter-clique edges.
+	External [][]int
+
+	// Super is the 4-regular super-node graph GS the construction started
+	// from (Figure 1).
+	Super *Graph
+}
+
+// InterClique reports whether the edge {u,v} crosses cliques.
+func (lb *LowerBound) InterClique(u, v int) bool {
+	return lb.CliqueOf[u] != lb.CliqueOf[v]
+}
+
+// NewLowerBound builds the construction targeting roughly n nodes and
+// conductance Theta(alpha). Valid range per Theorem 15: 1/n^2 < alpha <
+// 1/144 (the paper writes 1/12^2). The realized graph has
+// NumCliques*CliqueSize nodes, which may differ slightly from n due to
+// integer rounding; the realized values are exposed on the result.
+func NewLowerBound(n int, alpha float64, rng *rand.Rand) (*LowerBound, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("graph: NewLowerBound requires an rng")
+	}
+	if n < 16 {
+		return nil, fmt.Errorf("graph: lower-bound construction needs n >= 16, got %d", n)
+	}
+	nf := float64(n)
+	if alpha <= 1/(nf*nf) || alpha >= 1.0/144 {
+		return nil, fmt.Errorf("graph: alpha %v out of range (1/n^2, 1/144) for n=%d", alpha, n)
+	}
+	eps := math.Log(1/alpha) / (2 * math.Log(nf))
+	s := int(math.Round(math.Pow(nf, eps))) // clique size ~ n^eps
+	if s < 6 {
+		// Four external nodes plus two disjoint removed edges need >= 6
+		// nodes to keep every clique connected and degrees uniform.
+		s = 6
+	}
+	numCliques := n / s
+	if numCliques < 5 {
+		return nil, fmt.Errorf("graph: alpha %v too small for n=%d (only %d cliques; need >= 5)", alpha, n, numCliques)
+	}
+	super, err := RandomRegular(numCliques, 4, rng)
+	if err != nil {
+		return nil, fmt.Errorf("graph: super-node graph: %w", err)
+	}
+
+	total := numCliques * s
+	b := NewBuilder(total)
+	lb := &LowerBound{
+		Alpha:      alpha,
+		Epsilon:    eps,
+		CliqueSize: s,
+		NumCliques: numCliques,
+		CliqueOf:   make([]int, total),
+		Cliques:    make([][]int, numCliques),
+		External:   make([][]int, numCliques),
+		Super:      super,
+	}
+	node := func(clique, i int) int { return clique*s + i }
+	for c := 0; c < numCliques; c++ {
+		members := make([]int, s)
+		for i := 0; i < s; i++ {
+			v := node(c, i)
+			members[i] = v
+			lb.CliqueOf[v] = c
+		}
+		lb.Cliques[c] = members
+		// Choose the 4 external-edged nodes uniformly at random within the
+		// clique, as the construction prescribes ("a (previously unchosen)
+		// node chosen randomly from the clique").
+		perm := rng.Perm(s)
+		ext := []int{node(c, perm[0]), node(c, perm[1]), node(c, perm[2]), node(c, perm[3])}
+		lb.External[c] = ext
+		// Full clique edges except the two removed intra-clique edges
+		// between external pairs (perm[0],perm[1]) and (perm[2],perm[3]).
+		removed := map[[2]int]struct{}{
+			edgeKey(ext[0], ext[1]): {},
+			edgeKey(ext[2], ext[3]): {},
+		}
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				u, v := node(c, i), node(c, j)
+				if _, skip := removed[edgeKey(u, v)]; skip {
+					continue
+				}
+				if err := b.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Inter-clique edges: for each super edge (c1, c2), connect the next
+	// unused external node of c1 to the next unused external node of c2.
+	used := make([]int, numCliques)
+	for _, e := range super.Edges() {
+		u := lb.External[e.U][used[e.U]]
+		v := lb.External[e.V][used[e.V]]
+		used[e.U]++
+		used[e.V]++
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	for c, k := range used {
+		if k != 4 {
+			return nil, fmt.Errorf("graph: clique %d used %d external slots, want 4", c, k)
+		}
+	}
+	g, err := b.Build(fmt.Sprintf("lowerbound-n%d-a%.2g", total, alpha), rng)
+	if err != nil {
+		return nil, err
+	}
+	lb.Graph = g
+	return lb, nil
+}
+
+// Dumbbell is the Section 5 construction: two "open graphs" (a graph with
+// one edge removed, leaving two open ports each) joined by two bridge
+// edges. Used by the Theorem 28 experiments on the necessity of knowing n.
+type Dumbbell struct {
+	*Graph
+
+	// SideOf maps node -> 0 (left) or 1 (right).
+	SideOf []int
+	// Bridges are the two connecting edges.
+	Bridges [2]Edge
+	// Half is the number of nodes on each side.
+	Half int
+}
+
+// IsBridge reports whether {u,v} is one of the two bridge edges.
+func (db *Dumbbell) IsBridge(u, v int) bool {
+	e := Edge{U: u, V: v}
+	if u > v {
+		e = Edge{U: v, V: u}
+	}
+	return e == db.Bridges[0] || e == db.Bridges[1]
+}
+
+// NewDumbbellCliques builds the dumbbell from two cliques K_half: one edge
+// is removed from each clique and the four freed endpoints are joined by
+// the two bridge edges, so every node keeps degree half-1. Dense sides make
+// bridge crossings rare relative to intra-side traffic — the regime where
+// Theorem 28's indistinguishability argument bites hardest.
+func NewDumbbellCliques(half int, rng *rand.Rand) (*Dumbbell, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("graph: NewDumbbellCliques requires an rng")
+	}
+	if half < 4 {
+		return nil, fmt.Errorf("graph: dumbbell clique size %d too small (need >= 4)", half)
+	}
+	b := NewBuilder(2 * half)
+	// Open edge {0,1} on the left clique and {half, half+1} on the right.
+	for side := 0; side < 2; side++ {
+		off := side * half
+		for i := 0; i < half; i++ {
+			for j := i + 1; j < half; j++ {
+				if i == 0 && j == 1 {
+					continue // the opened edge
+				}
+				if err := b.AddEdge(off+i, off+j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	b1 := Edge{U: 0, V: half}
+	b2 := Edge{U: 1, V: half + 1}
+	if err := b.AddEdge(b1.U, b1.V); err != nil {
+		return nil, err
+	}
+	if err := b.AddEdge(b2.U, b2.V); err != nil {
+		return nil, err
+	}
+	g, err := b.Build(fmt.Sprintf("dumbbell-cliques-%dx2", half), rng)
+	if err != nil {
+		return nil, err
+	}
+	db := &Dumbbell{Graph: g, SideOf: make([]int, 2*half), Half: half, Bridges: [2]Edge{b1, b2}}
+	for v := half; v < 2*half; v++ {
+		db.SideOf[v] = 1
+	}
+	return db, nil
+}
+
+// NewDumbbell builds Dumbbell(G'[e'], G”[e”]) from two independent random
+// d-regular graphs on half nodes each: it removes one edge from each side
+// and joins the four freed endpoints with two bridge edges, exactly as in
+// the paper ("a dumbbell graph is composed of two open graphs plus two
+// connecting edges"). Both sides keep degree d everywhere.
+func NewDumbbell(half, d int, rng *rand.Rand) (*Dumbbell, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("graph: NewDumbbell requires an rng")
+	}
+	if half < d+2 {
+		return nil, fmt.Errorf("graph: dumbbell half size %d too small for degree %d", half, d)
+	}
+	left, err := RandomRegular(half, d, rng)
+	if err != nil {
+		return nil, fmt.Errorf("graph: dumbbell left half: %w", err)
+	}
+	right, err := RandomRegular(half, d, rng)
+	if err != nil {
+		return nil, fmt.Errorf("graph: dumbbell right half: %w", err)
+	}
+	// Pick one edge per side to open. The graphs are connected and regular
+	// with d >= 3 in practice, so removing one edge keeps them connected
+	// with overwhelming probability; we verify and retry a few times.
+	for attempt := 0; attempt < 50; attempt++ {
+		le := left.Edges()[rng.Intn(left.M())]
+		re := right.Edges()[rng.Intn(right.M())]
+		b := NewBuilder(2 * half)
+		for _, e := range left.Edges() {
+			if e == le {
+				continue
+			}
+			if err := b.AddEdge(e.U, e.V); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range right.Edges() {
+			if e == re {
+				continue
+			}
+			if err := b.AddEdge(half+e.U, half+e.V); err != nil {
+				return nil, err
+			}
+		}
+		// Bridges per the paper: (v', v'') and (w', w'').
+		b1 := Edge{U: le.U, V: half + re.U}
+		b2 := Edge{U: le.V, V: half + re.V}
+		if err := b.AddEdge(b1.U, b1.V); err != nil {
+			return nil, err
+		}
+		if err := b.AddEdge(b2.U, b2.V); err != nil {
+			return nil, err
+		}
+		g, err := b.Build(fmt.Sprintf("dumbbell-%dx2-%dreg", half, d), rng)
+		if err != nil {
+			return nil, err
+		}
+		if !Connected(g) {
+			continue
+		}
+		db := &Dumbbell{Graph: g, SideOf: make([]int, 2*half), Half: half, Bridges: [2]Edge{b1, b2}}
+		for v := half; v < 2*half; v++ {
+			db.SideOf[v] = 1
+		}
+		return db, nil
+	}
+	return nil, fmt.Errorf("graph: could not build a connected dumbbell (half=%d, d=%d)", half, d)
+}

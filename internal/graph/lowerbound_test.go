@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLowerBoundConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 2048
+	alpha := 1.0 / 256
+	lb, err := NewLowerBound(n, alpha, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !Connected(lb.Graph) {
+		t.Fatal("lower-bound graph must be connected")
+	}
+	// Figure 2 structure: uniform degree s-1 everywhere.
+	if d, ok := IsRegular(lb.Graph); !ok || d != lb.CliqueSize-1 {
+		t.Fatalf("degree = %d regular=%v, want uniform %d", d, ok, lb.CliqueSize-1)
+	}
+	// Figure 1 structure: the super graph is 4-regular and connected.
+	if d, ok := IsRegular(lb.Super); !ok || d != 4 {
+		t.Fatalf("super graph should be 4-regular, got %d (%v)", d, ok)
+	}
+	if !Connected(lb.Super) {
+		t.Fatal("super graph must be connected")
+	}
+	if lb.Super.N() != lb.NumCliques {
+		t.Fatalf("super N = %d, want %d", lb.Super.N(), lb.NumCliques)
+	}
+	// Node count = N*s = Theta(n).
+	if lb.N() != lb.NumCliques*lb.CliqueSize {
+		t.Fatalf("N = %d, want %d", lb.N(), lb.NumCliques*lb.CliqueSize)
+	}
+	if lb.N() < n/2 || lb.N() > 2*n {
+		t.Fatalf("realized size %d too far from target %d", lb.N(), n)
+	}
+	// Epsilon consistency: s ~ n^eps.
+	wantS := math.Pow(float64(n), lb.Epsilon)
+	if float64(lb.CliqueSize) < wantS/2 || float64(lb.CliqueSize) > 2*wantS {
+		t.Fatalf("clique size %d vs n^eps %v", lb.CliqueSize, wantS)
+	}
+	// Exactly 4 inter-clique edges per clique, and they match super edges.
+	interPerClique := make([]int, lb.NumCliques)
+	var totalInter int
+	for _, e := range lb.Edges() {
+		if lb.InterClique(e.U, e.V) {
+			interPerClique[lb.CliqueOf[e.U]]++
+			interPerClique[lb.CliqueOf[e.V]]++
+			totalInter++
+		}
+	}
+	if totalInter != lb.Super.M() {
+		t.Fatalf("inter-clique edges %d != super edges %d", totalInter, lb.Super.M())
+	}
+	for c, k := range interPerClique {
+		if k != 4 {
+			t.Fatalf("clique %d has %d inter-clique edges, want 4", c, k)
+		}
+	}
+	// Each clique contributes exactly 4 external nodes, all distinct.
+	for c, ext := range lb.External {
+		if len(ext) != 4 {
+			t.Fatalf("clique %d externals = %d", c, len(ext))
+		}
+		seen := map[int]bool{}
+		for _, v := range ext {
+			if lb.CliqueOf[v] != c {
+				t.Fatalf("external %d not in clique %d", v, c)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate external %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLowerBoundCliqueCutConductance(t *testing.T) {
+	// Lemma 16 intuition check: the cut isolating one clique has
+	// cut-conductance ~ 4/(s*(s-1)) = Theta(alpha); the conductance of the
+	// whole graph is at most that.
+	rng := rand.New(rand.NewSource(13))
+	lb, err := NewLowerBound(1024, 1.0/196, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := make([]bool, lb.N())
+	for _, v := range lb.Cliques[0] {
+		inSet[v] = true
+	}
+	phi := CutConductance(lb.Graph, inSet)
+	s := float64(lb.CliqueSize)
+	want := 4.0 / (s * (s - 1))
+	if math.Abs(phi-want) > 1e-9 {
+		t.Fatalf("clique cut conductance = %v, want %v", phi, want)
+	}
+}
+
+func TestLowerBoundArgumentValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewLowerBound(8, 1.0/200, rng); err == nil {
+		t.Fatal("tiny n should fail")
+	}
+	if _, err := NewLowerBound(1024, 1.0/100, rng); err == nil {
+		t.Fatal("alpha >= 1/144 should fail")
+	}
+	if _, err := NewLowerBound(1024, 1e-9, rng); err == nil {
+		t.Fatal("alpha <= 1/n^2 should fail")
+	}
+	if _, err := NewLowerBound(1024, 1.0/200, nil); err == nil {
+		t.Fatal("nil rng should fail")
+	}
+	// alpha so small that fewer than 5 cliques fit.
+	if _, err := NewLowerBound(100, 1.0/2048, rng); err == nil {
+		t.Fatal("too few cliques should fail")
+	}
+}
+
+func TestDumbbell(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db, err := NewDumbbell(32, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !Connected(db.Graph) {
+		t.Fatal("dumbbell must be connected")
+	}
+	if db.N() != 64 {
+		t.Fatalf("N = %d, want 64", db.N())
+	}
+	// Degree preserved: every node still has degree d.
+	if d, ok := IsRegular(db.Graph); !ok || d != 4 {
+		t.Fatalf("dumbbell should stay 4-regular, got %d (%v)", d, ok)
+	}
+	// Exactly the two bridge edges cross sides.
+	var crossing int
+	for _, e := range db.Edges() {
+		if db.SideOf[e.U] != db.SideOf[e.V] {
+			crossing++
+			if !db.IsBridge(e.U, e.V) {
+				t.Fatalf("crossing edge %v not marked as bridge", e)
+			}
+		}
+	}
+	if crossing != 2 {
+		t.Fatalf("crossing edges = %d, want 2", crossing)
+	}
+	if db.IsBridge(0, 1) && db.SideOf[0] == db.SideOf[1] {
+		t.Fatal("IsBridge misreports an intra-side edge")
+	}
+}
+
+func TestDumbbellErrors(t *testing.T) {
+	if _, err := NewDumbbell(32, 4, nil); err == nil {
+		t.Fatal("nil rng should fail")
+	}
+	if _, err := NewDumbbell(4, 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("half too small should fail")
+	}
+}

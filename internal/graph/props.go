@@ -1,0 +1,136 @@
+package graph
+
+// BFSDist returns the BFS distance (in hops) from src to every node;
+// unreachable nodes get -1.
+func BFSDist(g *Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.N())
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for p := 0; p < g.Degree(u); p++ {
+			v := g.NeighborAt(u, p)
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether g is connected. The empty graph and the
+// single-node graph are connected.
+func Connected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := BFSDist(g, 0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum BFS distance from src, or -1 if some
+// node is unreachable.
+func Eccentricity(g *Graph, src int) int {
+	ecc := 0
+	for _, d := range BFSDist(g, src) {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter by running BFS from every node, or
+// -1 if g is disconnected. O(n*m); fine for the simulation sizes used here.
+func Diameter(g *Graph) int {
+	diam := 0
+	for u := 0; u < g.N(); u++ {
+		e := Eccentricity(g, u)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// MinMaxDegree returns the minimum and maximum degree.
+func MinMaxDegree(g *Graph) (min, max int) {
+	if g.N() == 0 {
+		return 0, 0
+	}
+	min, max = g.Degree(0), g.Degree(0)
+	for u := 1; u < g.N(); u++ {
+		d := g.Degree(u)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, max
+}
+
+// IsRegular reports whether every node has the same degree and returns it.
+func IsRegular(g *Graph) (int, bool) {
+	min, max := MinMaxDegree(g)
+	return min, min == max
+}
+
+// CutEdges returns the number of edges crossing the cut (set, complement),
+// where inSet[v] marks membership. Used by the exact conductance routines
+// and the lower-bound construction tests.
+func CutEdges(g *Graph, inSet []bool) int {
+	var cut int
+	for u := 0; u < g.N(); u++ {
+		if !inSet[u] {
+			continue
+		}
+		for p := 0; p < g.Degree(u); p++ {
+			if !inSet[g.NeighborAt(u, p)] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// CutConductance returns |E(S, V\S)| / min(Vol(S), Vol(V\S)) for the cut
+// given by inSet, the paper's phi_K. Returns 0 for trivial cuts.
+func CutConductance(g *Graph, inSet []bool) float64 {
+	var volS int
+	for u := 0; u < g.N(); u++ {
+		if inSet[u] {
+			volS += g.Degree(u)
+		}
+	}
+	volC := 2*g.M() - volS
+	minVol := volS
+	if volC < minVol {
+		minVol = volC
+	}
+	if minVol == 0 {
+		return 0
+	}
+	return float64(CutEdges(g, inSet)) / float64(minVol)
+}

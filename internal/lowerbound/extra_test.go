@@ -1,0 +1,115 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcle/internal/graph"
+)
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 1)
+	uf.union(2, 3)
+	uf.union(1, 2)
+	if uf.find(0) != uf.find(3) {
+		t.Fatal("0 and 3 should be connected")
+	}
+	if uf.find(4) == uf.find(0) || uf.find(4) != uf.find(4) {
+		t.Fatal("4 should be a singleton")
+	}
+	if uf.find(5) == uf.find(4) {
+		t.Fatal("singletons must be distinct")
+	}
+}
+
+func TestComponentsPartition(t *testing.T) {
+	lb := testLB(t, 512, 1.0/196, 9)
+	tr := NewCGTracker(lb)
+	// Link cliques 0-1 and 2-3 via synthetic inter-clique messages on real
+	// edges (fall back to arbitrary representatives; the tracker only uses
+	// clique membership of the endpoints).
+	tr.OnSend(1, lb.Cliques[0][0], 0, lb.Cliques[1][0], 0, fakeMsg{})
+	tr.OnSend(2, lb.Cliques[2][0], 0, lb.Cliques[3][0], 0, fakeMsg{})
+	comps := tr.Components()
+	// Partition: every clique appears exactly once.
+	seen := make(map[int]bool)
+	for _, comp := range comps {
+		for _, c := range comp {
+			if seen[c] {
+				t.Fatalf("clique %d appears twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != lb.NumCliques {
+		t.Fatalf("partition covers %d cliques, want %d", len(seen), lb.NumCliques)
+	}
+	if len(comps) != lb.NumCliques-2 {
+		t.Fatalf("components = %d, want %d", len(comps), lb.NumCliques-2)
+	}
+}
+
+func TestComponentLeaderCountsMulti(t *testing.T) {
+	lb := testLB(t, 512, 1.0/196, 10)
+	tr := NewCGTracker(lb)
+	tr.OnSend(1, lb.Cliques[0][0], 0, lb.Cliques[1][0], 0, fakeMsg{})
+	// Leaders in cliques 0, 1 and 5: the merged component holds two.
+	leaders := []int{lb.Cliques[0][1], lb.Cliques[1][2], lb.Cliques[5][0]}
+	counts := tr.ComponentLeaderCounts(leaders)
+	var two, one int
+	for _, c := range counts {
+		switch c {
+		case 2:
+			two++
+		case 1:
+			one++
+		}
+	}
+	if two != 1 || one != 1 {
+		t.Fatalf("component leader histogram wrong: %v", counts)
+	}
+}
+
+// Property: ProbeFirstInterClique is always in [1, P-k+1] and its
+// complementary CDF decreases (more inter ports -> earlier discovery in
+// expectation).
+func TestProbeMonotoneInInterPorts(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const total = 400
+		trials := 200
+		mean := func(k int) float64 {
+			var s float64
+			for i := 0; i < trials; i++ {
+				s += float64(ProbeFirstInterClique(total, k, rng))
+			}
+			return s / float64(trials)
+		}
+		m4, m40 := mean(4), mean(40)
+		return m40 < m4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBridgeTrackerNoCross(t *testing.T) {
+	db, err := graph.NewDumbbellCliques(8, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewBridgeTracker(db)
+	// Intra-side traffic only.
+	tr.OnSend(1, 0, 0, 2, 0, fakeMsg{})
+	tr.OnSend(2, 9, 0, 10, 0, fakeMsg{})
+	if tr.Crossings != 0 || tr.FirstCrossRound != -1 || tr.TotalMessages != 2 {
+		t.Fatalf("tracker state: %+v", tr)
+	}
+	// Now a bridge message.
+	tr.OnSend(5, db.Bridges[0].U, 0, db.Bridges[0].V, 0, fakeMsg{})
+	if tr.Crossings != 1 || tr.FirstCrossRound != 5 || tr.MsgsBeforeCross != 2 {
+		t.Fatalf("tracker state after cross: %+v", tr)
+	}
+}

@@ -1,0 +1,241 @@
+// Package lowerbound instruments the paper's Section 4 and 5 lower-bound
+// arguments so they can be measured empirically:
+//
+//   - a clique-communication-graph (CG) tracker that classifies every
+//     message of a run on the Section 4.1 graph as intra- or inter-clique,
+//     records per-clique message counts before the first inter-clique edge
+//     is discovered (Lemma 18), builds the CG, identifies spontaneous
+//     cliques, and checks the Disj event (Lemma 20);
+//   - the port-probing process underlying Lemma 18 (messages over uniformly
+//     random unused ports until an inter-clique port is hit);
+//   - a bridge tracker for the Theorem 28 dumbbell experiments.
+package lowerbound
+
+import (
+	"math/rand"
+
+	"wcle/internal/graph"
+	"wcle/internal/sim"
+)
+
+// unionFind is a minimal disjoint-set structure over clique indices.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// CGTracker observes a run on a LowerBound graph and maintains the
+// clique-communication-graph statistics of Section 4.
+type CGTracker struct {
+	lb *graph.LowerBound
+
+	// MsgsByClique counts messages sent by each clique's nodes.
+	MsgsByClique []int64
+	// FirstInterSend / FirstInterRecv record, per clique, the round of its
+	// first inter-clique send/receive (-1 if never).
+	FirstInterSend []int
+	FirstInterRecv []int
+	// MsgsBeforeInterSend snapshots a clique's send count just before its
+	// first inter-clique message (the Lemma 18 quantity).
+	MsgsBeforeInterSend []int64
+	// InterMessages counts all messages crossing cliques.
+	InterMessages int64
+	// TotalMessages counts every observed message.
+	TotalMessages int64
+
+	edges map[[2]int]struct{}
+	uf    *unionFind
+}
+
+var _ sim.Observer = (*CGTracker)(nil)
+
+// NewCGTracker returns a tracker for runs on lb.
+func NewCGTracker(lb *graph.LowerBound) *CGTracker {
+	n := lb.NumCliques
+	t := &CGTracker{
+		lb:                  lb,
+		MsgsByClique:        make([]int64, n),
+		FirstInterSend:      make([]int, n),
+		FirstInterRecv:      make([]int, n),
+		MsgsBeforeInterSend: make([]int64, n),
+		edges:               make(map[[2]int]struct{}),
+		uf:                  newUnionFind(n),
+	}
+	for i := 0; i < n; i++ {
+		t.FirstInterSend[i] = -1
+		t.FirstInterRecv[i] = -1
+	}
+	return t
+}
+
+// OnSend implements sim.Observer.
+func (t *CGTracker) OnSend(round int, from, fromPort, to, toPort int, m sim.Message) {
+	cf, ct := t.lb.CliqueOf[from], t.lb.CliqueOf[to]
+	t.TotalMessages++
+	t.MsgsByClique[cf]++
+	if cf == ct {
+		return
+	}
+	t.InterMessages++
+	if t.FirstInterSend[cf] == -1 {
+		t.FirstInterSend[cf] = round
+		t.MsgsBeforeInterSend[cf] = t.MsgsByClique[cf] - 1
+	}
+	if t.FirstInterRecv[ct] == -1 {
+		t.FirstInterRecv[ct] = round
+	}
+	key := [2]int{cf, ct}
+	if cf > ct {
+		key = [2]int{ct, cf}
+	}
+	t.edges[key] = struct{}{}
+	t.uf.union(cf, ct)
+}
+
+// CGEdges returns the number of distinct clique-communication-graph edges.
+func (t *CGTracker) CGEdges() int { return len(t.edges) }
+
+// Spontaneous reports whether clique c initiated inter-clique contact
+// before (or without) hearing from any other clique — the paper's
+// "spontaneous clique" surrogate observable in an execution.
+func (t *CGTracker) Spontaneous(c int) bool {
+	s := t.FirstInterSend[c]
+	if s == -1 {
+		return false
+	}
+	r := t.FirstInterRecv[c]
+	return r == -1 || s <= r
+}
+
+// Components groups cliques into CG connected components (singletons
+// included).
+func (t *CGTracker) Components() [][]int {
+	byRoot := make(map[int][]int)
+	for c := 0; c < t.lb.NumCliques; c++ {
+		r := t.uf.find(c)
+		byRoot[r] = append(byRoot[r], c)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for c := 0; c < t.lb.NumCliques; c++ {
+		if t.uf.find(c) == c {
+			out = append(out, byRoot[c])
+		}
+	}
+	return out
+}
+
+// DisjHolds checks the Lemma 20 event: every CG component contains at most
+// one spontaneous clique, and every non-singleton component exactly one.
+func (t *CGTracker) DisjHolds() bool {
+	for _, comp := range t.Components() {
+		spont := 0
+		for _, c := range comp {
+			if t.Spontaneous(c) {
+				spont++
+			}
+		}
+		if spont > 1 {
+			return false
+		}
+		if len(comp) > 1 && spont != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComponentLeaderCounts maps each CG component to the number of leaders its
+// cliques elected (the Y(C) variables of Section 4.4). leaders lists the
+// node indices that raised the leader flag.
+func (t *CGTracker) ComponentLeaderCounts(leaders []int) []int {
+	leaderCliques := make(map[int]int)
+	for _, v := range leaders {
+		leaderCliques[t.lb.CliqueOf[v]]++
+	}
+	comps := t.Components()
+	out := make([]int, len(comps))
+	for i, comp := range comps {
+		for _, c := range comp {
+			out[i] += leaderCliques[c]
+		}
+	}
+	return out
+}
+
+// ProbeFirstInterClique simulates the Lemma 18 process: a clique with
+// totalPorts ports, interPorts of which lead outside, sends messages over
+// uniformly random previously-unused ports; returns the number of messages
+// sent up to and including the first inter-clique one. Sampling is without
+// replacement, so the expectation is (totalPorts+1)/(interPorts+1).
+func ProbeFirstInterClique(totalPorts, interPorts int, rng *rand.Rand) int {
+	if interPorts <= 0 || totalPorts < interPorts {
+		return 0
+	}
+	remaining := totalPorts
+	inter := interPorts
+	for sent := 1; ; sent++ {
+		if rng.Intn(remaining) < inter {
+			return sent
+		}
+		remaining--
+		if remaining < inter {
+			return totalPorts - interPorts + 1
+		}
+	}
+}
+
+// BridgeTracker observes runs on a dumbbell graph and records bridge
+// crossings (the Theorem 28 "bridge crossing" problem).
+type BridgeTracker struct {
+	db *graph.Dumbbell
+
+	// Crossings counts messages over either bridge edge.
+	Crossings int64
+	// FirstCrossRound is the round of the first crossing (-1 if none).
+	FirstCrossRound int
+	// MsgsBeforeCross counts all messages sent before the first crossing.
+	MsgsBeforeCross int64
+	// TotalMessages counts every observed message.
+	TotalMessages int64
+}
+
+var _ sim.Observer = (*BridgeTracker)(nil)
+
+// NewBridgeTracker returns a tracker for runs on db.
+func NewBridgeTracker(db *graph.Dumbbell) *BridgeTracker {
+	return &BridgeTracker{db: db, FirstCrossRound: -1}
+}
+
+// OnSend implements sim.Observer.
+func (t *BridgeTracker) OnSend(round int, from, fromPort, to, toPort int, m sim.Message) {
+	t.TotalMessages++
+	if t.db.IsBridge(from, to) {
+		t.Crossings++
+		if t.FirstCrossRound == -1 {
+			t.FirstCrossRound = round
+			t.MsgsBeforeCross = t.TotalMessages - 1
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package protocol
+
+import (
+	"wcle/internal/sim"
+)
+
+type tokenKey struct {
+	origin    ID
+	phase     int
+	remaining int
+}
+
+type upKey struct {
+	origin ID
+	phase  int
+	stage  UpStage
+}
+
+type downKey struct {
+	origin ID
+	phase  int
+	op     DownOp
+}
+
+// portQ is a FIFO of queued messages for one port, with lookup maps for the
+// merge rules. Map entries always point at messages still in the queue;
+// once a message is sent it can no longer be merged into.
+type portQ struct {
+	q      []sim.Message
+	head   int
+	tokens map[tokenKey]*TokenMsg
+	ups    map[upKey]*UpMsg
+	downs  map[downKey]*DownMsg
+	// upSent / downSent implement the paper's per-edge filtering: an id that
+	// has been queued (and possibly already transmitted) on this port for a
+	// given (origin, phase, stage/op) is never sent again on this port.
+	upSent   map[upKey]map[ID]struct{}
+	downSent map[downKey]map[ID]struct{}
+}
+
+// Outbox implements the paper's per-edge congestion discipline: messages
+// queue per port, at most one is transmitted per round, and queued messages
+// merge where the protocol allows it — token batches with equal (origin,
+// remaining) add their counts (Lemma 12's "only one token and the count of
+// tokens"), convergecast fragments for the same origin and stage coalesce
+// ids and add their deltas until the per-message id limit is reached.
+type Outbox struct {
+	codec   *Codec
+	ports   []portQ
+	pending int
+}
+
+// NewOutbox returns an outbox for a node with the given degree.
+func NewOutbox(codec *Codec, degree int) *Outbox {
+	return &Outbox{codec: codec, ports: make([]portQ, degree)}
+}
+
+// Pending returns the number of queued, unsent messages across all ports.
+func (ob *Outbox) Pending() int { return ob.pending }
+
+func (pq *portQ) push(ob *Outbox, m sim.Message) {
+	pq.q = append(pq.q, m)
+	ob.pending++
+}
+
+// PushToken enqueues count walk tokens for origin with the given remaining
+// steps, merging with an already-queued batch when possible.
+func (ob *Outbox) PushToken(port int, origin ID, phase, remaining, count int) {
+	if count <= 0 {
+		return
+	}
+	pq := &ob.ports[port]
+	k := tokenKey{origin: origin, phase: phase, remaining: remaining}
+	if pq.tokens == nil {
+		pq.tokens = make(map[tokenKey]*TokenMsg)
+	}
+	if m, ok := pq.tokens[k]; ok {
+		m.Count += count
+		return
+	}
+	m := ob.codec.Token(origin, phase, remaining, count)
+	pq.tokens[k] = m
+	pq.push(ob, m)
+}
+
+// PushUp enqueues convergecast data: an optional id fragment plus additive
+// deltas. Ids are chunked across messages per the codec's id limit; an id
+// already queued or sent on this port for the same (origin, phase, stage)
+// is filtered out (the paper's per-edge filtering). Deltas merge into the
+// newest queued fragment regardless of its id load, or open a new one.
+func (ob *Outbox) PushUp(port int, origin ID, phase int, stage UpStage, ids []ID, dDelta, pDelta int) {
+	pq := &ob.ports[port]
+	k := upKey{origin: origin, phase: phase, stage: stage}
+	if pq.ups == nil {
+		pq.ups = make(map[upKey]*UpMsg)
+		pq.upSent = make(map[upKey]map[ID]struct{})
+	}
+	cur := pq.ups[k]
+	fresh := func() *UpMsg {
+		m := &UpMsg{Origin: origin, Phase: phase, Stage: stage, bits: ob.codec.msgBits(0)}
+		pq.ups[k] = m
+		pq.push(ob, m)
+		cur = m
+		return m
+	}
+	if dDelta != 0 || pDelta != 0 || len(ids) == 0 {
+		m := cur
+		if m == nil {
+			m = fresh()
+		}
+		m.DDelta += dDelta
+		m.PDelta += pDelta
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sent := pq.upSent[k]
+	if sent == nil {
+		sent = make(map[ID]struct{})
+		pq.upSent[k] = sent
+	}
+	for _, id := range ids {
+		if _, dup := sent[id]; dup {
+			continue
+		}
+		sent[id] = struct{}{}
+		m := cur
+		if m == nil || len(m.IDs) >= ob.codec.MaxIDs {
+			m = fresh()
+		}
+		m.IDs = append(m.IDs, id)
+		m.bits = ob.codec.msgBits(len(m.IDs))
+	}
+}
+
+// PushDown enqueues downcast data (I2 fragments, FINAL, winner floods),
+// chunking ids, merging into the open fragment for the same origin, phase
+// and op, and filtering ids already queued or sent on this port.
+func (ob *Outbox) PushDown(port int, origin ID, phase int, op DownOp, ids []ID) {
+	pq := &ob.ports[port]
+	k := downKey{origin: origin, phase: phase, op: op}
+	if pq.downs == nil {
+		pq.downs = make(map[downKey]*DownMsg)
+		pq.downSent = make(map[downKey]map[ID]struct{})
+	}
+	cur := pq.downs[k]
+	fresh := func() *DownMsg {
+		m := &DownMsg{Origin: origin, Phase: phase, Op: op, bits: ob.codec.msgBits(0)}
+		pq.downs[k] = m
+		pq.push(ob, m)
+		cur = m
+		return m
+	}
+	if len(ids) == 0 {
+		if cur == nil {
+			fresh()
+		}
+		return
+	}
+	sent := pq.downSent[k]
+	if sent == nil {
+		sent = make(map[ID]struct{})
+		pq.downSent[k] = sent
+	}
+	for _, id := range ids {
+		if _, dup := sent[id]; dup {
+			continue
+		}
+		sent[id] = struct{}{}
+		m := cur
+		if m == nil || len(m.IDs) >= ob.codec.MaxIDs {
+			m = fresh()
+		}
+		m.IDs = append(m.IDs, id)
+		m.bits = ob.codec.msgBits(len(m.IDs))
+	}
+}
+
+// Flush transmits at most one queued message per port (the CONGEST limit),
+// stamping the current winner id on each outgoing message (the paper's
+// "appends it to all future messages"). It returns the first send error.
+func (ob *Outbox) Flush(ctx *sim.Context, win ID) error {
+	for port := range ob.ports {
+		pq := &ob.ports[port]
+		if pq.head >= len(pq.q) {
+			continue
+		}
+		msg := pq.q[pq.head]
+		pq.head++
+		ob.pending--
+		switch m := msg.(type) {
+		case *TokenMsg:
+			k := tokenKey{origin: m.Origin, phase: m.Phase, remaining: m.Remaining}
+			if pq.tokens[k] == m {
+				delete(pq.tokens, k)
+			}
+			m.Win = win
+		case *UpMsg:
+			k := upKey{origin: m.Origin, phase: m.Phase, stage: m.Stage}
+			if pq.ups[k] == m {
+				delete(pq.ups, k)
+			}
+			m.Win = win
+		case *DownMsg:
+			k := downKey{origin: m.Origin, phase: m.Phase, op: m.Op}
+			if pq.downs[k] == m {
+				delete(pq.downs, k)
+			}
+			m.Win = win
+		}
+		if err := ctx.Send(port, msg); err != nil {
+			return err
+		}
+		if pq.head == len(pq.q) {
+			pq.q = pq.q[:0]
+			pq.head = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package protocol
+
+import (
+	"math/bits"
+	"sort"
+
+	"wcle/internal/sim"
+)
+
+// heldKey identifies a group of identical walk tokens resting at a node.
+type heldKey struct {
+	origin    ID
+	phase     int
+	remaining int
+}
+
+// Holder tracks the walk tokens currently resting at a node and advances
+// them one lazy step per round: each token independently stays with
+// probability 1/2 or moves to a uniformly random neighbor (the paper's lazy
+// walk, Section 2). Token groups are processed in a deterministic order so
+// that runs replay exactly.
+type Holder struct {
+	counts map[heldKey]int
+	next   map[heldKey]int // non-nil only while Step is running
+}
+
+// NewHolder returns an empty token holder.
+func NewHolder() *Holder { return &Holder{counts: make(map[heldKey]int)} }
+
+// Add deposits count tokens with the given remaining step budget. Tokens
+// with remaining == 0 must be registered as proxies by the caller instead.
+// Add is safe to call from within Step callbacks: such tokens join the
+// next-round population (they already took their step this round).
+func (h *Holder) Add(origin ID, phase, remaining, count int) {
+	if count <= 0 || remaining <= 0 {
+		return
+	}
+	k := heldKey{origin: origin, phase: phase, remaining: remaining}
+	if h.next != nil {
+		h.next[k] += count
+		return
+	}
+	h.counts[k] += count
+}
+
+// Len returns the number of resting tokens.
+func (h *Holder) Len() int {
+	var n int
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Empty reports whether no tokens are resting here.
+func (h *Holder) Empty() bool { return len(h.counts) == 0 }
+
+// DropPhasesBefore discards tokens of the given origin from phases older
+// than minPhase (stale walks of a contender that already moved on).
+func (h *Holder) DropPhasesBefore(origin ID, minPhase int) {
+	for k := range h.counts {
+		if k.origin == origin && k.phase < minPhase {
+			delete(h.counts, k)
+		}
+	}
+}
+
+// Step advances every resting token by one lazy step.
+//   - move(port, origin, phase, remaining, count): tokens leaving on a port
+//     with the decremented remaining budget (possibly 0: they complete at
+//     the neighbor);
+//   - land(origin, phase, count): tokens whose walk completes here (they
+//     stayed on their final step).
+//
+// degree is the node's port count; rng drives the lazy coin flips.
+func (h *Holder) Step(degree int, rng *sim.Rand,
+	move func(port int, origin ID, phase, remaining, count int),
+	land func(origin ID, phase, count int)) {
+
+	if len(h.counts) == 0 {
+		return
+	}
+	keys := make([]heldKey, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		return a.remaining < b.remaining
+	})
+	next := make(map[heldKey]int, len(h.counts))
+	h.next = next
+	defer func() { h.next = nil }()
+	for _, k := range keys {
+		c := h.counts[k]
+		stay := BinomialHalf(rng, c)
+		movers := c - stay
+		rem := k.remaining - 1
+		if stay > 0 {
+			if rem == 0 {
+				land(k.origin, k.phase, stay)
+			} else {
+				next[heldKey{origin: k.origin, phase: k.phase, remaining: rem}] += stay
+			}
+		}
+		if movers > 0 && degree > 0 {
+			perPort := DistributeUniform(rng, movers, degree)
+			for port, cnt := range perPort {
+				if cnt > 0 {
+					move(port, k.origin, k.phase, rem, cnt)
+				}
+			}
+		} else if movers > 0 {
+			// Isolated node: movers have nowhere to go; they stay.
+			if rem == 0 {
+				land(k.origin, k.phase, movers)
+			} else {
+				next[heldKey{origin: k.origin, phase: k.phase, remaining: rem}] += movers
+			}
+		}
+	}
+	h.counts = next
+}
+
+// BinomialHalf draws Binomial(n, 1/2) exactly by popcounting random words.
+func BinomialHalf(rng *sim.Rand, n int) int {
+	var sum int
+	for n >= 64 {
+		sum += bits.OnesCount64(rng.Uint64())
+		n -= 64
+	}
+	if n > 0 {
+		mask := (uint64(1) << uint(n)) - 1
+		sum += bits.OnesCount64(rng.Uint64() & mask)
+	}
+	return sum
+}
+
+// DistributeUniform places m items independently and uniformly into d bins
+// and returns the per-bin counts.
+func DistributeUniform(rng *sim.Rand, m, d int) []int {
+	out := make([]int, d)
+	for i := 0; i < m; i++ {
+		out[rng.Intn(d)]++
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package sim
+
+import "math/rand"
+
+// Rand is the per-node randomness source handed to processes. It aliases
+// math/rand.Rand; every node gets an independent deterministic stream
+// derived from the run seed and the node index.
+type Rand = rand.Rand
+
+// NewRand returns a deterministic Rand for the given seed.
+func NewRand(seed int64) *Rand { return rand.New(rand.NewSource(seed)) }
+
+// DeriveSeed mixes a master seed with a stream index through splitmix64 so
+// that per-node streams are statistically independent even for adjacent
+// indices. The same (master, idx) pair always yields the same seed, which
+// is what makes whole runs replayable.
+func DeriveSeed(master int64, idx uint64) int64 {
+	z := uint64(master) ^ (idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

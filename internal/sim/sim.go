@@ -1,0 +1,464 @@
+// Package sim is a synchronous message-passing simulator for the paper's
+// computing model (Section 1): an anonymous port-numbered network running in
+// lockstep rounds under the CONGEST discipline. In every round each node may
+// send at most one message per incident edge per direction, and each message
+// is validated against a configurable bit cap (O(log n) in CONGEST mode,
+// O(log^3 n) in the paper's Lemma 12 large-message mode).
+//
+// The engine is event driven: rounds in which no node is awake are skipped
+// in O(1), so simulated time follows the paper's round schedule while CPU
+// cost tracks delivered messages. Two execution modes share identical
+// semantics and are equivalence-tested: a deterministic sequential loop and
+// a goroutine-per-awake-node barrier-synchronized mode.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"wcle/internal/graph"
+)
+
+// Message is a protocol payload. Bits reports the message size for CONGEST
+// accounting; Kind labels the message class for per-kind metrics.
+type Message interface {
+	Bits() int
+	Kind() string
+}
+
+// Envelope is a delivered message. Port is the receiving port at the
+// destination node. From identifies the sender for observers and debugging
+// only; protocols in the anonymous model must not read it.
+type Envelope struct {
+	Port    int
+	From    int
+	Payload Message
+}
+
+// Process is the per-node protocol logic. Step is invoked whenever the node
+// is awake: at any round where it has incoming messages or a scheduled
+// wake-up. The inbox is sorted by receiving port and contains at most one
+// envelope per port. Step must not retain the inbox slice.
+type Process interface {
+	Step(ctx *Context, inbox []Envelope) error
+}
+
+// Observer receives a callback for every accepted send. Used by the trace
+// recorder and the lower-bound clique-communication-graph tracker.
+type Observer interface {
+	OnSend(round int, from, fromPort, to, toPort int, m Message)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Graph *graph.Graph
+
+	// Seed derives all per-node randomness deterministically.
+	Seed int64
+
+	// MaxRounds aborts the run (with an error) if simulated time exceeds
+	// it. 0 means DefaultMaxRounds.
+	MaxRounds int
+
+	// MaxMessageBits, when positive, rejects any message whose Bits()
+	// exceed it (a protocol bug under the chosen model).
+	MaxMessageBits int
+
+	// MessageBudget, when positive, silently drops sends beyond the budget
+	// (counted in Metrics.Dropped). This models the lower-bound experiments
+	// where an algorithm is only allowed a fixed message budget.
+	MessageBudget int64
+
+	// Concurrent selects the goroutine-per-awake-node execution mode.
+	Concurrent bool
+
+	// Observer, when non-nil, is invoked for every accepted send.
+	Observer Observer
+}
+
+// DefaultMaxRounds bounds runaway protocols.
+const DefaultMaxRounds = 50_000_000
+
+// Metrics aggregates the model-level costs of a run. Messages and Bits
+// count accepted sends (the paper's message complexity); Dropped counts
+// sends suppressed by the message budget.
+type Metrics struct {
+	Messages   int64
+	Bits       int64
+	Dropped    int64
+	Deliveries int64
+	BusyRounds int64
+	FinalRound int
+	ByKind     map[string]int64
+}
+
+// ErrCongest is returned by Context.Send on a CONGEST violation: two sends
+// on the same port in one round, an oversized message, or an invalid port.
+var ErrCongest = errors.New("sim: CONGEST violation")
+
+// ErrMaxRounds is returned by Runner.Run when MaxRounds is exceeded.
+var ErrMaxRounds = errors.New("sim: exceeded MaxRounds")
+
+// sendRec is a buffered send applied at the end of the round.
+type sendRec struct {
+	from, fromPort int
+	payload        Message
+}
+
+// Context is the per-node handle passed to Step. It is only valid during
+// the Step invocation (except for the stable accessors Node/N/Degree/Rand).
+type Context struct {
+	r    *Runner
+	node int
+	rng  *Rand
+
+	round    int
+	sentPort []bool
+	out      []sendRec
+	wakes    []int
+}
+
+// Node returns this node's index (used for instrumentation; the protocol
+// identities of the paper are the random ids chosen by the protocol).
+func (c *Context) Node() int { return c.node }
+
+// N returns the network size, which nodes know in the paper's model.
+func (c *Context) N() int { return c.r.g.N() }
+
+// Degree returns this node's degree (its number of ports).
+func (c *Context) Degree() int { return c.r.g.Degree(c.node) }
+
+// Round returns the current round.
+func (c *Context) Round() int { return c.round }
+
+// Rand returns this node's private deterministic randomness source.
+func (c *Context) Rand() *Rand { return c.rng }
+
+// Send transmits m on the given port this round. At most one send per port
+// per round is allowed; m must respect the configured bit cap. Sends beyond
+// the configured message budget are silently dropped (and counted).
+func (c *Context) Send(port int, m Message) error {
+	if port < 0 || port >= c.Degree() {
+		return fmt.Errorf("%w: node %d port %d out of range [0,%d)", ErrCongest, c.node, port, c.Degree())
+	}
+	if c.sentPort[port] {
+		return fmt.Errorf("%w: node %d sent twice on port %d in round %d", ErrCongest, c.node, port, c.round)
+	}
+	if c.r.cfg.MaxMessageBits > 0 && m.Bits() > c.r.cfg.MaxMessageBits {
+		return fmt.Errorf("%w: node %d message kind %q of %d bits exceeds cap %d",
+			ErrCongest, c.node, m.Kind(), m.Bits(), c.r.cfg.MaxMessageBits)
+	}
+	c.sentPort[port] = true
+	c.out = append(c.out, sendRec{from: c.node, fromPort: port, payload: m})
+	return nil
+}
+
+// WakeAt schedules this node to be stepped at the given future round.
+func (c *Context) WakeAt(round int) {
+	if round <= c.round {
+		round = c.round + 1
+	}
+	c.wakes = append(c.wakes, round)
+}
+
+// roundHeap is a min-heap of round numbers.
+type roundHeap []int
+
+func (h roundHeap) Len() int            { return len(h) }
+func (h roundHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h roundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *roundHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *roundHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Runner executes processes on a graph. Create with NewRunner; a Runner can
+// be resumed (Wake + Run) after quiescence, which the explicit-election and
+// lower-bound experiments use for phased protocols.
+type Runner struct {
+	cfg   Config
+	g     *graph.Graph
+	procs []Process
+	ctxs  []*Context
+
+	round         int
+	deliveryRound int                // round at which pending messages are due
+	inboxes       map[int][]Envelope // inboxes being delivered this round
+	pending       map[int][]Envelope // node -> inbox for the next round
+	wakeSet       map[int]map[int]struct{}
+	wakeH         roundHeap
+
+	metrics Metrics
+	stepErr error
+}
+
+// NewRunner validates the configuration and prepares a run. procs must have
+// one Process per graph node.
+func NewRunner(cfg Config, procs []Process) (*Runner, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("sim: Config.Graph is required")
+	}
+	if len(procs) != cfg.Graph.N() {
+		return nil, fmt.Errorf("sim: %d processes for %d nodes", len(procs), cfg.Graph.N())
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	r := &Runner{
+		cfg:     cfg,
+		g:       cfg.Graph,
+		procs:   procs,
+		ctxs:    make([]*Context, cfg.Graph.N()),
+		pending: make(map[int][]Envelope),
+		wakeSet: make(map[int]map[int]struct{}),
+		metrics: Metrics{ByKind: make(map[string]int64)},
+	}
+	for v := range r.ctxs {
+		r.ctxs[v] = &Context{
+			r:        r,
+			node:     v,
+			rng:      NewRand(DeriveSeed(cfg.Seed, uint64(v))),
+			sentPort: make([]bool, cfg.Graph.Degree(v)),
+		}
+	}
+	return r, nil
+}
+
+// Wake schedules node to step at the given round (must be >= current round).
+func (r *Runner) Wake(node, round int) {
+	if round < r.round {
+		round = r.round
+	}
+	r.addWake(node, round)
+}
+
+// WakeAll schedules every node at the given round.
+func (r *Runner) WakeAll(round int) {
+	for v := 0; v < r.g.N(); v++ {
+		r.Wake(v, round)
+	}
+}
+
+func (r *Runner) addWake(node, round int) {
+	set, ok := r.wakeSet[round]
+	if !ok {
+		set = make(map[int]struct{})
+		r.wakeSet[round] = set
+		heap.Push(&r.wakeH, round)
+	}
+	set[node] = struct{}{}
+}
+
+// Round returns the current simulated round.
+func (r *Runner) Round() int { return r.round }
+
+// Metrics returns a copy of the accumulated metrics.
+func (r *Runner) Metrics() Metrics {
+	m := r.metrics
+	m.ByKind = make(map[string]int64, len(r.metrics.ByKind))
+	for k, v := range r.metrics.ByKind {
+		m.ByKind[k] = v
+	}
+	return m
+}
+
+// Quiet reports whether no messages are in flight and no wakes are pending.
+func (r *Runner) Quiet() bool { return len(r.pending) == 0 && r.wakeH.Len() == 0 }
+
+// Run advances rounds until quiescence (no pending messages, no pending
+// wakes) or until MaxRounds, whichever comes first.
+func (r *Runner) Run() error {
+	for !r.Quiet() {
+		next := r.nextEventRound()
+		if next > r.cfg.MaxRounds {
+			return fmt.Errorf("%w (%d), %d messages so far", ErrMaxRounds, r.cfg.MaxRounds, r.metrics.Messages)
+		}
+		r.round = next
+		if err := r.stepRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) nextEventRound() int {
+	next := -1
+	if len(r.pending) > 0 {
+		// Pending messages always deliver exactly one round after they were
+		// sent; deliveryRound tracks it.
+		next = r.deliveryRound
+	}
+	if r.wakeH.Len() > 0 {
+		if w := r.wakeH[0]; next == -1 || w < next {
+			next = w
+		}
+	}
+	if next < r.round {
+		next = r.round
+	}
+	return next
+}
+
+func (r *Runner) stepRound() error {
+	// Collect awake nodes: those with deliveries due now plus scheduled wakes.
+	awake := make([]int, 0, len(r.pending)+8)
+	if len(r.pending) > 0 && r.deliveryRound == r.round {
+		r.inboxes = r.pending
+		r.pending = make(map[int][]Envelope)
+		for v := range r.inboxes {
+			awake = append(awake, v)
+		}
+	} else {
+		r.inboxes = nil
+	}
+	if r.wakeH.Len() > 0 && r.wakeH[0] == r.round {
+		heap.Pop(&r.wakeH)
+		set := r.wakeSet[r.round]
+		delete(r.wakeSet, r.round)
+		for v := range set {
+			if r.inboxes == nil {
+				awake = append(awake, v)
+			} else if _, has := r.inboxes[v]; !has {
+				awake = append(awake, v)
+			}
+		}
+	}
+	if len(awake) == 0 {
+		return nil
+	}
+	sort.Ints(awake)
+	r.metrics.BusyRounds++
+	if r.round > r.metrics.FinalRound {
+		r.metrics.FinalRound = r.round
+	}
+
+	if r.cfg.Concurrent && len(awake) > 1 {
+		r.stepNodesConcurrent(awake)
+	} else {
+		for _, v := range awake {
+			r.stepNode(v)
+			if r.stepErr != nil {
+				break
+			}
+		}
+	}
+	if r.stepErr != nil {
+		return r.stepErr
+	}
+
+	// Apply buffered sends and wakes deterministically in node order.
+	for _, v := range awake {
+		ctx := r.ctxs[v]
+		for _, s := range ctx.out {
+			r.deliver(s)
+		}
+		ctx.out = ctx.out[:0]
+		for _, w := range ctx.wakes {
+			r.addWake(v, w)
+		}
+		ctx.wakes = ctx.wakes[:0]
+	}
+	if len(r.pending) > 0 {
+		r.deliveryRound = r.round + 1
+	}
+	return nil
+}
+
+func (r *Runner) stepNode(v int) {
+	ctx := r.ctxs[v]
+	ctx.round = r.round
+	for p := range ctx.sentPort {
+		ctx.sentPort[p] = false
+	}
+	var inbox []Envelope
+	if r.inboxes != nil {
+		inbox = r.inboxes[v]
+		sort.Slice(inbox, func(i, j int) bool { return inbox[i].Port < inbox[j].Port })
+		r.metrics.Deliveries += int64(len(inbox))
+	}
+	if err := r.procs[v].Step(ctx, inbox); err != nil {
+		if r.stepErr == nil {
+			r.stepErr = fmt.Errorf("sim: node %d at round %d: %w", v, r.round, err)
+		}
+	}
+}
+
+// stepNodesConcurrent runs the awake nodes' Steps in parallel. Nodes only
+// interact through buffered sends (applied after the barrier), so the
+// outcome is identical to the sequential order; metrics for deliveries are
+// accounted before the fan-out to keep counters race-free.
+func (r *Runner) stepNodesConcurrent(awake []int) {
+	type res struct {
+		node int
+		err  error
+	}
+	// Pre-sort inboxes and count deliveries serially (cheap) so Step
+	// goroutines never touch shared metrics.
+	inboxes := make([][]Envelope, len(awake))
+	for i, v := range awake {
+		if r.inboxes != nil {
+			in := r.inboxes[v]
+			sort.Slice(in, func(a, b int) bool { return in[a].Port < in[b].Port })
+			inboxes[i] = in
+			r.metrics.Deliveries += int64(len(in))
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]res, len(awake))
+	for i, v := range awake {
+		wg.Add(1)
+		go func(i, v int) {
+			defer wg.Done()
+			ctx := r.ctxs[v]
+			ctx.round = r.round
+			for p := range ctx.sentPort {
+				ctx.sentPort[p] = false
+			}
+			errs[i] = res{node: v, err: r.procs[v].Step(ctx, inboxes[i])}
+		}(i, v)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e.err != nil {
+			r.stepErr = fmt.Errorf("sim: node %d at round %d: %w", e.node, r.round, e.err)
+			return
+		}
+	}
+}
+
+func (r *Runner) deliver(s sendRec) {
+	if r.cfg.MessageBudget > 0 && r.metrics.Messages >= r.cfg.MessageBudget {
+		r.metrics.Dropped++
+		return
+	}
+	to := r.g.NeighborAt(s.from, s.fromPort)
+	toPort := r.g.BackPort(s.from, s.fromPort)
+	r.metrics.Messages++
+	r.metrics.Bits += int64(s.payload.Bits())
+	r.metrics.ByKind[s.payload.Kind()]++
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.OnSend(r.round, s.from, s.fromPort, to, toPort, s.payload)
+	}
+	r.pending[to] = append(r.pending[to], Envelope{Port: toPort, From: s.from, Payload: s.payload})
+}
+
+// Run is the one-shot convenience wrapper: wake every node at round 0 and
+// run to quiescence.
+func Run(cfg Config, procs []Process) (Metrics, error) {
+	r, err := NewRunner(cfg, procs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	r.WakeAll(0)
+	if err := r.Run(); err != nil {
+		return r.Metrics(), err
+	}
+	return r.Metrics(), nil
+}

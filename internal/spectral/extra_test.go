@@ -1,0 +1,154 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wcle/internal/graph"
+)
+
+func TestLambda2Hypercube(t *testing.T) {
+	// Q_d adjacency eigenvalues are d-2k; the normalized simple walk has
+	// 1 - 2k/d, so the lazy walk's second eigenvalue is 1 - 1/d.
+	for _, dim := range []int{3, 4, 5} {
+		g, err := graph.Hypercube(dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam, err := Lambda2(g, 30000, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - 1/float64(dim)
+		if math.Abs(lam-want) > 1e-6 {
+			t.Fatalf("dim %d: lambda2 = %v, want %v", dim, lam, want)
+		}
+	}
+}
+
+func TestLambda2Path(t *testing.T) {
+	// Path P_n: normalized adjacency second eigenvalue is cos(pi/(n-1));
+	// lazy: (1 + cos(pi/(n-1)))/2.
+	n := 10
+	g, err := graph.Path(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := Lambda2(g, 60000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + math.Cos(math.Pi/float64(n-1))) / 2
+	if math.Abs(lam-want) > 1e-5 {
+		t.Fatalf("lambda2 = %v, want %v", lam, want)
+	}
+}
+
+func TestMixingTimeBarbellSlow(t *testing.T) {
+	// The barbell's bridge throttles mixing: its tmix must dwarf the
+	// clique's at comparable size.
+	bb, err := graph.Barbell(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kk, err := graph.Clique(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := MixingTime(bb, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := MixingTime(kk, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb < 10*tk {
+		t.Fatalf("barbell tmix %d should dwarf clique tmix %d", tb, tk)
+	}
+}
+
+func TestExpanderMixingLogarithmic(t *testing.T) {
+	// Random 8-regular graphs mix in O(log n): doubling n should grow tmix
+	// by roughly a constant additive term, not multiplicatively.
+	rng := rand.New(rand.NewSource(12))
+	var tms []int
+	for _, n := range []int{64, 128, 256} {
+		g, err := graph.RandomRegular(n, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := MixingTimeSampled(g, DefaultEps(n), 100000, []int{0, n / 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tms = append(tms, tm)
+	}
+	if tms[2] > 2*tms[0] {
+		t.Fatalf("expander mixing grew too fast: %v", tms)
+	}
+}
+
+// Property: one lazy step never increases the inf-norm distance to
+// stationarity (contraction), for random start vertices on a fixed graph.
+func TestStepContractionProperty(t *testing.T) {
+	g, err := graph.RandomRegular(20, 4, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalk(g)
+	pi := w.Stationary()
+	prop := func(srcRaw uint8, steps uint8) bool {
+		src := int(srcRaw) % g.N()
+		cur := make([]float64, g.N())
+		next := make([]float64, g.N())
+		cur[src] = 1
+		prev := InfNormDiff(cur, pi)
+		for i := 0; i < int(steps)%50; i++ {
+			w.Step(next, cur)
+			cur, next = next, cur
+			d := InfNormDiff(cur, pi)
+			if d > prev+1e-12 {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepCutErrors(t *testing.T) {
+	if _, _, err := SweepCut(&graph.Graph{}, 100, 1e-6); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+}
+
+func TestLowerBoundGraphConductanceBracket(t *testing.T) {
+	// Lemma 16 end to end: the constructed graph's conductance estimates
+	// bracket Theta(alpha).
+	alpha := 1.0 / 196
+	lb, err := graph.NewLowerBound(768, alpha, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := make([]bool, lb.N())
+	for _, v := range lb.Cliques[0] {
+		inSet[v] = true
+	}
+	cliquePhi := graph.CutConductance(lb.Graph, inSet)
+	sweepPhi, _, err := SweepCut(lb.Graph, 3000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper bounds within a constant of alpha.
+	for _, phi := range []float64{cliquePhi, sweepPhi} {
+		if phi < alpha/10 || phi > alpha*10 {
+			t.Fatalf("phi estimate %v not Theta(alpha=%v)", phi, alpha)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package spectral computes the random-walk quantities that the paper's
+// analysis is written in terms of: the lazy random-walk operator of
+// Section 2, its stationary distribution, the mixing time tmix (with the
+// paper's accuracy 1/(2n) under the max norm), the second eigenvalue of the
+// walk, and conductance estimates (exact for tiny graphs, Cheeger bounds and
+// sweep cuts in general). Equation (1) of the paper,
+// Theta(1/phi) <= tmix <= Theta(1/phi^2), is validated in the tests.
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"wcle/internal/graph"
+)
+
+// DefaultEps returns the paper's mixing accuracy 1/(2n).
+func DefaultEps(n int) float64 { return 1 / (2 * float64(n)) }
+
+// Walk is the lazy random-walk operator on a graph: stay with probability
+// 1/2, otherwise move to a uniformly random neighbor (Section 2).
+type Walk struct {
+	g *graph.Graph
+}
+
+// NewWalk returns the lazy walk operator for g.
+func NewWalk(g *graph.Graph) *Walk { return &Walk{g: g} }
+
+// Step applies one step of the lazy walk: dst = P * src. dst and src must
+// have length g.N() and must not alias.
+func (w *Walk) Step(dst, src []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for u := 0; u < w.g.N(); u++ {
+		mass := src[u]
+		if mass == 0 {
+			continue
+		}
+		dst[u] += mass / 2
+		d := w.g.Degree(u)
+		if d == 0 {
+			dst[u] += mass / 2
+			continue
+		}
+		share := mass / (2 * float64(d))
+		for p := 0; p < d; p++ {
+			dst[w.g.NeighborAt(u, p)] += share
+		}
+	}
+}
+
+// Stationary returns the stationary distribution pi*(v) = deg(v)/(2m).
+func (w *Walk) Stationary() []float64 {
+	pi := make([]float64, w.g.N())
+	denom := 2 * float64(w.g.M())
+	for v := range pi {
+		pi[v] = float64(w.g.Degree(v)) / denom
+	}
+	return pi
+}
+
+// InfNormDiff returns ||a - b||_inf.
+func InfNormDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TVDistance returns the total-variation distance between distributions.
+func TVDistance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / 2
+}
+
+// ErrNoMix is returned when the walk does not reach the requested accuracy
+// within the step budget (e.g. on a disconnected graph).
+var ErrNoMix = errors.New("spectral: walk did not mix within the step budget")
+
+// MixFrom returns the smallest t such that the lazy walk started at src is
+// within eps of stationarity in the max norm, searching up to tmax steps.
+func (w *Walk) MixFrom(src int, eps float64, tmax int) (int, error) {
+	n := w.g.N()
+	if src < 0 || src >= n {
+		return 0, fmt.Errorf("spectral: start node %d out of range", src)
+	}
+	pi := w.Stationary()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[src] = 1
+	if InfNormDiff(cur, pi) <= eps {
+		return 0, nil
+	}
+	for t := 1; t <= tmax; t++ {
+		w.Step(next, cur)
+		cur, next = next, cur
+		if InfNormDiff(cur, pi) <= eps {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("%w (eps=%v, tmax=%d, start=%d)", ErrNoMix, eps, tmax, src)
+}
+
+// MixingTimeSampled returns the maximum MixFrom over the given start nodes.
+// The paper's tmix maximizes over all starts; sampling gives a lower
+// estimate that is exact on vertex-transitive graphs (all our structured
+// families) and tight in practice on random regular graphs.
+func MixingTimeSampled(g *graph.Graph, eps float64, tmax int, starts []int) (int, error) {
+	if len(starts) == 0 {
+		return 0, errors.New("spectral: no start nodes given")
+	}
+	w := NewWalk(g)
+	var worst int
+	for _, s := range starts {
+		t, err := w.MixFrom(s, eps, tmax)
+		if err != nil {
+			return 0, err
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// MixingTime returns the exact tmix (max over every start node) at the
+// paper's accuracy 1/(2n). It costs O(n * (n+m) * tmix); intended for
+// n up to a few thousand on well-connected graphs.
+func MixingTime(g *graph.Graph, tmax int) (int, error) {
+	starts := make([]int, g.N())
+	for i := range starts {
+		starts[i] = i
+	}
+	return MixingTimeSampled(g, DefaultEps(g.N()), tmax, starts)
+}
+
+// Lambda2 computes the second-largest eigenvalue of the lazy walk operator
+// by power iteration on the symmetrized operator with the known top
+// eigenvector deflated. The lazy walk's spectrum lies in [0,1], so the
+// deflated power iteration converges to lambda_2 itself.
+func Lambda2(g *graph.Graph, maxIters int, tol float64) (float64, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, errors.New("spectral: need at least 2 nodes")
+	}
+	if g.M() == 0 {
+		return 0, errors.New("spectral: graph has no edges")
+	}
+	// Top eigenvector of S = D^{1/2} P D^{-1/2}: v1(v) ~ sqrt(deg v).
+	v1 := make([]float64, n)
+	var norm float64
+	for v := 0; v < n; v++ {
+		v1[v] = math.Sqrt(float64(g.Degree(v)))
+		norm += v1[v] * v1[v]
+	}
+	norm = math.Sqrt(norm)
+	for v := range v1 {
+		v1[v] /= norm
+	}
+	// Deterministic start vector orthogonalized against v1.
+	x := make([]float64, n)
+	for v := range x {
+		// A fixed pseudo-random-ish but deterministic pattern avoids
+		// starting orthogonal to the second eigenvector on symmetric graphs.
+		x[v] = math.Sin(float64(3*v+1)) + 0.25*math.Cos(float64(7*v+2))
+	}
+	deflate := func(y []float64) {
+		var dot float64
+		for v := range y {
+			dot += y[v] * v1[v]
+		}
+		for v := range y {
+			y[v] -= dot * v1[v]
+		}
+	}
+	normalize := func(y []float64) float64 {
+		var s float64
+		for _, t := range y {
+			s += t * t
+		}
+		s = math.Sqrt(s)
+		if s > 0 {
+			for v := range y {
+				y[v] /= s
+			}
+		}
+		return s
+	}
+	applyS := func(dst, src []float64) {
+		// S = 1/2 I + 1/2 D^{-1/2} A D^{-1/2}
+		for v := range dst {
+			dst[v] = src[v] / 2
+		}
+		for u := 0; u < n; u++ {
+			du := math.Sqrt(float64(g.Degree(u)))
+			if du == 0 {
+				continue
+			}
+			for p := 0; p < g.Degree(u); p++ {
+				v := g.NeighborAt(u, p)
+				dv := math.Sqrt(float64(g.Degree(v)))
+				dst[v] += src[u] / (2 * du * dv)
+			}
+		}
+	}
+	deflate(x)
+	if normalize(x) == 0 {
+		return 0, errors.New("spectral: degenerate start vector")
+	}
+	y := make([]float64, n)
+	prev := 0.0
+	for it := 0; it < maxIters; it++ {
+		applyS(y, x)
+		deflate(y)
+		lam := normalize(y)
+		x, y = y, x
+		if it > 8 && math.Abs(lam-prev) < tol {
+			return lam, nil
+		}
+		prev = lam
+	}
+	return prev, nil
+}
+
+// CheegerBounds converts the lazy walk's lambda_2 into the discrete Cheeger
+// sandwich on conductance: 1-lambda2 <= phi <= 2*sqrt(1-lambda2).
+// (For the non-lazy normalized gap g = 2(1-lambda2_lazy): g/2 <= phi <=
+// sqrt(2g).)
+func CheegerBounds(lambda2 float64) (lo, hi float64) {
+	gap := 1 - lambda2
+	if gap < 0 {
+		gap = 0
+	}
+	return gap, 2 * math.Sqrt(gap)
+}
+
+// maxBruteNodes bounds the exact conductance enumeration.
+const maxBruteNodes = 22
+
+// ConductanceBrute computes the exact conductance phi(G) by enumerating
+// every cut. Exponential; restricted to n <= 22.
+func ConductanceBrute(g *graph.Graph) (float64, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, errors.New("spectral: need at least 2 nodes")
+	}
+	if n > maxBruteNodes {
+		return 0, fmt.Errorf("spectral: brute-force conductance limited to n <= %d, got %d", maxBruteNodes, n)
+	}
+	if g.M() == 0 {
+		return 0, errors.New("spectral: graph has no edges")
+	}
+	best := math.Inf(1)
+	inSet := make([]bool, n)
+	// Fix node 0 out of the set to halve the enumeration (cuts are
+	// symmetric under complement).
+	for mask := uint64(1); mask < 1<<(n-1); mask++ {
+		for v := 1; v < n; v++ {
+			inSet[v] = mask&(1<<(v-1)) != 0
+		}
+		phi := graph.CutConductance(g, inSet)
+		if phi > 0 && phi < best {
+			best = phi
+		}
+	}
+	return best, nil
+}
+
+// SweepCut returns a conductance upper bound via the standard spectral
+// sweep: order vertices by the (degree-normalized) second eigenvector and
+// take the best prefix cut. Also returns the achieving set.
+func SweepCut(g *graph.Graph, maxIters int, tol float64) (float64, []bool, error) {
+	n := g.N()
+	vec, err := secondEigenvector(g, maxIters, tol)
+	if err != nil {
+		return 0, nil, err
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vec[order[i]] > vec[order[j]] })
+	inSet := make([]bool, n)
+	var volS, cut int
+	totalVol := 2 * g.M()
+	best := math.Inf(1)
+	bestK := -1
+	for k := 0; k < n-1; k++ {
+		v := order[k]
+		inSet[v] = true
+		volS += g.Degree(v)
+		// Adding v flips its edges: edges to outside become cut edges,
+		// edges to inside stop being cut edges.
+		for p := 0; p < g.Degree(v); p++ {
+			if inSet[g.NeighborAt(v, p)] {
+				cut--
+			} else {
+				cut++
+			}
+		}
+		minVol := volS
+		if totalVol-volS < minVol {
+			minVol = totalVol - volS
+		}
+		if minVol == 0 {
+			continue
+		}
+		phi := float64(cut) / float64(minVol)
+		if phi < best {
+			best = phi
+			bestK = k
+		}
+	}
+	if bestK < 0 {
+		return 0, nil, errors.New("spectral: sweep found no nontrivial cut")
+	}
+	bestSet := make([]bool, n)
+	for k := 0; k <= bestK; k++ {
+		bestSet[order[k]] = true
+	}
+	return best, bestSet, nil
+}
+
+// secondEigenvector runs the deflated power iteration and returns the
+// degree-normalized eigenvector D^{-1/2} v2 used for sweep cuts.
+func secondEigenvector(g *graph.Graph, maxIters int, tol float64) ([]float64, error) {
+	n := g.N()
+	if n < 2 || g.M() == 0 {
+		return nil, errors.New("spectral: need at least 2 nodes and 1 edge")
+	}
+	v1 := make([]float64, n)
+	var norm float64
+	for v := 0; v < n; v++ {
+		v1[v] = math.Sqrt(float64(g.Degree(v)))
+		norm += v1[v] * v1[v]
+	}
+	norm = math.Sqrt(norm)
+	for v := range v1 {
+		v1[v] /= norm
+	}
+	x := make([]float64, n)
+	for v := range x {
+		x[v] = math.Sin(float64(3*v+1)) + 0.25*math.Cos(float64(7*v+2))
+	}
+	y := make([]float64, n)
+	for it := 0; it < maxIters; it++ {
+		// Deflate, normalize.
+		var dot float64
+		for v := range x {
+			dot += x[v] * v1[v]
+		}
+		var s float64
+		for v := range x {
+			x[v] -= dot * v1[v]
+			s += x[v] * x[v]
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return nil, errors.New("spectral: degenerate iteration")
+		}
+		for v := range x {
+			x[v] /= s
+		}
+		// y = S x
+		for v := range y {
+			y[v] = x[v] / 2
+		}
+		for u := 0; u < n; u++ {
+			du := math.Sqrt(float64(g.Degree(u)))
+			if du == 0 {
+				continue
+			}
+			for p := 0; p < g.Degree(u); p++ {
+				v := g.NeighborAt(u, p)
+				dv := math.Sqrt(float64(g.Degree(v)))
+				y[v] += x[u] / (2 * du * dv)
+			}
+		}
+		diff := 0.0
+		for v := range y {
+			d := math.Abs(y[v] - x[v])
+			if d > diff {
+				diff = d
+			}
+		}
+		copy(x, y)
+		if it > 8 && diff < tol {
+			break
+		}
+	}
+	out := make([]float64, n)
+	for v := range out {
+		d := math.Sqrt(float64(g.Degree(v)))
+		if d == 0 {
+			out[v] = 0
+			continue
+		}
+		out[v] = x[v] / d
+	}
+	return out, nil
+}

@@ -1,0 +1,426 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"wcle/internal/graph"
+)
+
+func mustClique(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Clique(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStationaryIsFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := graph.RandomRegular(32, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalk(g)
+	pi := w.Stationary()
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("stationary mass = %v", sum)
+	}
+	next := make([]float64, g.N())
+	w.Step(next, pi)
+	if d := InfNormDiff(next, pi); d > 1e-12 {
+		t.Fatalf("P pi* != pi*, diff %v", d)
+	}
+}
+
+func TestStationaryNonRegular(t *testing.T) {
+	g, err := graph.Path(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalk(g)
+	pi := w.Stationary()
+	// Path endpoints have degree 1, middle nodes degree 2; 2m = 8.
+	if math.Abs(pi[0]-1.0/8) > 1e-12 || math.Abs(pi[2]-2.0/8) > 1e-12 {
+		t.Fatalf("stationary wrong: %v", pi)
+	}
+	next := make([]float64, g.N())
+	w.Step(next, pi)
+	if d := InfNormDiff(next, pi); d > 1e-12 {
+		t.Fatalf("P pi* != pi* on path, diff %v", d)
+	}
+}
+
+func TestStepPreservesMass(t *testing.T) {
+	g, err := graph.Hypercube(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalk(g)
+	cur := make([]float64, g.N())
+	cur[3] = 1
+	next := make([]float64, g.N())
+	for i := 0; i < 10; i++ {
+		w.Step(next, cur)
+		cur, next = next, cur
+		var sum float64
+		for _, p := range cur {
+			sum += p
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("mass leak at step %d: %v", i, sum)
+		}
+	}
+}
+
+func TestMixingDistanceMonotone(t *testing.T) {
+	g, err := graph.Cycle(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalk(g)
+	pi := w.Stationary()
+	cur := make([]float64, g.N())
+	cur[0] = 1
+	next := make([]float64, g.N())
+	prev := InfNormDiff(cur, pi)
+	for i := 0; i < 200; i++ {
+		w.Step(next, cur)
+		cur, next = next, cur
+		d := InfNormDiff(cur, pi)
+		if d > prev+1e-12 {
+			t.Fatalf("mixing distance increased at step %d: %v -> %v", i, prev, d)
+		}
+		prev = d
+	}
+}
+
+func TestMixingTimeClique(t *testing.T) {
+	g := mustClique(t, 64)
+	tm, err := MixingTime(g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cliques mix essentially immediately: tmix = O(1) (a handful of lazy
+	// steps to reach 1/2n accuracy).
+	if tm < 1 || tm > 12 {
+		t.Fatalf("clique tmix = %d, want small constant", tm)
+	}
+}
+
+func TestMixingTimeOrdering(t *testing.T) {
+	// Well-connected families mix much faster than the cycle at equal n.
+	n := 64
+	clique := mustClique(t, n)
+	hc, err := graph.Hypercube(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := graph.Cycle(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmClique, err := MixingTime(clique, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmHc, err := MixingTime(hc, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmCyc, err := MixingTime(cyc, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tmClique <= tmHc && tmHc < tmCyc) {
+		t.Fatalf("ordering violated: clique %d, hypercube %d, cycle %d", tmClique, tmHc, tmCyc)
+	}
+	// Cycle mixing is Theta(n^2 log n)-ish; at n=64 it must exceed n.
+	if tmCyc < n {
+		t.Fatalf("cycle tmix = %d suspiciously small", tmCyc)
+	}
+}
+
+func TestMixingTimeSampledMatchesTransitive(t *testing.T) {
+	// On a vertex-transitive graph every start gives the same mixing time.
+	g, err := graph.Hypercube(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := MixingTime(g, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := MixingTimeSampled(g, DefaultEps(g.N()), 10000, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all != one {
+		t.Fatalf("transitive graph: sampled %d != exact %d", one, all)
+	}
+}
+
+func TestMixFromErrors(t *testing.T) {
+	g := mustClique(t, 8)
+	w := NewWalk(g)
+	if _, err := w.MixFrom(99, 0.1, 10); err == nil {
+		t.Fatal("out-of-range start should fail")
+	}
+	// Disconnected graph never mixes.
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := b.Build("disc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWalk(dg).MixFrom(0, DefaultEps(4), 500); !errors.Is(err, ErrNoMix) {
+		t.Fatalf("want ErrNoMix, got %v", err)
+	}
+	if _, err := MixingTimeSampled(g, 0.1, 10, nil); err == nil {
+		t.Fatal("no starts should fail")
+	}
+}
+
+func TestLambda2Clique(t *testing.T) {
+	// Lazy walk on K_n: nontrivial eigenvalues of the simple walk are
+	// -1/(n-1); lazy maps x -> (1+x)/2, so lambda2 = (1 - 1/(n-1))/2.
+	n := 16
+	g := mustClique(t, n)
+	lam, err := Lambda2(g, 2000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - 1.0/float64(n-1)) / 2
+	if math.Abs(lam-want) > 1e-6 {
+		t.Fatalf("lambda2 = %v, want %v", lam, want)
+	}
+}
+
+func TestLambda2Cycle(t *testing.T) {
+	// Simple walk on C_n has eigenvalues cos(2 pi k / n); lazy lambda2 =
+	// (1 + cos(2 pi/n))/2.
+	n := 24
+	g, err := graph.Cycle(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := Lambda2(g, 20000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + math.Cos(2*math.Pi/float64(n))) / 2
+	if math.Abs(lam-want) > 1e-5 {
+		t.Fatalf("lambda2 = %v, want %v", lam, want)
+	}
+}
+
+func TestLambda2Errors(t *testing.T) {
+	if _, err := Lambda2(&graph.Graph{}, 10, 1e-6); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+}
+
+func TestCheegerBounds(t *testing.T) {
+	lo, hi := CheegerBounds(0.75)
+	if math.Abs(lo-0.25) > 1e-12 || math.Abs(hi-1) > 1e-12 {
+		t.Fatalf("bounds = (%v,%v)", lo, hi)
+	}
+	lo, hi = CheegerBounds(1.5) // clamped
+	if lo != 0 || hi != 0 {
+		t.Fatalf("clamped bounds = (%v,%v)", lo, hi)
+	}
+}
+
+func TestCheegerSandwichOnFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	graphs := []*graph.Graph{}
+	g1 := mustClique(t, 12)
+	graphs = append(graphs, g1)
+	g2, err := graph.Cycle(12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g2)
+	g3, err := graph.RandomRegular(14, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g3)
+	g4, err := graph.Barbell(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g4)
+	for _, g := range graphs {
+		phi, err := ConductanceBrute(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		lam, err := Lambda2(g, 20000, 1e-13)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		lo, hi := CheegerBounds(lam)
+		if phi < lo-1e-6 || phi > hi+1e-6 {
+			t.Errorf("%s: phi=%v outside Cheeger [%v,%v] (lambda2=%v)", g.Name(), phi, lo, hi, lam)
+		}
+	}
+}
+
+func TestConductanceBruteClique(t *testing.T) {
+	// phi(K_n) for even n: half cut gives (n/2)^2 / (n/2*(n-1)) = n/(2(n-1)).
+	n := 8
+	g := mustClique(t, n)
+	phi, err := ConductanceBrute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n) / (2 * float64(n-1))
+	if math.Abs(phi-want) > 1e-12 {
+		t.Fatalf("phi(K%d) = %v, want %v", n, phi, want)
+	}
+}
+
+func TestConductanceBruteCycle(t *testing.T) {
+	// phi(C_n) = 2/(2*(n/2)) = 2/n for even n (half cut).
+	n := 10
+	g, err := graph.Cycle(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := ConductanceBrute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / float64(n)
+	if math.Abs(phi-want) > 1e-12 {
+		t.Fatalf("phi(C%d) = %v, want %v", n, phi, want)
+	}
+}
+
+func TestConductanceBruteLimits(t *testing.T) {
+	g := mustClique(t, 2)
+	if _, err := ConductanceBrute(g); err != nil {
+		t.Fatalf("K2 should work: %v", err)
+	}
+	big := mustClique(t, 23)
+	if _, err := ConductanceBrute(big); err == nil {
+		t.Fatal("n > 22 should be rejected")
+	}
+}
+
+func TestSweepCutFindsBarbellBottleneck(t *testing.T) {
+	g, err := graph.Barbell(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, set, err := SweepCut(g, 20000, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ConductanceBrute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep is an upper bound and on a barbell it should find the bridge
+	// cut exactly.
+	if phi < exact-1e-9 {
+		t.Fatalf("sweep %v below exact %v", phi, exact)
+	}
+	if math.Abs(phi-exact) > 1e-9 {
+		t.Fatalf("sweep should find the barbell bottleneck: %v vs %v", phi, exact)
+	}
+	// The achieving set should be one of the two cliques.
+	var count int
+	for _, in := range set {
+		if in {
+			count++
+		}
+	}
+	if count != 8 {
+		t.Fatalf("sweep set size = %d, want 8", count)
+	}
+}
+
+func TestSweepCutUpperBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		g, err := graph.RandomRegular(16, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ConductanceBrute(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, _, err := SweepCut(g, 20000, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sweep < exact-1e-9 {
+			t.Fatalf("sweep %v below exact conductance %v", sweep, exact)
+		}
+	}
+}
+
+func TestEquationOneSandwich(t *testing.T) {
+	// Paper Eq. (1): Theta(1/phi) <= tmix <= Theta(1/phi^2). Verify the
+	// bracket with explicit constants on small families: we use
+	// tmix <= C * log(n/eps)/ (1-lambda2) and the Cheeger relation.
+	rng := rand.New(rand.NewSource(6))
+	families := []*graph.Graph{}
+	g1 := mustClique(t, 16)
+	g2, err := graph.Cycle(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := graph.RandomRegular(16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families = append(families, g1, g2, g3)
+	for _, g := range families {
+		tm, err := MixingTime(g, 1000000)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		phi, err := ConductanceBrute(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		logn := math.Log(float64(g.N()))
+		// Generous constants: c/phi <= tmix * C log n and tmix <= C log n / phi^2.
+		if float64(tm) < 0.05/phi/(4*logn) {
+			t.Errorf("%s: tmix=%d too small vs 1/phi=%v", g.Name(), tm, 1/phi)
+		}
+		if float64(tm) > 40*logn/(phi*phi) {
+			t.Errorf("%s: tmix=%d too large vs 1/phi^2=%v", g.Name(), tm, 1/(phi*phi))
+		}
+	}
+}
+
+func TestTVDistance(t *testing.T) {
+	a := []float64{0.5, 0.5, 0}
+	b := []float64{0, 0.5, 0.5}
+	if d := TVDistance(a, b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("TV = %v, want 0.5", d)
+	}
+	if d := TVDistance(a, a); d != 0 {
+		t.Fatalf("TV(a,a) = %v", d)
+	}
+}

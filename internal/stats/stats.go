@@ -1,0 +1,217 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: summary statistics, quantiles, binomial confidence
+// intervals, and ordinary-least-squares fits on log-log data for estimating
+// scaling exponents.
+//
+// The package is deliberately dependency-free (stdlib math only) and works
+// on float64 slices. All functions treat empty input as an error rather
+// than silently returning zeros, so experiment code cannot mistake a
+// missing series for a measured one.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic is requested over no samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the standard descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	med, err := Quantile(xs, 0.5)
+	if err != nil {
+		return Summary{}, err
+	}
+	s.Median = med
+	return s, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. The input slice is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// BinomialCI returns a Wilson score confidence interval for the success
+// probability of a binomial sample with k successes out of n trials at the
+// given z value (z = 1.96 for ~95%).
+func BinomialCI(k, n int, z float64) (lo, hi float64, err error) {
+	if n <= 0 {
+		return 0, 0, ErrEmpty
+	}
+	if k < 0 || k > n {
+		return 0, 0, fmt.Errorf("stats: successes %d out of range [0,%d]", k, n)
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// Fit is the result of an ordinary-least-squares line fit y = a + b*x.
+type Fit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// LinearFit fits y = a + b*x by least squares.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	if len(xs) == 0 {
+		return Fit{}, ErrEmpty
+	}
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, errors.New("stats: need at least two points to fit a line")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: degenerate fit (all x equal)")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	f := Fit{Intercept: a, Slope: b, R2: 1}
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			r := ys[i] - (a + b*xs[i])
+			ssRes += r * r
+		}
+		f.R2 = 1 - ssRes/syy
+	}
+	return f, nil
+}
+
+// LogLogFit fits log(y) = a + b*log(x), i.e. y ~ C * x^b, and returns the
+// exponent b (Slope) and R^2 of the fit in log space. All inputs must be
+// strictly positive.
+func LogLogFit(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: log-log fit requires positive data, got (%v,%v)", xs[i], ys[i])
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	return LinearFit(lx, ly)
+}
+
+// GeoMean returns the geometric mean of strictly positive samples.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive data, got %v", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// Ratio01 returns k/n as a float64, guarding against n == 0.
+func Ratio01(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasic(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Std != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", c.q, err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestQuantileRange(t *testing.T) {
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Fatal("expected error for q < 0")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Fatal("expected error for q > 1")
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	lo, hi, err := BinomialCI(50, 100, 1.96)
+	if err != nil {
+		t.Fatalf("BinomialCI: %v", err)
+	}
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v,%v] should straddle 0.5", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Fatalf("interval [%v,%v] too wide for n=100", lo, hi)
+	}
+	// Degenerate edges stay inside [0,1].
+	lo, hi, err = BinomialCI(0, 10, 1.96)
+	if err != nil || lo != 0 || hi <= 0 {
+		t.Fatalf("BinomialCI(0,10): lo=%v hi=%v err=%v", lo, hi, err)
+	}
+	if _, _, err := BinomialCI(5, 0, 1.96); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, _, err := BinomialCI(11, 10, 1.96); err == nil {
+		t.Fatal("expected error for k>n")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatalf("LinearFit: %v", err)
+	}
+	if !almostEq(f.Slope, 2, 1e-12) || !almostEq(f.Intercept, 3, 1e-12) || !almostEq(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit(nil, nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected degenerate fit error")
+	}
+}
+
+func TestLogLogFitRecoversExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 0, 20)
+	ys := make([]float64, 0, 20)
+	for i := 1; i <= 20; i++ {
+		x := float64(i * 10)
+		// y = 3 * x^1.5 with a little multiplicative noise
+		noise := 1 + 0.01*(rng.Float64()-0.5)
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 1.5)*noise)
+	}
+	f, err := LogLogFit(xs, ys)
+	if err != nil {
+		t.Fatalf("LogLogFit: %v", err)
+	}
+	if !almostEq(f.Slope, 1.5, 0.02) {
+		t.Fatalf("slope = %v, want ~1.5", f.Slope)
+	}
+	if f.R2 < 0.999 {
+		t.Fatalf("R2 = %v, want ~1", f.R2)
+	}
+}
+
+func TestLogLogFitRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogFit([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("expected error for x = 0")
+	}
+	if _, err := LogLogFit([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("expected error for y < 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || !almostEq(g, 2, 1e-12) {
+		t.Fatalf("GeoMean = %v, err = %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("expected error for non-positive input")
+	}
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestRatio01(t *testing.T) {
+	if Ratio01(1, 2) != 0.5 {
+		t.Fatal("Ratio01(1,2) != 0.5")
+	}
+	if Ratio01(1, 0) != 0 {
+		t.Fatal("Ratio01(_,0) should be 0")
+	}
+}
+
+// Property: mean is between min and max; std is non-negative.
+func TestSummaryInvariants(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0 &&
+			s.Min <= s.Median && s.Median <= s.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	prop := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		f := func(q float64) float64 { return math.Mod(math.Abs(q), 1.0) }
+		a, b := f(q1), f(q2)
+		if a > b {
+			a, b = b, a
+		}
+		qa, err1 := Quantile(xs, a)
+		qb, err2 := Quantile(xs, b)
+		return err1 == nil && err2 == nil && qa <= qb+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package trace provides observers for debugging and reporting: a bounded
+// event recorder and a per-round message counter (used, e.g., to split a
+// run's cost into its stages).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"wcle/internal/sim"
+)
+
+// Event is one recorded send.
+type Event struct {
+	Round    int
+	From, To int
+	Kind     string
+	Bits     int
+}
+
+// Recorder captures up to Cap events (0 means DefaultCap) and always keeps
+// aggregate counts.
+type Recorder struct {
+	Cap     int
+	Events  []Event
+	Total   int64
+	Skipped int64
+}
+
+// DefaultCap bounds recorded events if Recorder.Cap is unset.
+const DefaultCap = 100_000
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// OnSend implements sim.Observer.
+func (r *Recorder) OnSend(round int, from, fromPort, to, toPort int, m sim.Message) {
+	r.Total++
+	cap := r.Cap
+	if cap == 0 {
+		cap = DefaultCap
+	}
+	if len(r.Events) >= cap {
+		r.Skipped++
+		return
+	}
+	r.Events = append(r.Events, Event{Round: round, From: from, To: to, Kind: m.Kind(), Bits: m.Bits()})
+}
+
+// Dump writes the recorded events as text, one per line.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, e := range r.Events {
+		if _, err := fmt.Fprintf(w, "round=%d %d->%d kind=%s bits=%d\n", e.Round, e.From, e.To, e.Kind, e.Bits); err != nil {
+			return err
+		}
+	}
+	if r.Skipped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d further events not recorded (cap %d)\n", r.Skipped, r.Cap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RoundCounter tallies messages per round (sparse).
+type RoundCounter struct {
+	Counts map[int]int64
+}
+
+var _ sim.Observer = (*RoundCounter)(nil)
+
+// OnSend implements sim.Observer.
+func (rc *RoundCounter) OnSend(round int, from, fromPort, to, toPort int, m sim.Message) {
+	if rc.Counts == nil {
+		rc.Counts = make(map[int]int64)
+	}
+	rc.Counts[round]++
+}
+
+// UpTo sums the messages sent in rounds <= r.
+func (rc *RoundCounter) UpTo(r int) int64 {
+	var s int64
+	for round, c := range rc.Counts {
+		if round <= r {
+			s += c
+		}
+	}
+	return s
+}
+
+// Multi fans one observer stream out to several observers.
+type Multi []sim.Observer
+
+var _ sim.Observer = (Multi)(nil)
+
+// OnSend implements sim.Observer.
+func (m Multi) OnSend(round int, from, fromPort, to, toPort int, msg sim.Message) {
+	for _, o := range m {
+		o.OnSend(round, from, fromPort, to, toPort, msg)
+	}
+}

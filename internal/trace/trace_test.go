@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"wcle/internal/graph"
+	"wcle/internal/sim"
+)
+
+type msg struct{ kind string }
+
+func (m msg) Bits() int    { return 4 }
+func (m msg) Kind() string { return m.kind }
+
+func TestRecorder(t *testing.T) {
+	r := &Recorder{Cap: 2}
+	r.OnSend(1, 0, 0, 1, 0, msg{"a"})
+	r.OnSend(2, 1, 0, 0, 0, msg{"b"})
+	r.OnSend(3, 0, 0, 1, 0, msg{"c"})
+	if r.Total != 3 || len(r.Events) != 2 || r.Skipped != 1 {
+		t.Fatalf("recorder state: %+v", r)
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "kind=a") || !strings.Contains(out, "further events") {
+		t.Fatalf("dump output: %q", out)
+	}
+}
+
+func TestRoundCounter(t *testing.T) {
+	rc := &RoundCounter{}
+	rc.OnSend(1, 0, 0, 1, 0, msg{"a"})
+	rc.OnSend(1, 1, 0, 0, 0, msg{"a"})
+	rc.OnSend(5, 0, 0, 1, 0, msg{"a"})
+	if rc.UpTo(1) != 2 || rc.UpTo(4) != 2 || rc.UpTo(5) != 3 {
+		t.Fatalf("counts: %v", rc.Counts)
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	r := &Recorder{}
+	rc := &RoundCounter{}
+	m := Multi{r, rc}
+	m.OnSend(2, 0, 0, 1, 0, msg{"x"})
+	if r.Total != 1 || rc.UpTo(2) != 1 {
+		t.Fatal("multi observer did not fan out")
+	}
+}
+
+// End-to-end: the recorder attached to a real run sees exactly the metric
+// count.
+type chatty struct{ n int }
+
+func (c *chatty) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	if ctx.Round() == 0 && ctx.Node() == 0 {
+		for p := 0; p < ctx.Degree(); p++ {
+			if err := ctx.Send(p, msg{"hello"}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func TestRecorderEndToEnd(t *testing.T) {
+	g, err := graph.Clique(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Recorder{}
+	procs := make([]sim.Process, g.N())
+	for i := range procs {
+		procs[i] = &chatty{}
+	}
+	metrics, err := sim.Run(sim.Config{Graph: g, Seed: 1, Observer: r}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total != metrics.Messages {
+		t.Fatalf("recorder %d != metrics %d", r.Total, metrics.Messages)
+	}
+}

@@ -1,0 +1,148 @@
+package wcle
+
+import (
+	"math/rand"
+
+	"wcle/internal/baseline"
+	"wcle/internal/broadcast"
+	"wcle/internal/core"
+	"wcle/internal/experiments"
+	"wcle/internal/graph"
+	"wcle/internal/protocol"
+	"wcle/internal/spectral"
+)
+
+// Re-exported types. The facade aliases the internal types so downstream
+// code only imports this package.
+type (
+	// Graph is an immutable simple undirected graph with the paper's
+	// (possibly asymmetric) port numbering.
+	Graph = graph.Graph
+	// LowerBoundGraph is the Section 4.1 clique-of-cliques construction.
+	LowerBoundGraph = graph.LowerBound
+	// DumbbellGraph is the Section 5 two-bridge construction.
+	DumbbellGraph = graph.Dumbbell
+	// Config parameterizes the election algorithm (constants c1/c2, message
+	// mode, ablations, test hooks).
+	Config = core.Config
+	// Options are the per-run simulation knobs (seed, budget, observer).
+	Options = core.RunOptions
+	// Result summarizes one election run.
+	Result = core.Result
+	// ID is a protocol-level identity drawn from [1, n^4].
+	ID = protocol.ID
+	// Table is one experiment's rendered output.
+	Table = experiments.Table
+	// BroadcastResult reports a push-pull run.
+	BroadcastResult = broadcast.Result
+	// FloodMaxResult reports the Omega(m)-class baseline.
+	FloodMaxResult = baseline.FloodMaxResult
+)
+
+// DefaultConfig returns the paper-faithful default parameters (c1=6, c2=2,
+// natural log, CONGEST messages).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Elect runs the paper's implicit leader-election algorithm on g.
+func Elect(g *Graph, cfg Config, opts Options) (*Result, error) {
+	return core.Run(g, cfg, opts)
+}
+
+// FloodMax runs the Omega(m)-message flooding baseline (explicit election).
+// horizon 0 means n rounds.
+func FloodMax(g *Graph, seed int64, horizon int) (*FloodMaxResult, error) {
+	return baseline.FloodMax(g, seed, horizon)
+}
+
+// PushPull spreads a rumor with push-pull (or push-only) gossip for
+// `horizon` rounds.
+func PushPull(g *Graph, source int, rumor ID, seed int64, horizon int, pushOnly bool) (*BroadcastResult, error) {
+	return broadcast.PushPull(g, source, rumor, seed, horizon, pushOnly)
+}
+
+// BFSTree builds a BFS spanning tree by flooding (Theta(m) messages).
+func BFSTree(g *Graph, root int, seed int64) (*broadcast.TreeResult, error) {
+	return broadcast.BFSTree(g, root, seed)
+}
+
+// MixingTime returns the exact lazy-walk mixing time at the paper's
+// accuracy 1/(2n), searching up to tmax steps.
+func MixingTime(g *Graph, tmax int) (int, error) { return spectral.MixingTime(g, tmax) }
+
+// MixingTimeSampled estimates tmix from the given start nodes (exact on
+// vertex-transitive graphs).
+func MixingTimeSampled(g *Graph, tmax int, starts []int) (int, error) {
+	return spectral.MixingTimeSampled(g, spectral.DefaultEps(g.N()), tmax, starts)
+}
+
+// Lambda2 computes the second eigenvalue of the lazy walk operator.
+func Lambda2(g *Graph) (float64, error) { return spectral.Lambda2(g, 20000, 1e-12) }
+
+// CheegerBounds converts lambda2 into the conductance sandwich
+// 1-lambda2 <= phi <= 2 sqrt(1-lambda2).
+func CheegerBounds(lambda2 float64) (lo, hi float64) { return spectral.CheegerBounds(lambda2) }
+
+// Conductance returns the exact conductance for tiny graphs (n <= 22).
+func Conductance(g *Graph) (float64, error) { return spectral.ConductanceBrute(g) }
+
+// SweepConductance returns a spectral sweep-cut upper bound on phi.
+func SweepConductance(g *Graph) (float64, error) {
+	phi, _, err := spectral.SweepCut(g, 20000, 1e-12)
+	return phi, err
+}
+
+// NewClique returns K_n.
+func NewClique(n int, seed int64) (*Graph, error) {
+	return graph.Clique(n, rand.New(rand.NewSource(seed)))
+}
+
+// NewCycle returns the n-cycle.
+func NewCycle(n int, seed int64) (*Graph, error) {
+	return graph.Cycle(n, rand.New(rand.NewSource(seed)))
+}
+
+// NewHypercube returns the 2^dim-node hypercube.
+func NewHypercube(dim int, seed int64) (*Graph, error) {
+	return graph.Hypercube(dim, rand.New(rand.NewSource(seed)))
+}
+
+// NewTorus returns the rows x cols wraparound grid.
+func NewTorus(rows, cols int, seed int64) (*Graph, error) {
+	return graph.Torus2D(rows, cols, rand.New(rand.NewSource(seed)))
+}
+
+// NewRandomRegular returns a random simple connected d-regular graph
+// (an expander w.h.p. for constant d >= 3).
+func NewRandomRegular(n, d int, seed int64) (*Graph, error) {
+	return graph.RandomRegular(n, d, rand.New(rand.NewSource(seed)))
+}
+
+// NewLowerBoundGraph builds the Section 4.1 graph with ~n nodes and
+// conductance Theta(alpha), 1/n^2 < alpha < 1/144.
+func NewLowerBoundGraph(n int, alpha float64, seed int64) (*LowerBoundGraph, error) {
+	return graph.NewLowerBound(n, alpha, rand.New(rand.NewSource(seed)))
+}
+
+// NewDumbbell builds the Section 5 dumbbell from two random d-regular
+// halves joined by two bridges.
+func NewDumbbell(half, d int, seed int64) (*DumbbellGraph, error) {
+	return graph.NewDumbbell(half, d, rand.New(rand.NewSource(seed)))
+}
+
+// NewDumbbellCliques builds the dumbbell from two cliques.
+func NewDumbbellCliques(half int, seed int64) (*DumbbellGraph, error) {
+	return graph.NewDumbbellCliques(half, rand.New(rand.NewSource(seed)))
+}
+
+// RunExperiment executes one of the reproduction experiments (E1..E14; see
+// DESIGN.md) and returns its table. quick shrinks sizes for smoke runs.
+func RunExperiment(id string, seed int64, quick bool) (*Table, error) {
+	r, ok := experiments.Get(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return r.Run(experiments.NewSuite(seed, quick))
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }

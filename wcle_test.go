@@ -1,0 +1,143 @@
+package wcle_test
+
+import (
+	"testing"
+
+	"wcle"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	g, err := wcle.NewRandomRegular(64, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wcle.Elect(g, wcle.DefaultConfig(), wcle.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Leaders) > 1 {
+		t.Fatalf("multiple leaders: %v", res.Leaders)
+	}
+	if res.Metrics.Messages == 0 {
+		t.Fatal("no messages recorded")
+	}
+}
+
+func TestPublicGraphBuilders(t *testing.T) {
+	if _, err := wcle.NewClique(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wcle.NewCycle(8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wcle.NewHypercube(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wcle.NewTorus(3, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wcle.NewRandomRegular(16, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wcle.NewLowerBoundGraph(512, 1.0/196, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wcle.NewDumbbell(16, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wcle.NewDumbbellCliques(8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSpectral(t *testing.T) {
+	g, err := wcle.NewClique(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := wcle.MixingTime(g, 1000)
+	if err != nil || tm < 1 {
+		t.Fatalf("MixingTime = %d, %v", tm, err)
+	}
+	tms, err := wcle.MixingTimeSampled(g, 1000, []int{0})
+	if err != nil || tms != tm {
+		t.Fatalf("sampled %d != exact %d (%v)", tms, tm, err)
+	}
+	lam, err := wcle.Lambda2(g)
+	if err != nil || lam <= 0 || lam >= 1 {
+		t.Fatalf("Lambda2 = %v, %v", lam, err)
+	}
+	lo, hi := wcle.CheegerBounds(lam)
+	phi, err := wcle.Conductance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi < lo-1e-9 || phi > hi+1e-9 {
+		t.Fatalf("phi %v outside Cheeger [%v, %v]", phi, lo, hi)
+	}
+	sweep, err := wcle.SweepConductance(g)
+	if err != nil || sweep < phi-1e-9 {
+		t.Fatalf("sweep %v below exact %v (%v)", sweep, phi, err)
+	}
+}
+
+func TestPublicExplicit(t *testing.T) {
+	g, err := wcle.NewClique(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wcle.ElectExplicit(g, wcle.DefaultConfig(), wcle.Options{Seed: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Implicit == nil {
+		t.Fatal("missing implicit result")
+	}
+	if len(res.Implicit.Leaders) == 1 {
+		if !res.AllInformed {
+			t.Fatal("explicit election should inform everyone")
+		}
+		if res.TotalMessages <= res.Implicit.Metrics.Messages {
+			t.Fatal("broadcast messages not accounted")
+		}
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g, err := wcle.NewHypercube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := wcle.FloodMax(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Leaders) != 1 {
+		t.Fatalf("floodmax leaders = %v", fm.Leaders)
+	}
+	bt, err := wcle.BFSTree(g, 0, 1)
+	if err != nil || !bt.Complete {
+		t.Fatalf("bfs tree: %v, complete=%v", err, bt.Complete)
+	}
+	pp, err := wcle.PushPull(g, 0, 9, 1, 64, false)
+	if err != nil || !pp.AllInformed {
+		t.Fatalf("push-pull: %v, informed=%d", err, pp.Informed)
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	ids := wcle.ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("experiment ids = %v", ids)
+	}
+	tab, err := wcle.RunExperiment("E3", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("E3 produced no rows")
+	}
+	if _, err := wcle.RunExperiment("E99", 1, true); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
