@@ -144,15 +144,14 @@ func BenchmarkLowerBoundConstruction(b *testing.B) {
 	}
 }
 
-// Regenerate the full suite exactly once (the EXPERIMENTS.md pipeline),
-// verifying every runner stays green under the bench harness.
+// Regenerate the full suite exactly once (the EXPERIMENTS.md pipeline) on
+// the parallel harness, verifying every spec stays green under the bench
+// harness.
 func BenchmarkFullQuickSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := experiments.NewSuite(42, true)
-		for _, r := range experiments.All() {
-			if _, err := r.Run(s); err != nil {
-				b.Fatalf("%s: %v", r.ID, err)
-			}
+		h := &experiments.Harness{Config: experiments.SuiteConfig{Seed: 42, Quick: true}}
+		if _, err := h.Run(nil); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,18 +1,27 @@
-// Command benchsuite regenerates the paper-reproduction tables (E1..E14,
-// see DESIGN.md) and renders them as the Markdown recorded in
-// EXPERIMENTS.md.
+// Command benchsuite runs the paper-reproduction suite (E1..E14, see
+// DESIGN.md) on a parallel worker pool and renders the aggregate as the
+// Markdown recorded in EXPERIMENTS.md.
+//
+// Trials fan out across -workers goroutines with deterministic per-trial
+// seeds: the same configuration produces byte-identical -json output
+// whatever the worker count. With -checkpoint, partial results are
+// persisted as JSON and an interrupted suite resumes where it stopped.
 //
 // Examples:
 //
-//	benchsuite -quick                  # fast smoke regime
-//	benchsuite -out EXPERIMENTS.md     # the full regime, written to a file
-//	benchsuite -exp E1,E8              # a subset
+//	benchsuite -quick                              # fast smoke regime, stdout
+//	benchsuite -render EXPERIMENTS.md              # the full regime, rendered to a file
+//	benchsuite -experiments E1,E8 -trials 4        # a subset, 4 trials per point
+//	benchsuite -workers 16 -json results.json      # raw trial metrics as JSON
+//	benchsuite -checkpoint ckpt.json               # resumable run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,29 +37,63 @@ func main() {
 
 func run() error {
 	var (
-		quick = flag.Bool("quick", false, "small sizes and trial counts")
-		seed  = flag.Int64("seed", 42, "suite seed")
-		exps  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		out   = flag.String("out", "", "output file (default: stdout)")
+		quick   = flag.Bool("quick", false, "small sizes and trial counts")
+		seed    = flag.Int64("seed", 42, "suite seed")
+		exps    = flag.String("experiments", "", "comma-separated experiment ids (default: all)")
+		expOld  = flag.String("exp", "", "alias for -experiments")
+		trials  = flag.Int("trials", 0, "override every experiment's per-point trial count (0 = spec defaults)")
+		maxN    = flag.Int("n", 0, "cap graph sizes at n (0 = regime defaults)")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker-pool size for parallel trials")
+		jsonOut = flag.String("json", "", "write raw trial metrics as canonical JSON to this file")
+		render  = flag.String("render", "", "render the experiment tables as Markdown to this file (\"-\" = stdout)")
+		out     = flag.String("out", "", "alias for -render")
+		ckpt    = flag.String("checkpoint", "", "checkpoint file: loaded to resume, rewritten during the run")
 	)
 	flag.Parse()
 
-	var selected []experiments.Runner
-	if *exps == "" {
-		selected = experiments.All()
-	} else {
-		for _, id := range strings.Split(*exps, ",") {
-			r, ok := experiments.Get(strings.TrimSpace(id))
-			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: %v)", id, experiments.IDs())
-			}
-			selected = append(selected, r)
+	sel := *exps
+	if sel == "" {
+		sel = *expOld
+	}
+	var ids []string
+	if sel != "" {
+		ids = strings.Split(sel, ",")
+	}
+	cfg := experiments.SuiteConfig{Seed: *seed, Quick: *quick, Trials: *trials, MaxN: *maxN}
+	h := &experiments.Harness{
+		Config:         cfg,
+		Workers:        *workers,
+		CheckpointPath: *ckpt,
+		Progress: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "benchsuite: "+format+"\n", args...)
+		},
+	}
+
+	start := time.Now()
+	res, err := h.Run(ids)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchsuite: suite done in %v on %d workers\n",
+		time.Since(start).Round(time.Millisecond), *workers)
+
+	if *jsonOut != "" {
+		b, err := res.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			return err
 		}
 	}
 
+	dest := *render
+	if dest == "" {
+		dest = *out
+	}
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if dest != "" && dest != "-" {
+		f, err := os.Create(dest)
 		if err != nil {
 			return err
 		}
@@ -61,24 +104,18 @@ func run() error {
 		}()
 		w = f
 	}
+	return experiments.RenderSuite(w, cfg, ids, res, gitRevision())
+}
 
-	regime := "full"
-	if *quick {
-		regime = "quick"
+// gitRevision pins the rendered document to the working tree's commit.
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
 	}
-	fmt.Fprintf(w, "# EXPERIMENTS — measured reproduction of \"Leader Election in Well-Connected Graphs\" (PODC 2018)\n\n")
-	fmt.Fprintf(w, "Generated by `go run ./cmd/benchsuite` (regime: %s, seed: %d). ", regime, *seed)
-	fmt.Fprintf(w, "Each table corresponds to one experiment of DESIGN.md section 3; absolute numbers are implementation-specific, the *shapes* (flat ratios, fitted exponents, orderings) are the reproduction targets.\n\n")
-
-	suite := experiments.NewSuite(*seed, *quick)
-	for _, r := range selected {
-		start := time.Now()
-		tab, err := r.Run(suite)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
-		}
-		fmt.Fprint(w, tab.Markdown())
-		fmt.Fprintf(os.Stderr, "benchsuite: %s (%s) done in %v\n", r.ID, r.Name, time.Since(start).Round(time.Millisecond))
+	rev := strings.TrimSpace(string(out))
+	if dirty, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(dirty) > 0 {
+		rev += "-dirty"
 	}
-	return nil
+	return rev
 }

@@ -32,5 +32,6 @@
 // internal/spectral (mixing times and conductance), internal/protocol
 // (CONGEST message plumbing), internal/broadcast, internal/baseline,
 // internal/lowerbound, and internal/experiments (the E1-E14 suite described
-// in DESIGN.md, rendered into EXPERIMENTS.md by cmd/benchsuite).
+// in DESIGN.md, run on a parallel worker-pool harness and rendered into
+// EXPERIMENTS.md by cmd/benchsuite). README.md has the CLI quickstart.
 package wcle

@@ -1,0 +1,3 @@
+module wcle
+
+go 1.24

@@ -19,6 +19,11 @@ type RunOptions struct {
 	Concurrent bool
 	// Observer taps every accepted send.
 	Observer sim.Observer
+	// LeanMetrics skips per-kind message accounting on the simulator's
+	// send hot path (Result.Metrics.ByKind stays empty). Bulk experiment
+	// trials enable it; use a trace.KindCounter observer when per-kind
+	// counts are still wanted.
+	LeanMetrics bool
 	// MaxRounds overrides the default round cap (0 = derived from the
 	// schedule).
 	MaxRounds int
@@ -99,6 +104,7 @@ func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
 		MaxMessageBits: rt.codec.Cap(),
 		MessageBudget:  opts.Budget,
 		Concurrent:     opts.Concurrent,
+		LeanMetrics:    opts.LeanMetrics,
 		Observer:       opts.Observer,
 	}
 	metrics, err := sim.Run(simCfg, procs)

@@ -1,12 +1,21 @@
-// Package experiments defines the reproduction suite: one runner per
+// Package experiments defines the reproduction suite: one Spec per
 // experiment E1..E14 of DESIGN.md, each regenerating the measurements that
 // stand in for the paper's quantitative claims (the paper is a theory paper
 // with no empirical tables; every theorem/lemma/corollary with a complexity
 // statement becomes a table here, plus the Figure 1/2 construction checks).
 //
-// Runners return Tables that cmd/benchsuite renders to Markdown (the
-// contents of EXPERIMENTS.md) and that bench_test.go exposes as testing.B
-// benchmarks.
+// A Spec decomposes an experiment into measurement Points (a graph family
+// and size, a conductance scale, an ablation variant, ...) and independent
+// Trials per point. The parallel harness in harness.go fans trials out
+// across a worker pool with deterministic per-trial seeds, streams them
+// into per-point aggregation (internal/stats), and checkpoints raw trial
+// metrics as JSON so interrupted suites resume. Render turns aggregated
+// points back into the Tables that cmd/benchsuite writes to EXPERIMENTS.md
+// and that bench_test.go exposes as testing.B benchmarks.
+//
+// Several experiments are different views of one shared measurement grid:
+// E2, E5, and E13 set DataFrom = "E1" and render the E1 upper-bound grid's
+// trial data instead of re-running elections of their own.
 package experiments
 
 import (
@@ -15,13 +24,16 @@ import (
 	"strings"
 )
 
-// Table is one experiment's output.
+// Table is one experiment's rendered output.
 type Table struct {
 	ID      string
 	Title   string
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Plot, when non-empty, is an ASCII trend plot rendered as a fenced
+	// code block under the table.
+	Plot string
 }
 
 // AddRow appends a formatted row.
@@ -48,71 +60,178 @@ func (t *Table) Markdown() string {
 	for _, n := range t.Notes {
 		sb.WriteString("\n> " + n + "\n")
 	}
+	if t.Plot != "" {
+		sb.WriteString("\n```text\n" + strings.TrimRight(t.Plot, "\n") + "\n```\n")
+	}
 	sb.WriteString("\n")
 	return sb.String()
 }
 
-// Suite runs experiments with a shared seed and size regime.
-type Suite struct {
-	// Seed drives every run in the suite deterministically.
+// Metrics is the scalar measurement vector one trial produces, keyed by
+// metric name. Values must be finite; 0/1 encodes booleans.
+type Metrics map[string]float64
+
+// SuiteConfig parameterizes one suite run. The zero value plus a seed is
+// the full regime.
+type SuiteConfig struct {
+	// Seed drives every trial in the suite deterministically.
 	Seed int64
-	// Quick shrinks sizes and trial counts for CI/tests; the full regime is
-	// what EXPERIMENTS.md records.
+	// Quick shrinks sizes and trial counts for CI/tests; the full regime
+	// is what EXPERIMENTS.md records.
 	Quick bool
-
-	cache map[string]interface{}
+	// Trials, when positive, overrides every spec's per-point trial count.
+	Trials int
+	// MaxN, when positive, drops measurement points whose graph size
+	// exceeds it (and caps the lower-bound construction size).
+	MaxN int
 }
 
-// NewSuite returns a Suite.
-func NewSuite(seed int64, quick bool) *Suite {
-	return &Suite{Seed: seed, Quick: quick, cache: make(map[string]interface{})}
-}
-
-// Runner is a named experiment.
-type Runner struct {
-	ID   string
-	Name string
-	Run  func(s *Suite) (*Table, error)
-}
-
-// All returns every experiment runner in order.
-func All() []Runner {
-	return []Runner{
-		{"E1", "message-scaling", (*Suite).E1MessageScaling},
-		{"E2", "time-scaling", (*Suite).E2TimeScaling},
-		{"E3", "contender-concentration", (*Suite).E3ContenderConcentration},
-		{"E4", "unique-leader", (*Suite).E4UniqueLeader},
-		{"E5", "guess-and-double", (*Suite).E5GuessDouble},
-		{"E6", "message-modes", (*Suite).E6MessageModes},
-		{"E7", "explicit-election", (*Suite).E7Explicit},
-		{"E8", "lower-bound-graph", (*Suite).E8LowerBoundGraph},
-		{"E9", "inter-clique-discovery", (*Suite).E9InterCliqueDiscovery},
-		{"E10", "budgeted-election", (*Suite).E10BudgetedElection},
-		{"E11", "broadcast-spanning-tree", (*Suite).E11BroadcastST},
-		{"E12", "dumbbell-knowledge-of-n", (*Suite).E12Dumbbell},
-		{"E13", "known-tmix-baseline", (*Suite).E13KnownTmix},
-		{"E14", "ablations", (*Suite).E14Ablations},
+// trialsFor resolves the per-point trial count for a spec.
+func (c SuiteConfig) trialsFor(s Spec) int {
+	if c.Trials > 0 {
+		return c.Trials
 	}
+	if c.Quick {
+		return s.QuickTrials
+	}
+	return s.FullTrials
 }
 
-// Get runs a single experiment by id.
-func Get(id string) (Runner, bool) {
-	for _, r := range All() {
-		if r.ID == id {
-			return r, true
+// capSizes filters a size list by MaxN.
+func (c SuiteConfig) capSizes(sizes []int) []int {
+	if c.MaxN <= 0 {
+		return sizes
+	}
+	out := make([]int, 0, len(sizes))
+	for _, n := range sizes {
+		if n <= c.MaxN {
+			out = append(out, n)
 		}
 	}
-	return Runner{}, false
+	return out
 }
 
-// IDs lists all experiment ids.
+// lbSize is the lower-bound construction size for the regime.
+func (c SuiteConfig) lbSize() int {
+	n := 1024
+	if c.Quick {
+		n = 512
+	}
+	if c.MaxN > 0 && c.MaxN < n {
+		n = c.MaxN
+	}
+	return n
+}
+
+// Point is one measurement point of an experiment. Key must be unique
+// within the experiment and stable across runs (it keys checkpoint
+// entries); the remaining fields carry whatever parameters the spec's
+// Trial understands.
+type Point struct {
+	Key    string
+	Family string
+	N      int
+	Alpha  float64
+	Label  string
+	Mult   int
+}
+
+// Spec is one registry-driven experiment.
+type Spec struct {
+	ID    string
+	Name  string
+	Title string
+	// Claim names the paper statement the experiment exercises.
+	Claim string
+
+	// DataFrom, when set, makes this experiment a pure view: it renders
+	// the named experiment's trial data and contributes no trials itself.
+	DataFrom string
+
+	// FullTrials/QuickTrials are the per-point trial counts of the two
+	// regimes (ignored when DataFrom is set).
+	FullTrials  int
+	QuickTrials int
+
+	// Points enumerates the measurement points for a regime.
+	Points func(cfg SuiteConfig) []Point
+	// Setup, optional, runs once per point (cached by the harness, seeded
+	// deterministically from the point key) and hands its result to every
+	// trial of that point. Expensive point-level work (graph construction,
+	// mixing-time measurement) lives here.
+	Setup func(cfg SuiteConfig, pt Point, seed int64) (interface{}, error)
+	// Trial runs one independent trial and returns its metrics. seed is
+	// derived deterministically from (suite seed, experiment, point,
+	// trial index) and is the only randomness the trial may use.
+	Trial func(cfg SuiteConfig, pt Point, setup interface{}, seed int64) (Metrics, error)
+	// Render turns the aggregated per-point trial data into the table.
+	Render func(cfg SuiteConfig, data []PointData) (*Table, error)
+}
+
+// DataID returns the id of the experiment whose trial data this spec
+// renders (itself unless DataFrom is set).
+func (s Spec) DataID() string {
+	if s.DataFrom != "" {
+		return s.DataFrom
+	}
+	return s.ID
+}
+
+// All returns every experiment spec in E1..E14 order.
+func All() []Spec {
+	return []Spec{
+		e1Spec(), e2Spec(), e3Spec(), e4Spec(), e5Spec(), e6Spec(), e7Spec(),
+		e8Spec(), e9Spec(), e10Spec(), e11Spec(), e12Spec(), e13Spec(), e14Spec(),
+	}
+}
+
+// Get returns a single experiment spec by id.
+func Get(id string) (Spec, bool) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// IDs lists all experiment ids (sorted lexicographically).
 func IDs() []string {
 	var out []string
-	for _, r := range All() {
-		out = append(out, r.ID)
+	for _, s := range All() {
+		out = append(out, s.ID)
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Resolve maps a list of experiment ids to specs, preserving registry
+// order and deduplicating. nil or empty selects every experiment.
+func Resolve(ids []string) ([]Spec, error) {
+	if len(ids) == 0 {
+		return All(), nil
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if _, ok := Get(id); !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+		}
+		want[id] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("experiments: no experiment ids in %q (known: %v)", strings.Join(ids, ","), IDs())
+	}
+	var out []Spec
+	for _, s := range All() {
+		if want[s.ID] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
@@ -121,3 +240,9 @@ func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func g3(v float64) string { return fmt.Sprintf("%.3g", v) }
 func d(v int) string      { return fmt.Sprintf("%d", v) }
 func d64(v int64) string  { return fmt.Sprintf("%d", v) }
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

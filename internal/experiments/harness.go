@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"wcle/internal/sim"
+	"wcle/internal/stats"
+)
+
+// ResultsSchema versions the checkpoint/results JSON layout.
+const ResultsSchema = 1
+
+// Results holds the raw per-trial metrics of a (possibly partial) suite
+// run, keyed by unit key "<experiment>|<point>|<trial>". It is both the
+// harness's checkpoint format and the -json output of cmd/benchsuite; its
+// canonical JSON encoding is byte-identical for identical configurations
+// regardless of worker count or completion order.
+type Results struct {
+	Schema int                `json:"schema"`
+	Seed   int64              `json:"seed"`
+	Quick  bool               `json:"quick"`
+	Trials int                `json:"trials_override,omitempty"`
+	MaxN   int                `json:"max_n,omitempty"`
+	Units  map[string]Metrics `json:"units"`
+}
+
+// NewResults returns an empty Results for a configuration.
+func NewResults(cfg SuiteConfig) *Results {
+	return &Results{Schema: ResultsSchema, Seed: cfg.Seed, Quick: cfg.Quick,
+		Trials: cfg.Trials, MaxN: cfg.MaxN, Units: make(map[string]Metrics)}
+}
+
+// CanonicalJSON marshals the results deterministically (encoding/json
+// sorts map keys) with a trailing newline.
+func (r *Results) CanonicalJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Matches reports whether the results were produced under cfg (the resume
+// safety check).
+func (r *Results) Matches(cfg SuiteConfig) bool {
+	return r.Schema == ResultsSchema && r.Seed == cfg.Seed && r.Quick == cfg.Quick &&
+		r.Trials == cfg.Trials && r.MaxN == cfg.MaxN
+}
+
+// LoadResults reads a results/checkpoint JSON file.
+func LoadResults(path string) (*Results, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Results
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("experiments: corrupt results file %s: %w", path, err)
+	}
+	if r.Units == nil {
+		r.Units = make(map[string]Metrics)
+	}
+	return &r, nil
+}
+
+// UnitKey builds the stable key of one trial's metrics in Results.Units.
+func UnitKey(dataID, pointKey string, trial int) string {
+	return fmt.Sprintf("%s|%s|%d", dataID, pointKey, trial)
+}
+
+// trialSeed derives the deterministic seed of one unit (or one point's
+// setup) from the suite seed and the unit's stable key, so results are
+// independent of worker count and execution order.
+func trialSeed(master int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return sim.DeriveSeed(master, h.Sum64())
+}
+
+// setupSlot lazily computes a point's Setup exactly once across workers.
+type setupSlot struct {
+	once sync.Once
+	val  interface{}
+	err  error
+}
+
+// unit is one schedulable trial.
+type unit struct {
+	spec  Spec // the data-owning spec
+	point Point
+	trial int
+	key   string
+	slot  *setupSlot
+}
+
+// Harness runs experiment specs on a worker pool. The zero value is
+// usable: full regime semantics come from Config, Workers defaults to
+// runtime.NumCPU(), and no checkpointing happens unless CheckpointPath is
+// set.
+type Harness struct {
+	Config SuiteConfig
+	// Workers is the worker-pool size (0 = runtime.NumCPU()).
+	Workers int
+	// CheckpointPath, when set, is loaded before the run (completed units
+	// are skipped) and rewritten atomically every CheckpointEvery
+	// completions and at the end.
+	CheckpointPath string
+	// CheckpointEvery is the flush interval in completed units
+	// (0 = adaptive: pending/8, clamped to [1, 32]).
+	CheckpointEvery int
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress func(format string, args ...interface{})
+}
+
+func (h *Harness) logf(format string, args ...interface{}) {
+	if h.Progress != nil {
+		h.Progress(format, args...)
+	}
+}
+
+// Run executes the trials of the named experiments (nil = all) and
+// returns the accumulated raw results. Experiments that are views
+// (DataFrom) contribute their data experiment's trials; shared data is
+// scheduled once even when several selected experiments depend on it.
+func (h *Harness) Run(ids []string) (*Results, error) {
+	specs, err := Resolve(ids)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect the data-owning specs, deduplicated, in registry order.
+	needData := make(map[string]string) // data id -> a spec that needs it
+	for _, s := range specs {
+		needData[s.DataID()] = s.ID
+	}
+	var dataSpecs []Spec
+	for _, s := range All() {
+		if _, ok := needData[s.ID]; ok && s.DataFrom == "" {
+			dataSpecs = append(dataSpecs, s)
+		}
+	}
+	for id, by := range needData {
+		if s, ok := Get(id); !ok || s.DataFrom != "" {
+			return nil, fmt.Errorf("experiments: %s names data experiment %q which does not own data", by, id)
+		}
+	}
+
+	res := NewResults(h.Config)
+	if h.CheckpointPath != "" {
+		if prev, err := LoadResults(h.CheckpointPath); err == nil {
+			if !prev.Matches(h.Config) {
+				return nil, fmt.Errorf("experiments: checkpoint %s was written under a different configuration (seed/regime/trials/max-n); refusing to mix results", h.CheckpointPath)
+			}
+			res = prev
+			h.logf("resuming from %s: %d units already done", h.CheckpointPath, len(res.Units))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+
+	// Enumerate pending units; one setup slot per point, shared by its
+	// trials.
+	var units []unit
+	total := 0
+	for _, s := range dataSpecs {
+		trials := h.Config.trialsFor(s)
+		for _, pt := range s.Points(h.Config) {
+			slot := &setupSlot{}
+			for i := 0; i < trials; i++ {
+				total++
+				key := UnitKey(s.ID, pt.Key, i)
+				if _, done := res.Units[key]; done {
+					continue
+				}
+				units = append(units, unit{spec: s, point: pt, trial: i, key: key, slot: slot})
+			}
+		}
+	}
+	h.logf("%d/%d units pending", len(units), total)
+	if len(units) == 0 {
+		return res, h.saveCheckpoint(res)
+	}
+
+	workers := h.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	// Default flush cadence: often enough that interrupting a small suite
+	// of expensive units loses little work, capped so huge sampling suites
+	// don't re-marshal the results map on every completion.
+	every := h.CheckpointEvery
+	if every <= 0 {
+		every = len(units) / 8
+		if every < 1 {
+			every = 1
+		}
+		if every > 32 {
+			every = 32
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		wg       sync.WaitGroup
+		quit     = make(chan struct{})
+		quitOnce sync.Once
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		quitOnce.Do(func() { close(quit) })
+	}
+	jobs := make(chan unit)
+	go func() {
+		defer close(jobs)
+		for _, u := range units {
+			select {
+			case jobs <- u:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range jobs {
+				m, err := h.runUnit(u)
+				if err != nil {
+					fail(fmt.Errorf("%s: %w", u.key, err))
+					return
+				}
+				mu.Lock()
+				res.Units[u.key] = m
+				done++
+				flush := h.CheckpointPath != "" && done%every == 0
+				var saveErr error
+				if flush {
+					saveErr = h.saveCheckpoint(res)
+				}
+				n := done
+				mu.Unlock()
+				if saveErr != nil {
+					fail(saveErr)
+					return
+				}
+				if n%50 == 0 || n == len(units) {
+					h.logf("%d/%d units done", n, len(units))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// Preserve completed work for resume even on failure.
+		mu.Lock()
+		_ = h.saveCheckpoint(res)
+		mu.Unlock()
+		return nil, firstErr
+	}
+	return res, h.saveCheckpoint(res)
+}
+
+// runUnit executes one trial, lazily performing its point's setup.
+func (h *Harness) runUnit(u unit) (Metrics, error) {
+	var setup interface{}
+	if u.spec.Setup != nil {
+		u.slot.once.Do(func() {
+			seed := trialSeed(h.Config.Seed, u.spec.ID+"|"+u.point.Key+"|setup")
+			u.slot.val, u.slot.err = u.spec.Setup(h.Config, u.point, seed)
+		})
+		if u.slot.err != nil {
+			return nil, fmt.Errorf("setup: %w", u.slot.err)
+		}
+		setup = u.slot.val
+	}
+	m, err := u.spec.Trial(h.Config, u.point, setup, trialSeed(h.Config.Seed, u.key))
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, errors.New("trial returned nil metrics")
+	}
+	return m, nil
+}
+
+// saveCheckpoint atomically rewrites the checkpoint file (no-op without a
+// path). Callers must hold the harness results lock.
+func (h *Harness) saveCheckpoint(res *Results) error {
+	if h.CheckpointPath == "" {
+		return nil
+	}
+	b, err := res.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	tmp := h.CheckpointPath + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(h.CheckpointPath), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, h.CheckpointPath)
+}
+
+// PointData is one point's aggregated view for rendering: the point plus
+// its trials' metrics in trial order.
+type PointData struct {
+	Point  Point
+	Trials []Metrics
+}
+
+// Values collects a metric across trials, skipping trials that did not
+// report it.
+func (p PointData) Values(metric string) []float64 {
+	var out []float64
+	for _, m := range p.Trials {
+		if v, ok := m[metric]; ok && !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Agg aggregates a metric across trials (ok=false if no trial reported it).
+func (p PointData) Agg(metric string) (stats.Agg, bool) {
+	a, err := stats.Aggregate(p.Values(metric))
+	if err != nil {
+		return stats.Agg{}, false
+	}
+	return a, true
+}
+
+// Median returns the metric's median across trials (NaN if absent).
+func (p PointData) Median(metric string) float64 {
+	a, ok := p.Agg(metric)
+	if !ok {
+		return math.NaN()
+	}
+	return a.Median
+}
+
+// Mean returns the metric's mean across trials (NaN if absent).
+func (p PointData) Mean(metric string) float64 {
+	a, ok := p.Agg(metric)
+	if !ok {
+		return math.NaN()
+	}
+	return a.Mean
+}
+
+// Sum returns the metric's sum across trials (0/1 metrics become counts).
+func (p PointData) Sum(metric string) float64 {
+	var s float64
+	for _, v := range p.Values(metric) {
+		s += v
+	}
+	return s
+}
+
+// Count returns Sum rounded to an int (for 0/1 metrics).
+func (p PointData) Count(metric string) int { return int(math.Round(p.Sum(metric))) }
+
+// First returns the metric from the lowest-index trial reporting it (for
+// per-point constants recorded as metrics).
+func (p PointData) First(metric string) float64 {
+	for _, m := range p.Trials {
+		if v, ok := m[metric]; ok {
+			return v
+		}
+	}
+	return math.NaN()
+}
+
+// DataFor assembles the aggregated per-point data a spec renders from raw
+// results. Every point must have at least one completed trial.
+func DataFor(s Spec, cfg SuiteConfig, res *Results) ([]PointData, error) {
+	data, ok := Get(s.DataID())
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s: unknown data experiment %q", s.ID, s.DataID())
+	}
+	trials := cfg.trialsFor(data)
+	var out []PointData
+	for _, pt := range data.Points(cfg) {
+		pd := PointData{Point: pt}
+		for i := 0; i < trials; i++ {
+			if m, ok := res.Units[UnitKey(data.ID, pt.Key, i)]; ok {
+				pd.Trials = append(pd.Trials, m)
+			}
+		}
+		if len(pd.Trials) == 0 {
+			return nil, fmt.Errorf("experiments: %s: no results for point %s of %s (run experiment %s first)",
+				s.ID, pt.Key, data.ID, data.ID)
+		}
+		out = append(out, pd)
+	}
+	return out, nil
+}
+
+// RunOne is the convenience wrapper behind the wcle.RunExperiment facade:
+// run a single experiment on the default worker pool and render its table.
+func RunOne(cfg SuiteConfig, id string) (*Table, error) {
+	spec, ok := Get(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	h := &Harness{Config: cfg}
+	res, err := h.Run([]string{id})
+	if err != nil {
+		return nil, err
+	}
+	data, err := DataFor(spec, cfg, res)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Render(cfg, data)
+}
+
+// elected formats "k successes out of t trials".
+func elected(k, t int) string { return fmt.Sprintf("%d/%d", k, t) }
+
+// sortedPointKeys is a debugging helper: the unit keys of res in order.
+func sortedPointKeys(res *Results) []string {
+	keys := make([]string, 0, len(res.Units))
+	for k := range res.Units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

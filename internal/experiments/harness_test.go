@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testCfg is a cheap configuration: E3 and E9 are pure sampling (no
+// simulator rounds), capped at n=256 with few trials. E9 additionally
+// exercises the per-point Setup cache.
+func testCfg() SuiteConfig {
+	return SuiteConfig{Seed: 7, Quick: true, Trials: 12, MaxN: 256}
+}
+
+// TestSeedDerivationDeterministic: the same configuration yields
+// byte-identical canonical JSON regardless of worker count — the harness's
+// core determinism contract (per-trial seeds derive from the unit key, not
+// from scheduling).
+func TestSeedDerivationDeterministic(t *testing.T) {
+	var outs [][]byte
+	for _, workers := range []int{1, 4} {
+		h := &Harness{Config: testCfg(), Workers: workers}
+		res, err := h.Run([]string{"E3", "E9"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, b)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("results differ between -workers 1 and -workers 4:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+	// And a different seed must actually change the measurements.
+	cfg := testCfg()
+	cfg.Seed = 8
+	h := &Harness{Config: cfg, Workers: 4}
+	res, err := h.Run([]string{"E3", "E9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(outs[0], b) {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestUnitKeyAndTrialSeed(t *testing.T) {
+	k := UnitKey("E1", "rr8-64", 2)
+	if k != "E1|rr8-64|2" {
+		t.Fatalf("unit key = %q", k)
+	}
+	if trialSeed(1, k) == trialSeed(1, UnitKey("E1", "rr8-64", 3)) {
+		t.Fatal("adjacent trials must get distinct seeds")
+	}
+	if trialSeed(1, k) == trialSeed(2, k) {
+		t.Fatal("different master seeds must differ")
+	}
+	if trialSeed(1, k) != trialSeed(1, "E1|rr8-64|2") {
+		t.Fatal("seed derivation must be stable")
+	}
+}
+
+// TestResumeFromCheckpoint: interrupting a suite and resuming from its
+// checkpoint yields exactly the results of an uninterrupted run, and the
+// resumed run re-executes only the missing units.
+func TestResumeFromCheckpoint(t *testing.T) {
+	cfg := testCfg()
+	full, err := (&Harness{Config: cfg, Workers: 2}).Run([]string{"E3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := full.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate an interrupted run: a checkpoint holding roughly half the
+	// units.
+	partial := NewResults(cfg)
+	kept := 0
+	for _, k := range sortedPointKeys(full) {
+		if kept%2 == 0 {
+			partial.Units[k] = full.Units[k]
+		}
+		kept++
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	b, err := partial.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := (&Harness{Config: cfg, Workers: 2, CheckpointPath: ckpt, CheckpointEvery: 3}).Run([]string{"E3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := resumed.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatal("resumed results differ from uninterrupted run")
+	}
+	// The final checkpoint on disk holds the complete results too.
+	onDisk, err := LoadResults(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskJSON, err := onDisk.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, diskJSON) {
+		t.Fatal("checkpoint on disk differs from full results")
+	}
+}
+
+// A checkpoint written under a different configuration must be refused,
+// not silently mixed in.
+func TestCheckpointConfigMismatchRefused(t *testing.T) {
+	cfg := testCfg()
+	other := cfg
+	other.Seed = 999
+	stale := NewResults(other)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	b, err := stale.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = (&Harness{Config: cfg, CheckpointPath: ckpt}).Run([]string{"E3"})
+	if err == nil || !strings.Contains(err.Error(), "different configuration") {
+		t.Fatalf("mismatched checkpoint not refused: %v", err)
+	}
+}
+
+// A run that completes fully leaves no pending units on a second Run: the
+// harness short-circuits entirely from the checkpoint.
+func TestCheckpointShortCircuit(t *testing.T) {
+	cfg := testCfg()
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	if _, err := (&Harness{Config: cfg, CheckpointPath: ckpt}).Run([]string{"E3"}); err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	h := &Harness{Config: cfg, CheckpointPath: ckpt,
+		Progress: func(format string, args ...interface{}) {
+			if strings.Contains(format, "units pending") && len(args) > 0 {
+				ran = args[0].(int)
+			}
+		}}
+	if _, err := h.Run([]string{"E3"}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Fatalf("second run re-executed %d units", ran)
+	}
+}
+
+// TestDataForViews: a view experiment (E2 over E1's grid) renders from the
+// data experiment's units, and DataFor fails cleanly when data is missing.
+func TestDataForViews(t *testing.T) {
+	e2, _ := Get("E2")
+	cfg := SuiteConfig{Seed: 3, Quick: true, Trials: 1, MaxN: 32}
+	if _, err := DataFor(e2, cfg, NewResults(cfg)); err == nil {
+		t.Fatal("DataFor with empty results should fail")
+	}
+	res, err := (&Harness{Config: cfg}).Run([]string{"E2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view scheduled its data experiment's units under the E1 id.
+	for k := range res.Units {
+		if !strings.HasPrefix(k, "E1|") {
+			t.Fatalf("unexpected unit %q", k)
+		}
+	}
+	data, err := DataFor(e2, cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e2.Render(cfg, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("E2 rendered no rows")
+	}
+}
+
+// Selecting E1 and E2 together must not duplicate the shared grid units.
+func TestSharedDataScheduledOnce(t *testing.T) {
+	cfg := SuiteConfig{Seed: 3, Quick: true, Trials: 1, MaxN: 32}
+	total := -1
+	h := &Harness{Config: cfg,
+		Progress: func(format string, args ...interface{}) {
+			if strings.Contains(format, "units pending") && len(args) > 1 {
+				total = args[1].(int)
+			}
+		}}
+	if _, err := h.Run([]string{"E1", "E2", "E5", "E13"}); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := Get("E1")
+	want := len(e1.Points(cfg)) * cfg.trialsFor(e1)
+	if total != want {
+		t.Fatalf("scheduled %d units, want %d (shared grid must dedupe)", total, want)
+	}
+}
+
+func TestHarnessUnknownExperiment(t *testing.T) {
+	if _, err := (&Harness{Config: testCfg()}).Run([]string{"E99"}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if _, err := RunOne(testCfg(), "E99"); err == nil {
+		t.Fatal("RunOne unknown experiment should fail")
+	}
+}

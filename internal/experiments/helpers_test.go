@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"math"
+	"strings"
 	"testing"
 
-	"wcle/internal/core"
 	"wcle/internal/stats"
 )
 
@@ -35,12 +35,13 @@ func TestCrossoverSolvesIntersection(t *testing.T) {
 }
 
 func TestFitExponentPerFamily(t *testing.T) {
-	recs := []ubRecord{
-		{family: "a", n: 10},
-		{family: "a", n: 100},
-		{family: "b", n: 10},
+	mk := func(fam string, n int) PointData {
+		return PointData{Point: Point{Family: fam, N: n}, Trials: []Metrics{{}}}
 	}
-	b, err := fitExponent(recs, "a", func(r ubRecord) float64 { return float64(r.n * r.n) })
+	data := []PointData{mk("a", 10), mk("a", 100), mk("b", 10)}
+	b, err := fitExponent(data, "a", func(pd PointData) float64 {
+		return float64(pd.Point.N) * float64(pd.Point.N)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,43 +49,60 @@ func TestFitExponentPerFamily(t *testing.T) {
 		t.Fatalf("exponent = %v, want 2", b)
 	}
 	// Single point: NaN, no error.
-	b, err = fitExponent(recs, "b", func(r ubRecord) float64 { return 1 })
+	b, err = fitExponent(data, "b", func(pd PointData) float64 { return 1 })
 	if err != nil || !math.IsNaN(b) {
 		t.Fatalf("single-point fit: %v, %v", b, err)
 	}
 }
 
-func TestUBRecordMedians(t *testing.T) {
-	mk := func(msgs int64, success bool) *core.Result {
-		r := &core.Result{Success: success}
-		r.Metrics.Messages = msgs
-		return r
+func TestPointDataAggregation(t *testing.T) {
+	pd := PointData{
+		Point: Point{Key: "x"},
+		Trials: []Metrics{
+			{"msgs": 10, "success": 1, "tu_med": 5},
+			{"msgs": 30, "success": 0},
+			{"msgs": 20, "success": 1, "tu_med": 7},
+		},
 	}
-	rec := ubRecord{trials: []*core.Result{mk(10, true), mk(30, false), mk(20, true)}}
-	med := rec.medianOf(func(r *core.Result) float64 { return float64(r.Metrics.Messages) })
-	if med != 20 {
+	if med := pd.Median("msgs"); med != 20 {
 		t.Fatalf("median = %v, want 20", med)
 	}
-	if rec.successCount() != 2 {
-		t.Fatalf("successes = %d, want 2", rec.successCount())
+	if pd.Count("success") != 2 {
+		t.Fatalf("successes = %d, want 2", pd.Count("success"))
 	}
-	empty := ubRecord{}
-	if !math.IsNaN(empty.medianOf(func(*core.Result) float64 { return 0 })) {
-		t.Fatal("empty record median should be NaN")
+	// Metrics absent from some trials aggregate over the reporting ones.
+	if vals := pd.Values("tu_med"); len(vals) != 2 {
+		t.Fatalf("tu_med values = %v", vals)
+	}
+	if med := pd.Median("tu_med"); med != 6 {
+		t.Fatalf("tu_med median = %v, want 6", med)
+	}
+	if f := pd.First("tu_med"); f != 5 {
+		t.Fatalf("First = %v, want 5", f)
+	}
+	if !math.IsNaN(pd.Median("absent")) || !math.IsNaN(pd.Mean("absent")) {
+		t.Fatal("absent metric must aggregate to NaN")
+	}
+	if _, ok := pd.Agg("absent"); ok {
+		t.Fatal("absent metric must report !ok")
 	}
 }
 
 func TestSuiteRegimes(t *testing.T) {
-	quick := NewSuite(1, true)
-	full := NewSuite(1, false)
-	if len(quick.families()) != 3 || len(full.families()) != 4 {
+	quick := SuiteConfig{Seed: 1, Quick: true}
+	full := SuiteConfig{Seed: 1}
+	if len(gridFamilies(quick)) != 3 || len(gridFamilies(full)) != 4 {
 		t.Fatalf("family sets wrong: quick=%d full=%d (full adds the torus family)",
-			len(quick.families()), len(full.families()))
+			len(gridFamilies(quick)), len(gridFamilies(full)))
 	}
-	if quick.ubTrials() >= full.ubTrials() {
+	e1, _ := Get("E1")
+	if quick.trialsFor(e1) >= full.trialsFor(e1) {
 		t.Fatal("quick must run fewer trials")
 	}
-	if len(quick.lbAlphas()) >= len(full.lbAlphas()) {
+	if o := (SuiteConfig{Seed: 1, Trials: 9}); o.trialsFor(e1) != 9 {
+		t.Fatal("Trials override ignored")
+	}
+	if len(lbAlphas(quick)) >= len(lbAlphas(full)) {
 		t.Fatal("quick must sweep fewer alphas")
 	}
 	if quick.lbSize() >= full.lbSize() {
@@ -118,5 +136,37 @@ func TestFormatterHelpers(t *testing.T) {
 	}
 	if g3(0.00123456) != "0.00123" {
 		t.Fatalf("g3 = %q", g3(0.00123456))
+	}
+	if b2f(true) != 1 || b2f(false) != 0 {
+		t.Fatal("b2f wrong")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := []Series{
+		{Name: "a", Mark: 'o', Xs: []float64{10, 100, 1000}, Ys: []float64{1, 10, 100}},
+		{Name: "b", Mark: 'x', Xs: []float64{10, 100, 1000}, Ys: []float64{5, 5, 5}},
+	}
+	out := ASCIIPlot("demo", "n", "y", true, true, s)
+	if out == "" {
+		t.Fatal("plot empty")
+	}
+	for _, want := range []string{"demo", "o=a", "x=b", "(log-log)", "x: n, y: y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate inputs must not panic and must render nothing.
+	if ASCIIPlot("t", "x", "y", true, true, nil) != "" {
+		t.Fatal("empty series should render nothing")
+	}
+	one := []Series{{Name: "a", Mark: 'o', Xs: []float64{5}, Ys: []float64{1}}}
+	if ASCIIPlot("t", "x", "y", false, false, one) != "" {
+		t.Fatal("single point should render nothing")
+	}
+	// Non-positive values on log axes are skipped, not plotted.
+	neg := []Series{{Name: "a", Mark: 'o', Xs: []float64{-1, 10, 100}, Ys: []float64{0, 1, 2}}}
+	if out := ASCIIPlot("t", "x", "y", true, true, neg); out == "" {
+		t.Fatal("remaining positive points should still plot")
 	}
 }

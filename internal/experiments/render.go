@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of an ASCII trend plot.
+type Series struct {
+	Name string
+	Mark byte
+	Xs   []float64
+	Ys   []float64
+}
+
+// plotWidth/plotHeight are the character dimensions of the plot grid.
+const (
+	plotWidth  = 56
+	plotHeight = 12
+)
+
+// ASCIIPlot renders series as a fixed-size character plot. logX/logY
+// select logarithmic axes; points that cannot be placed (non-positive on a
+// log axis, NaN) are skipped. The output is deterministic.
+func ASCIIPlot(title, xLabel, yLabel string, logX, logY bool, series []Series) string {
+	type pt struct {
+		x, y float64
+		mark byte
+	}
+	tx := func(v float64) (float64, bool) {
+		if math.IsNaN(v) {
+			return 0, false
+		}
+		if logX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if math.IsNaN(v) {
+			return 0, false
+		}
+		if logY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log(v), true
+		}
+		return v, true
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	var rawMinX, rawMaxX, rawMinY, rawMaxY float64
+	for _, s := range series {
+		for i := range s.Xs {
+			x, okx := tx(s.Xs[i])
+			y, oky := ty(s.Ys[i])
+			if !okx || !oky {
+				continue
+			}
+			if x < minX {
+				minX, rawMinX = x, s.Xs[i]
+			}
+			if x > maxX {
+				maxX, rawMaxX = x, s.Xs[i]
+			}
+			if y < minY {
+				minY, rawMinY = y, s.Ys[i]
+			}
+			if y > maxY {
+				maxY, rawMaxY = y, s.Ys[i]
+			}
+			pts = append(pts, pt{x: x, y: y, mark: s.Mark})
+		}
+	}
+	if len(pts) < 2 || minX == maxX {
+		return ""
+	}
+	if minY == maxY {
+		// Flat series still plot as a midline; relabel the axis with the
+		// padded range so the edge labels match what the grid spans.
+		minY, maxY = minY-1, maxY+1
+		if logY {
+			rawMinY, rawMaxY = math.Exp(minY), math.Exp(maxY)
+		} else {
+			rawMinY, rawMaxY = minY, maxY
+		}
+	}
+	grid := make([][]byte, plotHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	for _, p := range pts {
+		c := int(math.Round((p.x - minX) / (maxX - minX) * float64(plotWidth-1)))
+		r := int(math.Round((p.y - minY) / (maxY - minY) * float64(plotHeight-1)))
+		grid[plotHeight-1-r][c] = p.mark
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	yHi, yLo := fmtAxis(rawMaxY), fmtAxis(rawMinY)
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for r := 0; r < plotHeight; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yHi, labelW)
+		case plotHeight - 1:
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, strings.TrimRight(string(grid[r]), " "))
+	}
+	fmt.Fprintf(&sb, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", plotWidth))
+	fmt.Fprintf(&sb, "%s  %s%s%s\n", strings.Repeat(" ", labelW),
+		fmtAxis(rawMinX),
+		strings.Repeat(" ", max(1, plotWidth-len(fmtAxis(rawMinX))-len(fmtAxis(rawMaxX)))),
+		fmtAxis(rawMaxX))
+	axes := "x: " + xLabel + ", y: " + yLabel
+	if logX && logY {
+		axes += " (log-log)"
+	} else if logX {
+		axes += " (log x)"
+	} else if logY {
+		axes += " (log y)"
+	}
+	fmt.Fprintf(&sb, "%s\n", axes)
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Mark, s.Name))
+	}
+	fmt.Fprintf(&sb, "%s\n", strings.Join(legend, "  "))
+	return sb.String()
+}
+
+func fmtAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000 || (av < 0.01 && av > 0):
+		return fmt.Sprintf("%.2g", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// seriesMarks assigns plot marks in a stable order.
+var seriesMarks = []byte{'o', 'x', '+', '*', '#', '@'}
+
+// familySeries builds one plot series per family from point data, using a
+// per-point y extractor.
+func familySeries(data []PointData, y func(PointData) float64) []Series {
+	var order []string
+	byFam := make(map[string]*Series)
+	for _, pd := range data {
+		fam := pd.Point.Family
+		if fam == "" {
+			fam = "all"
+		}
+		s, ok := byFam[fam]
+		if !ok {
+			s = &Series{Name: fam}
+			byFam[fam] = s
+			order = append(order, fam)
+		}
+		v := y(pd)
+		if math.IsNaN(v) {
+			continue
+		}
+		s.Xs = append(s.Xs, float64(pd.Point.N))
+		s.Ys = append(s.Ys, v)
+	}
+	out := make([]Series, 0, len(order))
+	for i, fam := range order {
+		s := byFam[fam]
+		s.Mark = seriesMarks[i%len(seriesMarks)]
+		out = append(out, *s)
+	}
+	return out
+}
+
+// RenderSuite renders the selected experiments' tables (plus a provenance
+// header pinning the suite seed, regime, and the given git revision) from
+// raw results into w. The output depends only on the configuration, the
+// results, and the revision string — never on worker count or wall-clock.
+func RenderSuite(w io.Writer, cfg SuiteConfig, ids []string, res *Results, revision string) error {
+	specs, err := Resolve(ids)
+	if err != nil {
+		return err
+	}
+	regime := "full"
+	if cfg.Quick {
+		regime = "quick"
+	}
+	rev := revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	fmt.Fprintf(w, "# EXPERIMENTS — measured reproduction of \"Leader Election in Well-Connected Graphs\" (PODC 2018)\n\n")
+	fmt.Fprintf(w, "Generated by `go run ./cmd/benchsuite` at revision `%s` (regime: %s, seed: %d", rev, regime, cfg.Seed)
+	if cfg.Trials > 0 {
+		fmt.Fprintf(w, ", trials override: %d", cfg.Trials)
+	}
+	if cfg.MaxN > 0 {
+		fmt.Fprintf(w, ", max n: %d", cfg.MaxN)
+	}
+	fmt.Fprintf(w, "). Each table corresponds to one experiment of DESIGN.md section 3; absolute numbers are implementation-specific, the *shapes* (flat ratios, fitted exponents, orderings) are the reproduction targets. Regenerate with `go run ./cmd/benchsuite -render EXPERIMENTS.md`.\n\n")
+	for _, s := range specs {
+		data, err := DataFor(s, cfg, res)
+		if err != nil {
+			return err
+		}
+		tab, err := s.Render(cfg, data)
+		if err != nil {
+			return fmt.Errorf("experiments: render %s: %w", s.ID, err)
+		}
+		if _, err := io.WriteString(w, tab.Markdown()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRenderGolden locks the Markdown renderer's output byte-for-byte:
+// header, tables, notes, and ASCII plots for a cheap deterministic
+// configuration. Regenerate with UPDATE_GOLDEN=1 go test ./internal/experiments -run Golden.
+func TestRenderGolden(t *testing.T) {
+	cfg := testCfg()
+	ids := []string{"E3", "E9"}
+	res, err := (&Harness{Config: cfg, Workers: 4}).Run(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderSuite(&buf, cfg, ids, res, "golden"); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "render_golden.md")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("rendered output drifted from %s.\nGot:\n%s\nWant:\n%s\n(re-run with UPDATE_GOLDEN=1 if the change is intended)",
+			golden, buf.String(), want)
+	}
+}

@@ -75,6 +75,13 @@ type Config struct {
 	// Concurrent selects the goroutine-per-awake-node execution mode.
 	Concurrent bool
 
+	// LeanMetrics drops the per-kind accounting from the send hot path:
+	// Metrics.ByKind stays empty and deliver() does no map writes or
+	// Kind() string work per message. The experiment harness enables it
+	// for bulk trial runs; per-kind counts remain available as an opt-in
+	// observer (trace.KindCounter).
+	LeanMetrics bool
+
 	// Observer, when non-nil, is invoked for every accepted send.
 	Observer Observer
 }
@@ -442,7 +449,9 @@ func (r *Runner) deliver(s sendRec) {
 	toPort := r.g.BackPort(s.from, s.fromPort)
 	r.metrics.Messages++
 	r.metrics.Bits += int64(s.payload.Bits())
-	r.metrics.ByKind[s.payload.Kind()]++
+	if !r.cfg.LeanMetrics {
+		r.metrics.ByKind[s.payload.Kind()]++
+	}
 	if r.cfg.Observer != nil {
 		r.cfg.Observer.OnSend(r.round, s.from, s.fromPort, to, toPort, s.payload)
 	}

@@ -518,3 +518,27 @@ func TestEnvelopePortIsReceiverSide(t *testing.T) {
 		t.Fatalf("received on port %d, want %d", gotPort, want)
 	}
 }
+
+// LeanMetrics must drop per-kind accounting while keeping every other
+// counter identical to a regular run.
+func TestLeanMetricsSkipsByKind(t *testing.T) {
+	g, err := graph.Hypercube(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(Config{Graph: g, Seed: 1}, floodProcs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean, err := Run(Config{Graph: g, Seed: 1, LeanMetrics: true}, floodProcs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lean.ByKind) != 0 {
+		t.Fatalf("lean run recorded kinds: %v", lean.ByKind)
+	}
+	if lean.Messages != full.Messages || lean.Bits != full.Bits ||
+		lean.FinalRound != full.FinalRound || lean.Deliveries != full.Deliveries {
+		t.Fatalf("lean metrics diverged: %+v vs %+v", lean, full)
+	}
+}

@@ -125,6 +125,46 @@ func BinomialCI(k, n int, z float64) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
+// MeanCI returns a normal-approximation confidence interval for the mean of
+// xs at the given z value (z = 1.96 for ~95%): mean +/- z * std / sqrt(n).
+// A single sample yields the degenerate interval [x, x].
+func MeanCI(xs []float64, z float64) (lo, hi float64, err error) {
+	s, err := Summarize(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	half := z * s.Std / math.Sqrt(float64(s.N))
+	return s.Mean - half, s.Mean + half, nil
+}
+
+// Agg is the streaming-aggregation record the experiment harness keeps per
+// (point, metric): the descriptive statistics of the trial samples plus a
+// 95% confidence interval on the mean.
+type Agg struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Median float64
+	Min    float64
+	Max    float64
+	CILo   float64
+	CIHi   float64
+}
+
+// Aggregate computes an Agg over xs (95% normal CI on the mean).
+func Aggregate(xs []float64) (Agg, error) {
+	s, err := Summarize(xs)
+	if err != nil {
+		return Agg{}, err
+	}
+	lo, hi, err := MeanCI(xs, 1.96)
+	if err != nil {
+		return Agg{}, err
+	}
+	return Agg{N: s.N, Mean: s.Mean, Std: s.Std, Median: s.Median,
+		Min: s.Min, Max: s.Max, CILo: lo, CIHi: hi}, nil
+}
+
 // Fit is the result of an ordinary-least-squares line fit y = a + b*x.
 type Fit struct {
 	Intercept float64 // a

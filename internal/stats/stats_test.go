@@ -221,3 +221,40 @@ func TestQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMeanCI(t *testing.T) {
+	lo, hi, err := MeanCI([]float64{10, 10, 10, 10}, 1.96)
+	if err != nil || lo != 10 || hi != 10 {
+		t.Fatalf("constant sample CI = [%v,%v], err %v", lo, hi, err)
+	}
+	lo, hi, err = MeanCI([]float64{0, 10}, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 5 && 5 < hi) {
+		t.Fatalf("CI [%v,%v] should straddle the mean", lo, hi)
+	}
+	if _, _, err := MeanCI(nil, 1.96); err == nil {
+		t.Fatal("empty sample should error")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a, err := Aggregate([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 5 || a.Mean != 3 || a.Median != 3 || a.Min != 1 || a.Max != 5 {
+		t.Fatalf("Aggregate = %+v", a)
+	}
+	if !(a.CILo < a.Mean && a.Mean < a.CIHi) {
+		t.Fatalf("CI [%v,%v] must straddle the mean", a.CILo, a.CIHi)
+	}
+	if _, err := Aggregate(nil); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	one, err := Aggregate([]float64{7})
+	if err != nil || one.CILo != 7 || one.CIHi != 7 || one.Std != 0 {
+		t.Fatalf("single sample: %+v, %v", one, err)
+	}
+}

@@ -87,6 +87,24 @@ func (rc *RoundCounter) UpTo(r int) int64 {
 	return s
 }
 
+// KindCounter tallies accepted sends per message kind. It is the opt-in
+// replacement for sim.Metrics.ByKind when a run uses Config.LeanMetrics:
+// attach it as the observer only when per-kind counts are actually wanted,
+// keeping the simulator's send path free of map writes otherwise.
+type KindCounter struct {
+	Counts map[string]int64
+}
+
+var _ sim.Observer = (*KindCounter)(nil)
+
+// OnSend implements sim.Observer.
+func (kc *KindCounter) OnSend(round int, from, fromPort, to, toPort int, m sim.Message) {
+	if kc.Counts == nil {
+		kc.Counts = make(map[string]int64)
+	}
+	kc.Counts[m.Kind()]++
+}
+
 // Multi fans one observer stream out to several observers.
 type Multi []sim.Observer
 

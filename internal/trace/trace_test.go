@@ -84,3 +84,44 @@ func TestRecorderEndToEnd(t *testing.T) {
 		t.Fatalf("recorder %d != metrics %d", r.Total, metrics.Messages)
 	}
 }
+
+func TestKindCounter(t *testing.T) {
+	kc := &KindCounter{}
+	kc.OnSend(0, 0, 0, 1, 0, msg{"a"})
+	kc.OnSend(1, 1, 0, 0, 0, msg{"a"})
+	kc.OnSend(2, 0, 0, 1, 0, msg{"b"})
+	if kc.Counts["a"] != 2 || kc.Counts["b"] != 1 {
+		t.Fatalf("counts: %v", kc.Counts)
+	}
+}
+
+// A lean run with a KindCounter observer reproduces exactly the per-kind
+// accounting the simulator would have kept itself.
+func TestKindCounterMatchesLeanRun(t *testing.T) {
+	g, err := graph.Clique(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []sim.Process {
+		procs := make([]sim.Process, g.N())
+		for i := range procs {
+			procs[i] = &chatty{}
+		}
+		return procs
+	}
+	full, err := sim.Run(sim.Config{Graph: g, Seed: 1}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc := &KindCounter{}
+	lean, err := sim.Run(sim.Config{Graph: g, Seed: 1, LeanMetrics: true, Observer: kc}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lean.ByKind) != 0 {
+		t.Fatalf("lean run kept ByKind: %v", lean.ByKind)
+	}
+	if kc.Counts["hello"] != full.ByKind["hello"] || kc.Counts["hello"] != lean.Messages {
+		t.Fatalf("kind counter %v vs full %v", kc.Counts, full.ByKind)
+	}
+}

@@ -135,13 +135,13 @@ func NewDumbbellCliques(half int, seed int64) (*DumbbellGraph, error) {
 }
 
 // RunExperiment executes one of the reproduction experiments (E1..E14; see
-// DESIGN.md) and returns its table. quick shrinks sizes for smoke runs.
+// DESIGN.md) on the parallel harness and returns its table. quick shrinks
+// sizes for smoke runs.
 func RunExperiment(id string, seed int64, quick bool) (*Table, error) {
-	r, ok := experiments.Get(id)
-	if !ok {
+	if _, ok := experiments.Get(id); !ok {
 		return nil, errUnknownExperiment(id)
 	}
-	return r.Run(experiments.NewSuite(seed, quick))
+	return experiments.RunOne(experiments.SuiteConfig{Seed: seed, Quick: quick}, id)
 }
 
 // ExperimentIDs lists the available experiment ids.
