@@ -114,8 +114,22 @@ func gitRevision() string {
 		return "unknown"
 	}
 	rev := strings.TrimSpace(string(out))
-	if dirty, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(dirty) > 0 {
-		rev += "-dirty"
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	if err != nil {
+		return rev
+	}
+	for _, line := range strings.Split(string(status), "\n") {
+		if len(line) < 4 {
+			continue
+		}
+		// Tracked modifications always make the pinned revision a lie;
+		// untracked files only do when they enter the build (Go sources
+		// or module files), not when they are stray docs or notes.
+		path := strings.TrimSpace(line[3:])
+		if !strings.HasPrefix(line, "??") ||
+			strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "go.mod") || strings.HasSuffix(path, "go.sum") {
+			return rev + "-dirty"
+		}
 	}
 	return rev
 }
