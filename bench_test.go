@@ -41,6 +41,8 @@ func BenchmarkE11BroadcastST(b *testing.B)           { benchExperiment(b, "E11")
 func BenchmarkE12Dumbbell(b *testing.B)              { benchExperiment(b, "E12") }
 func BenchmarkE13KnownTmix(b *testing.B)             { benchExperiment(b, "E13") }
 func BenchmarkE14Ablations(b *testing.B)             { benchExperiment(b, "E14") }
+func BenchmarkE15FaultResilience(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16Throughput(b *testing.B)            { benchExperiment(b, "E16") }
 
 // Micro-benchmarks of the building blocks, with model-level custom metrics.
 

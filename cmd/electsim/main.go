@@ -6,16 +6,21 @@
 //	electsim -graph rr -n 256 -d 8 -seed 7
 //	electsim -graph clique -n 128 -explicit
 //	electsim -graph lb -n 1024 -alpha 0.005
+//	electsim -graph rr -n 128 -drop 0.05 -resend 2
+//	electsim -graph rr -n 128 -crash 0.2@1 -delay 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"wcle"
 	"wcle/internal/core"
 	"wcle/internal/protocol"
+	"wcle/internal/trace"
 )
 
 func main() {
@@ -76,6 +81,10 @@ func run() error {
 		budget   = flag.Int64("budget", 0, "message budget (0 = unlimited)")
 		explicit = flag.Bool("explicit", false, "append the Corollary 14 push-pull broadcast")
 		phases   = flag.Bool("phases", false, "print a per-phase message breakdown")
+		drop     = flag.Float64("drop", 0, "fault plane: lose each send with this probability")
+		delay    = flag.Int("delay", 0, "fault plane: uniform extra delivery delay in [0, delay] rounds")
+		crash    = flag.String("crash", "", "fault plane: \"frac@round\" (e.g. 0.2@1) or \"node:round,...\"")
+		resend   = flag.Int("resend", 0, "retransmit each idempotent protocol message this many extra times")
 	)
 	flag.Parse()
 
@@ -96,7 +105,18 @@ func run() error {
 	if *fixed > 0 {
 		cfg.FixedWalkLen = *fixed
 	}
+	cfg.Resend = *resend
 	opts := wcle.Options{Seed: *seed, Budget: *budget}
+	fault, err := buildFault(*drop, *delay, *crash)
+	if err != nil {
+		return err
+	}
+	var faults *trace.FaultLog
+	if fault != nil {
+		opts.Fault = fault
+		faults = &trace.FaultLog{}
+		opts.FaultObserver = faults
+	}
 	var phaseObs *core.PhaseObserver
 	if *phases {
 		var err error
@@ -126,6 +146,9 @@ func run() error {
 		return err
 	}
 	printResult(res)
+	if faults != nil {
+		fmt.Printf("faults: lost=%d delayed=%d crashed=%d\n", faults.Drops, faults.Delays, faults.Crashes)
+	}
 	if phaseObs != nil {
 		fmt.Println("per-phase breakdown (tu doubles each phase):")
 		for p := 0; p < phaseObs.UsedPhases(); p++ {
@@ -136,12 +159,62 @@ func run() error {
 	return nil
 }
 
+// buildFault assembles the run's fault plane from the CLI flags.
+func buildFault(drop float64, delay int, crash string) (wcle.FaultPlane, error) {
+	var planes []wcle.FaultPlane
+	if drop > 0 {
+		planes = append(planes, &wcle.Drop{P: drop})
+	}
+	if delay > 0 {
+		planes = append(planes, &wcle.Delay{Max: delay})
+	}
+	if crash != "" {
+		plane, err := parseCrash(crash)
+		if err != nil {
+			return nil, err
+		}
+		planes = append(planes, plane)
+	}
+	return wcle.ComposeFaults(planes...), nil
+}
+
+// parseCrash accepts "frac@round" (a sampled crash set) or a comma list of
+// "node:round" pairs (an explicit schedule).
+func parseCrash(spec string) (wcle.FaultPlane, error) {
+	if frac, roundStr, ok := strings.Cut(spec, "@"); ok {
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil || f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("bad crash fraction %q (want 0 < frac < 1)", frac)
+		}
+		r, err := strconv.Atoi(roundStr)
+		if err != nil || r < 0 {
+			return nil, fmt.Errorf("bad crash round %q", roundStr)
+		}
+		return &wcle.CrashSample{Frac: f, Round: r}, nil
+	}
+	at := make(map[int]int)
+	for _, pair := range strings.Split(spec, ",") {
+		nodeStr, roundStr, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad crash entry %q (want node:round or frac@round)", pair)
+		}
+		node, err1 := strconv.Atoi(nodeStr)
+		round, err2 := strconv.Atoi(roundStr)
+		if err1 != nil || err2 != nil || node < 0 || round < 0 {
+			return nil, fmt.Errorf("bad crash entry %q", pair)
+		}
+		at[node] = round
+	}
+	return &wcle.Crash{At: at}, nil
+}
+
 func printResult(res *wcle.Result) {
 	fmt.Printf("contenders=%d (p=%.4f, walks=%d, thresholds inter=%d distinct=%d)\n",
 		len(res.Contenders), res.ContenderProb, res.Walks, res.InterThreshold, res.DistinctThreshold)
 	fmt.Printf("outcome: leaders=%v success=%v stopped=%d suppressed=%d failed=%d\n",
 		res.Leaders, res.Success, len(res.Stopped), len(res.Suppressed), len(res.Failed))
 	fmt.Printf("phases=%d leaderRound=%d totalRounds=%d\n", res.PhasesUsed, res.LeaderRound, res.Rounds)
-	fmt.Printf("messages=%d bits=%d dropped=%d byKind=%v\n",
-		res.Metrics.Messages, res.Metrics.Bits, res.Metrics.Dropped, res.Metrics.ByKind)
+	fmt.Printf("messages=%d bits=%d dropped=%d lost=%d delayed=%d byKind=%v\n",
+		res.Metrics.Messages, res.Metrics.Bits, res.Metrics.Dropped,
+		res.Metrics.FaultDrops, res.Metrics.Delayed, res.Metrics.ByKind)
 }

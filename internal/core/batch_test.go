@@ -1,0 +1,37 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wcle/internal/graph"
+	"wcle/internal/sim"
+)
+
+// A shared stateful fault plane across concurrent trials would race;
+// RunMany must refuse it and point at NewFault.
+func TestRunManyRejectsSharedFault(t *testing.T) {
+	g, err := graph.Clique(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunMany(g, DefaultConfig(), BatchOptions{
+		Base:   RunOptions{Seed: 1, Fault: &sim.Drop{P: 0.1}},
+		Trials: 2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "NewFault") {
+		t.Fatalf("shared Base.Fault not rejected: %v", err)
+	}
+	// The same plane through NewFault (fresh instance per trial) is fine.
+	res, err := RunMany(g, DefaultConfig(), BatchOptions{
+		Base:     RunOptions{Seed: 1, LeanMetrics: true},
+		Trials:   2,
+		NewFault: func(int) sim.FaultPlane { return &sim.Drop{P: 0.1} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 2 || res.One+res.Zero+res.Multi != 2 {
+		t.Fatalf("batch outcome inconsistent: %+v", res)
+	}
+}

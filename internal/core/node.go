@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"wcle/internal/protocol"
@@ -20,9 +21,22 @@ type node struct {
 
 	holder *protocol.Holder
 	outbox *protocol.Outbox
+	pool   *protocol.MsgPool
 
-	trees   map[protocol.ID]*tree
-	origins []protocol.ID // sorted keys of trees
+	// Walk trees, one per known origin, as parallel slices sorted by
+	// origin id (binary-search lookup; the map this replaces dominated the
+	// step hot path).
+	origins []protocol.ID
+	treev   []*tree
+
+	// Scratch buffers for assembling id fragments handed to the outbox
+	// (which copies); one per call-graph level so nested use never aliases.
+	scrRoot  []protocol.ID // rootConsumeX1's fresh ids
+	scrRelay []protocol.ID // relayDownX2's fresh ids
+	scrStore []protocol.ID // storeI2's fresh ids
+	scrI3    []protocol.ID // registerProxy's I3 snapshot
+	scrChild []protocol.ID // noteChild's sorted down-flood prefix
+	scrOne   [1]protocol.ID
 
 	winSeen      protocol.ID
 	winProxyDone bool // "the first time a proxy receives a winner message"
@@ -38,7 +52,9 @@ type node struct {
 	awaitStart int // round of the next phase start (-1 when none)
 
 	dSum, pSum int
-	i2, i4     map[protocol.ID]struct{}
+	i2         protocol.FastSet
+	i2max      protocol.ID
+	i4max      protocol.ID
 
 	stopRound, leadRound int
 	staleDrops           int64
@@ -47,17 +63,40 @@ type node struct {
 var _ sim.Process = (*node)(nil)
 
 func newNode(rt *runtime, idx, degree int) *node {
+	pool := &protocol.MsgPool{}
+	ob := protocol.NewOutbox(rt.codec, degree)
+	ob.Pool = pool
+	ob.Resend = rt.cfg.Resend
 	return &node{
 		rt:         rt,
 		idx:        idx,
 		holder:     protocol.NewHolder(),
-		outbox:     protocol.NewOutbox(rt.codec, degree),
-		trees:      make(map[protocol.ID]*tree),
+		outbox:     ob,
+		pool:       pool,
 		phase:      -1,
 		awaitStart: -1,
 		stopRound:  -1,
 		leadRound:  -1,
 	}
+}
+
+// tree returns the walk tree for origin, or nil. Closure-free binary
+// search: this lookup runs once per delivered message.
+func (nd *node) tree(origin protocol.ID) *tree {
+	v := nd.origins
+	lo, hi := 0, len(v)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v[mid] < origin {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v) && v[lo] == origin {
+		return nd.treev[lo]
+	}
+	return nil
 }
 
 // Step implements sim.Process.
@@ -69,6 +108,9 @@ func (nd *node) Step(ctx *sim.Context, inbox []sim.Envelope) error {
 		if err := nd.handle(ctx, env); err != nil {
 			return err
 		}
+		// The message is fully consumed (handlers copy what they keep);
+		// recycle it for this node's own sends.
+		nd.pool.Put(env.Payload)
 	}
 	nd.boundaryActions(ctx)
 	nd.stepTokens(ctx)
@@ -100,8 +142,6 @@ func (nd *node) initRound0(ctx *sim.Context) {
 	}
 	if nd.contender {
 		nd.active = true
-		nd.i2 = make(map[protocol.ID]struct{})
-		nd.i4 = make(map[protocol.ID]struct{})
 		nd.beginPhase(ctx, 0)
 	}
 }
@@ -112,10 +152,12 @@ func (nd *node) beginPhase(ctx *sim.Context, p int) {
 	nd.phase = p
 	nd.awaitStart = -1
 	nd.dSum, nd.pSum = 0, 0
-	nd.i2 = map[protocol.ID]struct{}{nd.id: {}}
-	nd.i4 = make(map[protocol.ID]struct{})
-	tr, ok := nd.trees[nd.id]
-	if !ok {
+	nd.i2.Reset()
+	nd.i2.Add(nd.id)
+	nd.i2max = nd.id
+	nd.i4max = 0
+	tr := nd.tree(nd.id)
+	if tr == nil {
 		tr = newTree(p, -1, true)
 		nd.insertTree(nd.id, tr)
 	} else {
@@ -123,17 +165,19 @@ func (nd *node) beginPhase(ctx *sim.Context, p int) {
 	}
 	// The root's own id is part of its I2 from the start; record it so
 	// every (possibly late) child receives it.
-	tr.downX2[nd.id] = struct{}{}
+	tr.downX2.Add(nd.id)
 	nd.holder.Add(nd.id, p, nd.rt.sched.tus[p], nd.rt.walks)
 	ctx.WakeAt(nd.rt.sched.decides[p])
 }
 
 func (nd *node) insertTree(origin protocol.ID, tr *tree) {
-	nd.trees[origin] = tr
 	i := sort.Search(len(nd.origins), func(i int) bool { return nd.origins[i] >= origin })
 	nd.origins = append(nd.origins, 0)
 	copy(nd.origins[i+1:], nd.origins[i:])
 	nd.origins[i] = origin
+	nd.treev = append(nd.treev, nil)
+	copy(nd.treev[i+1:], nd.treev[i:])
+	nd.treev[i] = tr
 }
 
 // alive reports whether a tree participates in the current protocol state:
@@ -148,8 +192,8 @@ func (nd *node) alive(tr *tree, round int) bool {
 // treeFor locates (or creates / phase-resets) the tree for an arriving
 // token. Returns nil for stale tokens of superseded phases.
 func (nd *node) treeFor(origin protocol.ID, phase, arrivalPort int) *tree {
-	tr, ok := nd.trees[origin]
-	if !ok {
+	tr := nd.tree(origin)
+	if tr == nil {
 		tr = newTree(phase, arrivalPort, false)
 		nd.insertTree(origin, tr)
 		return tr
@@ -200,7 +244,7 @@ func (nd *node) noteWin(ctx *sim.Context, win protocol.ID) {
 }
 
 func (nd *node) sendFinalOwnTree(ctx *sim.Context) {
-	tr := nd.trees[nd.id]
+	tr := nd.tree(nd.id)
 	if tr == nil || !tr.isRoot {
 		return
 	}
@@ -251,29 +295,28 @@ func (nd *node) registerProxy(ctx *sim.Context, origin protocol.ID, tr *tree, co
 	}
 	round := ctx.Round()
 	// Mutual I1 announcements with co-proxied contenders.
-	var i3 []protocol.ID
-	for _, other := range nd.origins {
+	i3 := nd.scrI3[:0]
+	for i, other := range nd.origins {
 		if other == origin {
 			continue
 		}
-		otr := nd.trees[other]
+		otr := nd.treev[i]
 		if otr.proxyCount == 0 || !nd.alive(otr, round) {
 			continue
 		}
-		nd.pushUpX1(ctx, origin, tr, []protocol.ID{other}, 0, 0)
-		nd.pushUpX1(ctx, other, otr, []protocol.ID{origin}, 0, 0)
-		for id := range otr.storedI2 {
-			i3 = append(i3, id)
-		}
+		nd.scrOne[0] = other
+		nd.pushUpX1(ctx, origin, tr, nd.scrOne[:1], 0, 0)
+		nd.scrOne[0] = origin
+		nd.pushUpX1(ctx, other, otr, nd.scrOne[:1], 0, 0)
+		i3 = append(i3, otr.storedI2.List...)
 	}
 	// I3 snapshot: everything this node has stored from I2 floods.
-	for id := range tr.storedI2 {
-		i3 = append(i3, id)
-	}
+	i3 = append(i3, tr.storedI2.List...)
 	if len(i3) > 0 {
-		sort.Slice(i3, func(i, j int) bool { return i3[i] < i3[j] })
+		slices.Sort(i3)
 		nd.pushUpX3(ctx, origin, tr, i3)
 	}
+	nd.scrI3 = i3[:0]
 }
 
 // pushUpX1 routes exchange-round-1 data one hop toward the origin, or
@@ -289,7 +332,9 @@ func (nd *node) pushUpX1(ctx *sim.Context, origin protocol.ID, tr *tree, ids []p
 func (nd *node) pushUpX3(ctx *sim.Context, origin protocol.ID, tr *tree, ids []protocol.ID) {
 	if tr.isRoot {
 		for _, id := range ids {
-			nd.i4[id] = struct{}{}
+			if id > nd.i4max {
+				nd.i4max = id
+			}
 		}
 		return
 	}
@@ -309,33 +354,34 @@ func (nd *node) rootConsumeX1(ctx *sim.Context, ids []protocol.ID, dDelta, pDelt
 	if len(ids) == 0 {
 		return
 	}
-	tr := nd.trees[nd.id]
-	var fresh []protocol.ID
+	tr := nd.tree(nd.id)
+	fresh := nd.scrRoot[:0]
 	for _, id := range ids {
-		if _, ok := nd.i2[id]; ok {
-			continue
+		if nd.i2.Add(id) {
+			if id > nd.i2max {
+				nd.i2max = id
+			}
+			fresh = append(fresh, id)
 		}
-		nd.i2[id] = struct{}{}
-		fresh = append(fresh, id)
 	}
 	if len(fresh) > 0 && tr != nil && tr.isRoot {
 		nd.relayDownX2(ctx, nd.id, tr, fresh)
 	}
+	nd.scrRoot = fresh[:0]
 }
 
 // relayDownX2 floods I2 id fragments down a tree, records them for
 // late-arriving children, and — when this node is itself a proxy of the
 // origin — stores them (triggering I3 pushes on every proxied tree).
 func (nd *node) relayDownX2(ctx *sim.Context, origin protocol.ID, tr *tree, ids []protocol.ID) {
-	var fresh []protocol.ID
+	fresh := nd.scrRelay[:0]
 	for _, id := range ids {
-		if _, ok := tr.downX2[id]; ok {
-			continue
+		if tr.downX2.Add(id) {
+			fresh = append(fresh, id)
 		}
-		tr.downX2[id] = struct{}{}
-		fresh = append(fresh, id)
 	}
 	if len(fresh) == 0 {
+		nd.scrRelay = fresh
 		return
 	}
 	for _, port := range tr.children {
@@ -344,35 +390,36 @@ func (nd *node) relayDownX2(ctx *sim.Context, origin protocol.ID, tr *tree, ids 
 	if tr.proxyCount > 0 {
 		nd.storeI2(ctx, tr, fresh)
 	}
+	nd.scrRelay = fresh[:0]
 }
 
 // storeI2 adds ids to the proxy-role storage for tr's origin and pushes the
 // new ids up every alive proxied tree as I3 data (exchange round 3,
 // realized incrementally).
 func (nd *node) storeI2(ctx *sim.Context, tr *tree, ids []protocol.ID) {
-	var fresh []protocol.ID
+	fresh := nd.scrStore[:0]
 	for _, id := range ids {
-		if _, ok := tr.storedI2[id]; ok {
-			continue
+		if tr.storedI2.Add(id) {
+			fresh = append(fresh, id)
 		}
-		tr.storedI2[id] = struct{}{}
-		fresh = append(fresh, id)
 	}
 	if len(fresh) == 0 {
+		nd.scrStore = fresh
 		return
 	}
 	round := ctx.Round()
-	for _, origin := range nd.origins {
-		otr := nd.trees[origin]
+	for i, origin := range nd.origins {
+		otr := nd.treev[i]
 		if otr.proxyCount == 0 || !nd.alive(otr, round) {
 			continue
 		}
 		nd.pushUpX3(ctx, origin, otr, fresh)
 	}
+	nd.scrStore = fresh[:0]
 }
 
 func (nd *node) onUp(ctx *sim.Context, m *protocol.UpMsg) {
-	tr := nd.trees[m.Origin]
+	tr := nd.tree(m.Origin)
 	if tr == nil || tr.phase != m.Phase {
 		nd.staleDrops++
 		return
@@ -405,7 +452,7 @@ func (nd *node) rootWinnerReceipt(ctx *sim.Context, winID protocol.ID) {
 		return
 	}
 	nd.winRootDone = true
-	tr := nd.trees[nd.id]
+	tr := nd.tree(nd.id)
 	if tr == nil || !tr.isRoot {
 		return
 	}
@@ -419,12 +466,13 @@ func (nd *node) floodWinnerDown(ctx *sim.Context, origin protocol.ID, tr *tree, 
 	tr.winnerDown = true
 	tr.winnerID = winID
 	for _, port := range tr.children {
-		nd.outbox.PushDown(port, origin, tr.phase, protocol.DownWinner, []protocol.ID{winID})
+		nd.scrOne[0] = winID
+		nd.outbox.PushDown(port, origin, tr.phase, protocol.DownWinner, nd.scrOne[:1])
 	}
 }
 
 func (nd *node) onDown(ctx *sim.Context, m *protocol.DownMsg) {
-	tr := nd.trees[m.Origin]
+	tr := nd.tree(m.Origin)
 	if tr == nil || tr.phase != m.Phase {
 		nd.staleDrops++
 		return
@@ -461,8 +509,8 @@ func (nd *node) proxyWinnerReceipt(ctx *sim.Context, winID protocol.ID) {
 	}
 	round := ctx.Round()
 	isProxy := false
-	for _, origin := range nd.origins {
-		if tr := nd.trees[origin]; tr.proxyCount > 0 && nd.alive(tr, round) {
+	for _, tr := range nd.treev {
+		if tr.proxyCount > 0 && nd.alive(tr, round) {
 			isProxy = true
 			break
 		}
@@ -471,8 +519,8 @@ func (nd *node) proxyWinnerReceipt(ctx *sim.Context, winID protocol.ID) {
 		return
 	}
 	nd.winProxyDone = true
-	for _, origin := range nd.origins {
-		tr := nd.trees[origin]
+	for i, origin := range nd.origins {
+		tr := nd.treev[i]
 		if tr.proxyCount == 0 || !nd.alive(tr, round) {
 			continue
 		}
@@ -480,7 +528,8 @@ func (nd *node) proxyWinnerReceipt(ctx *sim.Context, winID protocol.ID) {
 			nd.rootWinnerReceipt(ctx, winID)
 			continue
 		}
-		nd.outbox.PushUp(tr.parentPort, origin, tr.phase, protocol.UpWinner, []protocol.ID{winID}, 0, 0)
+		nd.scrOne[0] = winID
+		nd.outbox.PushUp(tr.parentPort, origin, tr.phase, protocol.UpWinner, nd.scrOne[:1], 0, 0)
 	}
 }
 
@@ -492,7 +541,7 @@ func (nd *node) stepTokens(ctx *sim.Context) {
 	}
 	nd.holder.Step(ctx.Degree(), ctx.Rand(),
 		func(port int, origin protocol.ID, phase, remaining, count int) {
-			tr := nd.trees[origin]
+			tr := nd.tree(origin)
 			if tr == nil || tr.phase != phase {
 				nd.staleDrops++
 				return
@@ -501,7 +550,7 @@ func (nd *node) stepTokens(ctx *sim.Context) {
 			nd.outbox.PushToken(port, origin, phase, remaining, count)
 		},
 		func(origin protocol.ID, phase, count int) {
-			tr := nd.trees[origin]
+			tr := nd.tree(origin)
 			if tr == nil || tr.phase != phase {
 				nd.staleDrops++
 				return
@@ -516,14 +565,18 @@ func (nd *node) noteChild(ctx *sim.Context, origin protocol.ID, tr *tree, port i
 	if !tr.addChild(port) {
 		return
 	}
-	if len(tr.downX2) > 0 {
-		nd.outbox.PushDown(port, origin, tr.phase, protocol.DownX2, sortedIDs(tr.downX2))
+	if tr.downX2.Len() > 0 {
+		ids := append(nd.scrChild[:0], tr.downX2.List...)
+		slices.Sort(ids)
+		nd.outbox.PushDown(port, origin, tr.phase, protocol.DownX2, ids)
+		nd.scrChild = ids[:0]
 	}
 	if tr.finalDown {
 		nd.outbox.PushDown(port, origin, tr.phase, protocol.DownFinal, nil)
 	}
 	if tr.winnerDown {
-		nd.outbox.PushDown(port, origin, tr.phase, protocol.DownWinner, []protocol.ID{tr.winnerID})
+		nd.scrOne[0] = tr.winnerID
+		nd.outbox.PushDown(port, origin, tr.phase, protocol.DownWinner, nd.scrOne[:1])
 	}
 }
 
@@ -547,7 +600,7 @@ func (nd *node) boundaryActions(ctx *sim.Context) {
 // evaluate is Algorithm 2 lines 4-5 and 8-9: test the Intersection and
 // Distinctness properties; stop and possibly elect, or double the guess.
 func (nd *node) evaluate(ctx *sim.Context) {
-	adjacency := len(nd.i2) - 1 // i2 includes the own id
+	adjacency := nd.i2.Len() - 1 // i2 includes the own id
 	interOK := adjacency >= nd.rt.interT
 	distinctOK := nd.dSum >= nd.rt.distT || nd.rt.cfg.DisableDistinctness
 	unconditional := nd.rt.cfg.FixedWalkLen > 0
@@ -560,7 +613,7 @@ func (nd *node) evaluate(ctx *sim.Context) {
 			nd.leader = true
 			nd.leadRound = ctx.Round()
 			nd.winSeen = nd.id
-			if tr := nd.trees[nd.id]; tr != nil && tr.isRoot {
+			if tr := nd.tree(nd.id); tr != nil && tr.isRoot {
 				nd.floodWinnerDown(ctx, nd.id, tr, nd.id)
 			}
 			// The leader may itself proxy other contenders; notify them
@@ -581,17 +634,8 @@ func (nd *node) evaluate(ctx *sim.Context) {
 
 // idIsMax reports whether this contender's id is the maximum over its
 // two-hop id neighborhood I4 (we also fold in I2, a subset of the eventual
-// I4, which only strengthens the check).
+// I4, which only strengthens the check). Only the maxima matter, so both
+// sets are tracked as running maxima.
 func (nd *node) idIsMax() bool {
-	for id := range nd.i4 {
-		if id > nd.id {
-			return false
-		}
-	}
-	for id := range nd.i2 {
-		if id > nd.id {
-			return false
-		}
-	}
-	return true
+	return nd.i4max <= nd.id && nd.i2max <= nd.id
 }

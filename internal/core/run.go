@@ -27,6 +27,11 @@ type RunOptions struct {
 	// MaxRounds overrides the default round cap (0 = derived from the
 	// schedule).
 	MaxRounds int
+	// Fault, when non-nil, is the run's adversary (drops, delays, crashes;
+	// see sim.FaultPlane). nil means perfect delivery.
+	Fault sim.FaultPlane
+	// FaultObserver, when non-nil, receives every fault event of the run.
+	FaultObserver sim.FaultObserver
 }
 
 // Result summarizes one election run.
@@ -105,7 +110,9 @@ func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
 		MessageBudget:  opts.Budget,
 		Concurrent:     opts.Concurrent,
 		LeanMetrics:    opts.LeanMetrics,
+		Fault:          opts.Fault,
 		Observer:       opts.Observer,
+		FaultObserver:  opts.FaultObserver,
 	}
 	metrics, err := sim.Run(simCfg, procs)
 	if err != nil {
@@ -137,7 +144,8 @@ func collect(nodes []*node, metrics sim.Metrics, rt *runtime) *Result {
 		}
 	}
 	for _, nd := range nodes {
-		for origin, tr := range nd.trees {
+		for i, origin := range nd.origins {
+			tr := nd.treev[i]
 			idx, ok := idToIdx[origin]
 			if !ok || tr.phase != phaseOf[origin] || tr.proxyCount == 0 {
 				continue

@@ -20,17 +20,16 @@ type tree struct {
 	proxyCount int  // walks of this origin that ended here, this phase
 
 	children []int // sorted child ports
-	childSet map[int]struct{}
 
 	// storedI2 is the proxy-role storage of the origin's I2 fragments
 	// ("the I2 sets received", Algorithm 2 round 3). It persists across
 	// phases.
-	storedI2 map[protocol.ID]struct{}
+	storedI2 protocol.TrackedSet
 
 	// downX2 records ids relayed down this tree this phase, so that
 	// children appearing later (walks still in flight) receive the full
 	// prefix. finalDown/winnerDown replicate control floods the same way.
-	downX2     map[protocol.ID]struct{}
+	downX2     protocol.TrackedSet
 	finalDown  bool
 	winnerDown bool
 	winnerID   protocol.ID
@@ -41,9 +40,6 @@ func newTree(phase, parentPort int, isRoot bool) *tree {
 		phase:      phase,
 		parentPort: parentPort,
 		isRoot:     isRoot,
-		childSet:   make(map[int]struct{}),
-		storedI2:   make(map[protocol.ID]struct{}),
-		downX2:     make(map[protocol.ID]struct{}),
 	}
 }
 
@@ -57,8 +53,7 @@ func (tr *tree) resetForPhase(phase, parentPort int, isRoot bool) {
 	tr.final = false
 	tr.proxyCount = 0
 	tr.children = tr.children[:0]
-	tr.childSet = make(map[int]struct{})
-	tr.downX2 = make(map[protocol.ID]struct{})
+	tr.downX2.Reset()
 	tr.finalDown = false
 	tr.winnerDown = false
 	tr.winnerID = 0
@@ -67,12 +62,13 @@ func (tr *tree) resetForPhase(phase, parentPort int, isRoot bool) {
 // addChild registers a downcast child port, keeping the list sorted.
 // Returns false if the port was already a child.
 func (tr *tree) addChild(port int) bool {
-	if _, ok := tr.childSet[port]; ok {
+	i := sort.SearchInts(tr.children, port)
+	if i < len(tr.children) && tr.children[i] == port {
 		return false
 	}
-	tr.childSet[port] = struct{}{}
-	tr.children = append(tr.children, port)
-	sort.Ints(tr.children)
+	tr.children = append(tr.children, 0)
+	copy(tr.children[i+1:], tr.children[i:])
+	tr.children[i] = port
 	return true
 }
 
@@ -83,15 +79,4 @@ func dOf(count int) int {
 		return 1
 	}
 	return 0
-}
-
-// sortedIDs returns the keys of an id set in ascending order (deterministic
-// iteration for replayable runs).
-func sortedIDs(set map[protocol.ID]struct{}) []protocol.ID {
-	out := make([]protocol.ID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

@@ -33,8 +33,8 @@ func TestTreeResetForPhase(t *testing.T) {
 	tr.finalDown = true
 	tr.winnerDown = true
 	tr.winnerID = 42
-	tr.storedI2[protocol.ID(8)] = struct{}{}
-	tr.downX2[protocol.ID(9)] = struct{}{}
+	tr.storedI2.Add(protocol.ID(8))
+	tr.downX2.Add(protocol.ID(9))
 
 	tr.resetForPhase(2, 6, false)
 	if tr.phase != 2 || tr.parentPort != 6 || tr.isRoot {
@@ -43,14 +43,14 @@ func TestTreeResetForPhase(t *testing.T) {
 	if tr.final || tr.finalDown || tr.winnerDown || tr.winnerID != 0 {
 		t.Fatal("control latches must clear on phase reset")
 	}
-	if tr.proxyCount != 0 || len(tr.children) != 0 || len(tr.childSet) != 0 {
+	if tr.proxyCount != 0 || len(tr.children) != 0 {
 		t.Fatal("per-phase registration state must clear")
 	}
-	if len(tr.downX2) != 0 {
+	if tr.downX2.Len() != 0 {
 		t.Fatal("down-flood record must clear (new phase, new tree)")
 	}
 	// storedI2 persists across phases per the paper's "I2 sets received".
-	if _, ok := tr.storedI2[protocol.ID(8)]; !ok {
+	if !tr.storedI2.Has(protocol.ID(8)) {
 		t.Fatal("storedI2 must persist across phases")
 	}
 }
@@ -65,19 +65,57 @@ func TestDOf(t *testing.T) {
 	}
 }
 
-func TestSortedIDs(t *testing.T) {
-	set := map[protocol.ID]struct{}{5: {}, 1: {}, 9: {}, 3: {}}
-	got := sortedIDs(set)
-	want := []protocol.ID{1, 3, 5, 9}
-	if len(got) != len(want) {
-		t.Fatalf("sortedIDs = %v", got)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("sortedIDs = %v, want %v", got, want)
+func TestTrackedSet(t *testing.T) {
+	var s protocol.TrackedSet
+	for _, id := range []protocol.ID{5, 1, 9, 3} {
+		if !s.Add(id) {
+			t.Fatalf("fresh id %d rejected", id)
 		}
 	}
-	if len(sortedIDs(nil)) != 0 {
-		t.Fatal("nil set should give empty slice")
+	if s.Add(5) {
+		t.Fatal("duplicate id accepted")
+	}
+	if s.Len() != 4 || len(s.List) != 4 {
+		t.Fatalf("set = %v (len %d)", s.List, s.Len())
+	}
+	// The list preserves insertion order (deterministic iteration).
+	want := []protocol.ID{5, 1, 9, 3}
+	for i := range want {
+		if s.List[i] != want[i] {
+			t.Fatalf("list = %v, want %v", s.List, want)
+		}
+		if !s.Has(want[i]) {
+			t.Fatalf("Has(%d) = false", want[i])
+		}
+	}
+	if s.Has(7) {
+		t.Fatal("absent id must not be a member")
+	}
+	s.Reset()
+	if s.Len() != 0 || len(s.List) != 0 || s.Has(5) {
+		t.Fatal("Reset must empty the set")
+	}
+}
+
+func TestFastSetGrowth(t *testing.T) {
+	var s protocol.FastSet
+	for id := protocol.ID(1); id <= 1000; id++ {
+		if !s.Add(id) {
+			t.Fatalf("fresh id %d rejected", id)
+		}
+		if s.Add(id) {
+			t.Fatalf("duplicate id %d accepted", id)
+		}
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("len = %d, want 1000", s.Len())
+	}
+	for id := protocol.ID(1); id <= 1000; id++ {
+		if !s.Has(id) {
+			t.Fatalf("lost id %d after growth", id)
+		}
+	}
+	if s.Has(1001) {
+		t.Fatal("absent id reported present")
 	}
 }

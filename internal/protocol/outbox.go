@@ -10,32 +10,103 @@ type tokenKey struct {
 	remaining int
 }
 
-type upKey struct {
-	origin ID
-	phase  int
-	stage  UpStage
+// upSlot / downSlot hold the merge state of one (origin, phase, stage/op)
+// flow on one port: the still-queued message fragments may merge into, and
+// the per-edge filter of ids already queued or sent. Slots live in small
+// arrays indexed by (phase, stage/op) inside a per-origin entry, so the hot
+// path does one fast 64-bit map lookup plus an array index instead of
+// hashing a composite struct key.
+type upSlot struct {
+	cur  *UpMsg
+	sent FastSet
 }
 
-type downKey struct {
-	origin ID
-	phase  int
-	op     DownOp
+type downSlot struct {
+	cur  *DownMsg
+	sent FastSet
 }
 
-// portQ is a FIFO of queued messages for one port, with lookup maps for the
-// merge rules. Map entries always point at messages still in the queue;
-// once a message is sent it can no longer be merged into.
+// upState / downState hold one origin's slots on one port as short linear
+// lists: only (phase, stage/op) combinations actually used on this edge get
+// an entry (a handful at a time — the current global phase plus possibly a
+// FINAL-latched one), so lookup is a scan over a few cache-resident
+// entries and memory tracks real traffic, not the phase-space volume.
+type upState struct {
+	phases []int32
+	stages []UpStage
+	slots  []upSlot
+}
+
+func (st *upState) slot(phase int, stage UpStage) *upSlot {
+	for i, p := range st.phases {
+		if p == int32(phase) && st.stages[i] == stage {
+			return &st.slots[i]
+		}
+	}
+	st.phases = append(st.phases, int32(phase))
+	st.stages = append(st.stages, stage)
+	st.slots = append(st.slots, upSlot{})
+	return &st.slots[len(st.slots)-1]
+}
+
+func (st *upState) peek(phase int, stage UpStage) *upSlot {
+	for i, p := range st.phases {
+		if p == int32(phase) && st.stages[i] == stage {
+			return &st.slots[i]
+		}
+	}
+	return nil
+}
+
+type downState struct {
+	phases []int32
+	ops    []DownOp
+	slots  []downSlot
+}
+
+func (st *downState) slot(phase int, op DownOp) *downSlot {
+	for i, p := range st.phases {
+		if p == int32(phase) && st.ops[i] == op {
+			return &st.slots[i]
+		}
+	}
+	st.phases = append(st.phases, int32(phase))
+	st.ops = append(st.ops, op)
+	st.slots = append(st.slots, downSlot{})
+	return &st.slots[len(st.slots)-1]
+}
+
+func (st *downState) peek(phase int, op DownOp) *downSlot {
+	for i, p := range st.phases {
+		if p == int32(phase) && st.ops[i] == op {
+			return &st.slots[i]
+		}
+	}
+	return nil
+}
+
+// resendRec is one retransmission obligation: a private snapshot of an
+// already-transmitted message plus the number of repeats still owed.
+type resendRec struct {
+	msg  sim.Message
+	left int
+}
+
+// portQ is a FIFO of queued messages for one port, with per-origin merge
+// state. Slot `cur` pointers always point at messages still in the queue;
+// once a message is sent it can no longer be merged into. The `sent` filter
+// sets implement the paper's per-edge filtering: an id that has been queued
+// (and possibly already transmitted) on this port for a given (origin,
+// phase, stage/op) is never sent again on this port.
 type portQ struct {
 	q      []sim.Message
 	head   int
 	tokens map[tokenKey]*TokenMsg
-	ups    map[upKey]*UpMsg
-	downs  map[downKey]*DownMsg
-	// upSent / downSent implement the paper's per-edge filtering: an id that
-	// has been queued (and possibly already transmitted) on this port for a
-	// given (origin, phase, stage/op) is never sent again on this port.
-	upSent   map[upKey]map[ID]struct{}
-	downSent map[downKey]map[ID]struct{}
+	ups    map[ID]*upState
+	downs  map[ID]*downState
+	// resend is the retransmission FIFO (only used when Outbox.Resend > 0).
+	resend []resendRec
+	rhead  int
 }
 
 // Outbox implements the paper's per-edge congestion discipline: messages
@@ -48,6 +119,21 @@ type Outbox struct {
 	codec   *Codec
 	ports   []portQ
 	pending int
+	resends int
+
+	// Pool, when non-nil, supplies recycled message objects for the send
+	// path (see MsgPool).
+	Pool *MsgPool
+
+	// Resend, when positive, retransmits each idempotent message up to
+	// Resend extra times on its port, after all fresh traffic — redundancy
+	// against lossy transports (a Drop fault plane). Only messages whose
+	// duplication is harmless are repeated: downcasts (id-set floods and
+	// the FINAL/winner latches) and delta-free convergecast fragments.
+	// Token batches and delta-carrying fragments are additive, not
+	// idempotent, and are never duplicated. Each retransmission is a real
+	// send under the CONGEST discipline and is counted as such.
+	Resend int
 }
 
 // NewOutbox returns an outbox for a node with the given degree.
@@ -55,8 +141,9 @@ func NewOutbox(codec *Codec, degree int) *Outbox {
 	return &Outbox{codec: codec, ports: make([]portQ, degree)}
 }
 
-// Pending returns the number of queued, unsent messages across all ports.
-func (ob *Outbox) Pending() int { return ob.pending }
+// Pending returns the number of queued, unsent messages across all ports,
+// including pending retransmissions.
+func (ob *Outbox) Pending() int { return ob.pending + ob.resends }
 
 func (pq *portQ) push(ob *Outbox, m sim.Message) {
 	pq.q = append(pq.q, m)
@@ -78,7 +165,9 @@ func (ob *Outbox) PushToken(port int, origin ID, phase, remaining, count int) {
 		m.Count += count
 		return
 	}
-	m := ob.codec.Token(origin, phase, remaining, count)
+	m := ob.Pool.token()
+	m.Origin, m.Phase, m.Remaining, m.Count = origin, phase, remaining, count
+	m.bits = ob.codec.msgBits(0)
 	pq.tokens[k] = m
 	pq.push(ob, m)
 }
@@ -90,41 +179,36 @@ func (ob *Outbox) PushToken(port int, origin ID, phase, remaining, count int) {
 // newest queued fragment regardless of its id load, or open a new one.
 func (ob *Outbox) PushUp(port int, origin ID, phase int, stage UpStage, ids []ID, dDelta, pDelta int) {
 	pq := &ob.ports[port]
-	k := upKey{origin: origin, phase: phase, stage: stage}
 	if pq.ups == nil {
-		pq.ups = make(map[upKey]*UpMsg)
-		pq.upSent = make(map[upKey]map[ID]struct{})
+		pq.ups = make(map[ID]*upState)
 	}
-	cur := pq.ups[k]
+	st := pq.ups[origin]
+	if st == nil {
+		st = &upState{}
+		pq.ups[origin] = st
+	}
+	slot := st.slot(phase, stage)
 	fresh := func() *UpMsg {
-		m := &UpMsg{Origin: origin, Phase: phase, Stage: stage, bits: ob.codec.msgBits(0)}
-		pq.ups[k] = m
+		m := ob.Pool.up()
+		m.Origin, m.Phase, m.Stage = origin, phase, stage
+		m.bits = ob.codec.msgBits(0)
+		slot.cur = m
 		pq.push(ob, m)
-		cur = m
 		return m
 	}
 	if dDelta != 0 || pDelta != 0 || len(ids) == 0 {
-		m := cur
+		m := slot.cur
 		if m == nil {
 			m = fresh()
 		}
 		m.DDelta += dDelta
 		m.PDelta += pDelta
 	}
-	if len(ids) == 0 {
-		return
-	}
-	sent := pq.upSent[k]
-	if sent == nil {
-		sent = make(map[ID]struct{})
-		pq.upSent[k] = sent
-	}
 	for _, id := range ids {
-		if _, dup := sent[id]; dup {
+		if !slot.sent.Add(id) {
 			continue
 		}
-		sent[id] = struct{}{}
-		m := cur
+		m := slot.cur
 		if m == nil || len(m.IDs) >= ob.codec.MaxIDs {
 			m = fresh()
 		}
@@ -138,36 +222,34 @@ func (ob *Outbox) PushUp(port int, origin ID, phase int, stage UpStage, ids []ID
 // and op, and filtering ids already queued or sent on this port.
 func (ob *Outbox) PushDown(port int, origin ID, phase int, op DownOp, ids []ID) {
 	pq := &ob.ports[port]
-	k := downKey{origin: origin, phase: phase, op: op}
 	if pq.downs == nil {
-		pq.downs = make(map[downKey]*DownMsg)
-		pq.downSent = make(map[downKey]map[ID]struct{})
+		pq.downs = make(map[ID]*downState)
 	}
-	cur := pq.downs[k]
+	st := pq.downs[origin]
+	if st == nil {
+		st = &downState{}
+		pq.downs[origin] = st
+	}
+	slot := st.slot(phase, op)
 	fresh := func() *DownMsg {
-		m := &DownMsg{Origin: origin, Phase: phase, Op: op, bits: ob.codec.msgBits(0)}
-		pq.downs[k] = m
+		m := ob.Pool.down()
+		m.Origin, m.Phase, m.Op = origin, phase, op
+		m.bits = ob.codec.msgBits(0)
+		slot.cur = m
 		pq.push(ob, m)
-		cur = m
 		return m
 	}
 	if len(ids) == 0 {
-		if cur == nil {
+		if slot.cur == nil {
 			fresh()
 		}
 		return
 	}
-	sent := pq.downSent[k]
-	if sent == nil {
-		sent = make(map[ID]struct{})
-		pq.downSent[k] = sent
-	}
 	for _, id := range ids {
-		if _, dup := sent[id]; dup {
+		if !slot.sent.Add(id) {
 			continue
 		}
-		sent[id] = struct{}{}
-		m := cur
+		m := slot.cur
 		if m == nil || len(m.IDs) >= ob.codec.MaxIDs {
 			m = fresh()
 		}
@@ -176,16 +258,56 @@ func (ob *Outbox) PushDown(port int, origin ID, phase int, op DownOp, ids []ID) 
 	}
 }
 
+// resendable reports whether duplicating a message is harmless: id floods
+// and latches are set operations at every receiver, while token counts and
+// X1 deltas are additive.
+func resendable(m sim.Message) bool {
+	switch t := m.(type) {
+	case *DownMsg:
+		return true
+	case *UpMsg:
+		return t.DDelta == 0 && t.PDelta == 0
+	}
+	return false
+}
+
+// snapshot clones a message into an outbox-owned copy for retransmission
+// (the transmitted original is consumed — and possibly recycled — by the
+// receiver).
+func (ob *Outbox) snapshot(m sim.Message) sim.Message {
+	switch t := m.(type) {
+	case *UpMsg:
+		c := ob.Pool.up()
+		ids := append(c.IDs, t.IDs...)
+		*c = *t
+		c.IDs = ids
+		return c
+	case *DownMsg:
+		c := ob.Pool.down()
+		ids := append(c.IDs, t.IDs...)
+		*c = *t
+		c.IDs = ids
+		return c
+	}
+	return nil
+}
+
 // Flush transmits at most one queued message per port (the CONGEST limit),
 // stamping the current winner id on each outgoing message (the paper's
-// "appends it to all future messages"). It returns the first send error.
+// "appends it to all future messages"). Fresh traffic is sent first; when a
+// port has none and Resend is configured, one owed retransmission goes out
+// instead. It returns the first send error.
 func (ob *Outbox) Flush(ctx *sim.Context, win ID) error {
 	for port := range ob.ports {
 		pq := &ob.ports[port]
 		if pq.head >= len(pq.q) {
+			if err := ob.flushResend(ctx, port, pq, win); err != nil {
+				return err
+			}
 			continue
 		}
 		msg := pq.q[pq.head]
+		pq.q[pq.head] = nil
 		pq.head++
 		ob.pending--
 		switch m := msg.(type) {
@@ -196,17 +318,19 @@ func (ob *Outbox) Flush(ctx *sim.Context, win ID) error {
 			}
 			m.Win = win
 		case *UpMsg:
-			k := upKey{origin: m.Origin, phase: m.Phase, stage: m.Stage}
-			if pq.ups[k] == m {
-				delete(pq.ups, k)
+			if slot := pq.ups[m.Origin].peek(m.Phase, m.Stage); slot != nil && slot.cur == m {
+				slot.cur = nil
 			}
 			m.Win = win
 		case *DownMsg:
-			k := downKey{origin: m.Origin, phase: m.Phase, op: m.Op}
-			if pq.downs[k] == m {
-				delete(pq.downs, k)
+			if slot := pq.downs[m.Origin].peek(m.Phase, m.Op); slot != nil && slot.cur == m {
+				slot.cur = nil
 			}
 			m.Win = win
+		}
+		if ob.Resend > 0 && resendable(msg) {
+			pq.resend = append(pq.resend, resendRec{msg: ob.snapshot(msg), left: ob.Resend})
+			ob.resends += ob.Resend
 		}
 		if err := ctx.Send(port, msg); err != nil {
 			return err
@@ -217,4 +341,33 @@ func (ob *Outbox) Flush(ctx *sim.Context, win ID) error {
 		}
 	}
 	return nil
+}
+
+// flushResend transmits one owed retransmission on an otherwise idle port.
+func (ob *Outbox) flushResend(ctx *sim.Context, port int, pq *portQ, win ID) error {
+	if pq.rhead >= len(pq.resend) {
+		return nil
+	}
+	rec := &pq.resend[pq.rhead]
+	var out sim.Message
+	if rec.left > 1 {
+		out = ob.snapshot(rec.msg)
+		rec.left--
+	} else {
+		out = rec.msg
+		rec.msg = nil
+		pq.rhead++
+		if pq.rhead == len(pq.resend) {
+			pq.resend = pq.resend[:0]
+			pq.rhead = 0
+		}
+	}
+	ob.resends--
+	switch m := out.(type) {
+	case *UpMsg:
+		m.Win = win
+	case *DownMsg:
+		m.Win = win
+	}
+	return ctx.Send(port, out)
 }

@@ -1,8 +1,9 @@
 package protocol
 
 import (
+	"cmp"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"wcle/internal/sim"
 )
@@ -22,6 +23,9 @@ type heldKey struct {
 type Holder struct {
 	counts map[heldKey]int
 	next   map[heldKey]int // non-nil only while Step is running
+	spare  map[heldKey]int // last round's counts map, recycled
+	keys   []heldKey       // scratch: sorted group keys
+	bins   []int           // scratch: per-port distribution
 }
 
 // NewHolder returns an empty token holder.
@@ -80,21 +84,28 @@ func (h *Holder) Step(degree int, rng *sim.Rand,
 	if len(h.counts) == 0 {
 		return
 	}
-	keys := make([]heldKey, 0, len(h.counts))
+	keys := h.keys[:0]
 	for k := range h.counts {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.origin != b.origin {
-			return a.origin < b.origin
+	h.keys = keys
+	slices.SortFunc(keys, func(a, b heldKey) int {
+		switch {
+		case a.origin != b.origin:
+			return cmp.Compare(a.origin, b.origin)
+		case a.phase != b.phase:
+			return cmp.Compare(a.phase, b.phase)
+		default:
+			return cmp.Compare(a.remaining, b.remaining)
 		}
-		if a.phase != b.phase {
-			return a.phase < b.phase
-		}
-		return a.remaining < b.remaining
 	})
-	next := make(map[heldKey]int, len(h.counts))
+	next := h.spare
+	if next == nil {
+		next = make(map[heldKey]int, len(h.counts))
+	} else {
+		clear(next)
+		h.spare = nil
+	}
 	h.next = next
 	defer func() { h.next = nil }()
 	for _, k := range keys {
@@ -110,7 +121,7 @@ func (h *Holder) Step(degree int, rng *sim.Rand,
 			}
 		}
 		if movers > 0 && degree > 0 {
-			perPort := DistributeUniform(rng, movers, degree)
+			perPort := h.distribute(rng, movers, degree)
 			for port, cnt := range perPort {
 				if cnt > 0 {
 					move(port, k.origin, k.phase, rem, cnt)
@@ -125,7 +136,24 @@ func (h *Holder) Step(degree int, rng *sim.Rand,
 			}
 		}
 	}
+	h.spare = h.counts
 	h.counts = next
+}
+
+// distribute is DistributeUniform on a reused scratch buffer (identical
+// random stream, no per-call allocation).
+func (h *Holder) distribute(rng *sim.Rand, m, d int) []int {
+	if cap(h.bins) < d {
+		h.bins = make([]int, d)
+	}
+	bins := h.bins[:d]
+	for i := range bins {
+		bins[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		bins[rng.Intn(d)]++
+	}
+	return bins
 }
 
 // BinomialHalf draws Binomial(n, 1/2) exactly by popcounting random words.

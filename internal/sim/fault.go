@@ -1,0 +1,238 @@
+package sim
+
+import "wcle/internal/graph"
+
+// This file is the fault layer of the delivery plane: a pluggable adversary
+// that decides the fate of every accepted send and the liveness of every
+// node. All implementations are seed-deterministic: the runner resets the
+// plane with a seed derived from the run seed and consults it in the same
+// deterministic order under both execution modes, so a faulty run replays
+// exactly like a perfect one does.
+//
+// The model is the crash/omission adversary of the randomized
+// leader-election literature (Kutten et al., "Sublinear Bounds for
+// Randomized Leader Election"): messages may be lost or delayed and nodes
+// may crash, but surviving nodes follow the protocol.
+
+// FaultPlane is the adversary interface of the delivery plane.
+type FaultPlane interface {
+	// Reset binds the plane to one run. It is called once before the first
+	// round with a seed derived from the run seed; stateful planes
+	// (sampled crash sets, drop coins) must derive all randomness from it.
+	Reset(seed int64, g *graph.Graph)
+
+	// Fate decides an accepted send's delivery: an extra delay in rounds
+	// beyond the model's one-round latency, and whether the message is
+	// delivered at all. It is invoked exactly once per accepted send, in
+	// the engine's deterministic apply order.
+	Fate(round, from, to int) (delay int, deliver bool)
+
+	// Crashed reports whether node is crashed (permanently stopped) at
+	// round. Crashed nodes are not stepped, and deliveries to them are
+	// dropped. Crashed must be monotone in round for a fixed node.
+	Crashed(node, round int) bool
+}
+
+// Perfect is the fault-free plane: every send is delivered after one round,
+// no node crashes. A nil Config.Fault behaves identically (and skips the
+// per-send interface calls entirely).
+type Perfect struct{}
+
+// Reset implements FaultPlane.
+func (Perfect) Reset(int64, *graph.Graph) {}
+
+// Fate implements FaultPlane.
+func (Perfect) Fate(int, int, int) (int, bool) { return 0, true }
+
+// Crashed implements FaultPlane.
+func (Perfect) Crashed(int, int) bool { return false }
+
+// Drop loses each send independently with probability P.
+type Drop struct {
+	P   float64
+	rng *Rand
+}
+
+// Reset implements FaultPlane.
+func (d *Drop) Reset(seed int64, _ *graph.Graph) { d.rng = NewRand(seed) }
+
+// Fate implements FaultPlane.
+func (d *Drop) Fate(int, int, int) (int, bool) { return 0, d.rng.Float64() >= d.P }
+
+// Crashed implements FaultPlane.
+func (d *Drop) Crashed(int, int) bool { return false }
+
+// Delay adds an independent uniform extra delay in [0, Max] rounds to each
+// send (on top of the model's one-round latency), reordering messages
+// across rounds while never losing them.
+type Delay struct {
+	Max int
+	rng *Rand
+}
+
+// Reset implements FaultPlane.
+func (d *Delay) Reset(seed int64, _ *graph.Graph) { d.rng = NewRand(seed) }
+
+// Fate implements FaultPlane.
+func (d *Delay) Fate(int, int, int) (int, bool) {
+	if d.Max <= 0 {
+		return 0, true
+	}
+	return d.rng.Intn(d.Max + 1), true
+}
+
+// Crashed implements FaultPlane.
+func (d *Delay) Crashed(int, int) bool { return false }
+
+// Crash permanently stops nodes at explicitly scheduled rounds: node v
+// crashes at round At[v] (inclusive) and never steps, sends, or receives
+// again. Messages already in flight from v still arrive.
+type Crash struct {
+	At map[int]int
+}
+
+// Reset implements FaultPlane.
+func (c *Crash) Reset(int64, *graph.Graph) {}
+
+// Fate implements FaultPlane.
+func (c *Crash) Fate(int, int, int) (int, bool) { return 0, true }
+
+// Crashed implements FaultPlane.
+func (c *Crash) Crashed(node, round int) bool {
+	at, ok := c.At[node]
+	return ok && round >= at
+}
+
+// CrashSample crashes a uniformly sampled fraction Frac of the nodes at
+// round Round. The crash set is drawn deterministically from the Reset
+// seed, so the same run seed always kills the same nodes.
+type CrashSample struct {
+	Frac  float64
+	Round int
+	at    map[int]struct{}
+}
+
+// Reset implements FaultPlane.
+func (c *CrashSample) Reset(seed int64, g *graph.Graph) {
+	n := g.N()
+	k := int(c.Frac * float64(n))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	c.at = make(map[int]struct{}, k)
+	for _, v := range NewRand(seed).Perm(n)[:k] {
+		c.at[v] = struct{}{}
+	}
+}
+
+// Fate implements FaultPlane.
+func (c *CrashSample) Fate(int, int, int) (int, bool) { return 0, true }
+
+// Crashed implements FaultPlane.
+func (c *CrashSample) Crashed(node, round int) bool {
+	if round < c.Round {
+		return false
+	}
+	_, ok := c.at[node]
+	return ok
+}
+
+// Compose chains fault planes: a send is delivered only if every plane
+// delivers it, extra delays add up, and a node is crashed as soon as any
+// plane crashes it. Nil and Perfect members are elided; composing zero or
+// one effective plane returns the cheapest equivalent.
+func Compose(planes ...FaultPlane) FaultPlane {
+	var eff []FaultPlane
+	for _, p := range planes {
+		if p == nil {
+			continue
+		}
+		if _, perfect := p.(Perfect); perfect {
+			continue
+		}
+		eff = append(eff, p)
+	}
+	switch len(eff) {
+	case 0:
+		return nil
+	case 1:
+		return eff[0]
+	}
+	return &composite{planes: eff}
+}
+
+type composite struct {
+	planes []FaultPlane
+}
+
+// Reset implements FaultPlane, deriving an independent sub-seed per member
+// so the members' random streams never alias.
+func (c *composite) Reset(seed int64, g *graph.Graph) {
+	for i, p := range c.planes {
+		p.Reset(DeriveSeed(seed, uint64(i)), g)
+	}
+}
+
+// Fate implements FaultPlane. Every member is consulted even after one
+// drops the send, so each plane's random stream advances identically
+// whatever the other planes decide.
+func (c *composite) Fate(round, from, to int) (int, bool) {
+	delay, deliver := 0, true
+	for _, p := range c.planes {
+		d, ok := p.Fate(round, from, to)
+		delay += d
+		deliver = deliver && ok
+	}
+	return delay, deliver
+}
+
+// Crashed implements FaultPlane.
+func (c *composite) Crashed(node, round int) bool {
+	for _, p := range c.planes {
+		if p.Crashed(node, round) {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultKind labels a fault event.
+type FaultKind uint8
+
+// Fault event kinds.
+const (
+	FaultDrop  FaultKind = iota // a send was lost
+	FaultDelay                  // a send was delayed beyond one round
+	FaultCrash                  // a node was first observed crashed
+)
+
+// String returns the kind's name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultCrash:
+		return "crash"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultEvent is one fault-plane decision made observable.
+type FaultEvent struct {
+	Round int
+	Kind  FaultKind
+	Node  int // destination (drop/delay) or the crashed node
+	From  int // sender for drop/delay, -1 for crash
+	Delay int // extra rounds for delay events
+}
+
+// FaultObserver receives every fault event of a run (see trace.FaultLog).
+type FaultObserver interface {
+	OnFault(ev FaultEvent)
+}

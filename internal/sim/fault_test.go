@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+
+	"wcle/internal/graph"
+)
+
+// faultCases enumerates one representative plane per fault family (plus
+// composition). Each entry builds a fresh plane: planes are stateful per
+// run and must not be shared across engines.
+var faultCases = []struct {
+	name string
+	mk   func() FaultPlane
+}{
+	{"perfect-nil", func() FaultPlane { return nil }},
+	{"perfect", func() FaultPlane { return Perfect{} }},
+	{"drop", func() FaultPlane { return &Drop{P: 0.2} }},
+	{"delay", func() FaultPlane { return &Delay{Max: 3} }},
+	{"crash", func() FaultPlane { return &Crash{At: map[int]int{1: 4, 5: 0}} }},
+	{"crash-sample", func() FaultPlane { return &CrashSample{Frac: 0.25, Round: 3} }},
+	{"composite", func() FaultPlane { return Compose(&Drop{P: 0.1}, &Delay{Max: 2}) }},
+}
+
+// TestEnginesAgreeUnderFaultPlanes is the equivalence contract of the
+// refactored delivery plane: for every fault plane, the sequential engine,
+// the goroutine-per-node engine, and a MultiRunner shard must produce
+// identical metrics and identical process trajectories.
+func TestEnginesAgreeUnderFaultPlanes(t *testing.T) {
+	g, err := graph.Torus2D(4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []Process {
+		procs := make([]Process, g.N())
+		for i := range procs {
+			procs[i] = &randomWalker{limit: 80}
+		}
+		return procs
+	}
+	for _, fc := range faultCases {
+		t.Run(fc.name, func(t *testing.T) {
+			seqP, concP, multiP := mk(), mk(), mk()
+			seq, err := Run(Config{Graph: g, Seed: 9, Fault: fc.mk()}, seqP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conc, err := Run(Config{Graph: g, Seed: 9, Fault: fc.mk(), Concurrent: true}, concP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr := &MultiRunner{Workers: 1}
+			batch, _, err := mr.RunBatch(1, func(int) (Metrics, error) {
+				return Run(Config{Graph: g, Seed: 9, Fault: fc.mk()}, multiP)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			multi := batch[0]
+			for name, m := range map[string]Metrics{"concurrent": conc, "multirunner": multi} {
+				if m.Messages != seq.Messages || m.Deliveries != seq.Deliveries ||
+					m.FaultDrops != seq.FaultDrops || m.Delayed != seq.Delayed ||
+					m.FinalRound != seq.FinalRound || m.BusyRounds != seq.BusyRounds {
+					t.Fatalf("%s engine diverges under %s:\nseq   %+v\nother %+v", name, fc.name, seq, m)
+				}
+			}
+			if fmt.Sprint(trailOf(seqP)) != fmt.Sprint(trailOf(concP)) ||
+				fmt.Sprint(trailOf(seqP)) != fmt.Sprint(trailOf(multiP)) {
+				t.Fatalf("engines produced different trails under %s", fc.name)
+			}
+		})
+	}
+}
+
+// A full drop plane loses every message: the flood never spreads, but every
+// accepted send still counts toward message complexity.
+func TestDropPlaneLosesMessages(t *testing.T) {
+	g, err := graph.Clique(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := floodProcs(g.N())
+	m, err := Run(Config{Graph: g, Seed: 1, Fault: &Drop{P: 1.0}}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Messages != int64(g.Degree(0)) {
+		t.Fatalf("messages = %d, want the source's %d sends", m.Messages, g.Degree(0))
+	}
+	if m.FaultDrops != m.Messages || m.Deliveries != 0 {
+		t.Fatalf("all sends must be lost: %+v", m)
+	}
+	for v := 1; v < g.N(); v++ {
+		if procs[v].(*floodProc).seen {
+			t.Fatalf("node %d informed despite full drop", v)
+		}
+	}
+}
+
+// A delay plane reorders but never loses: the flood still reaches everyone,
+// no earlier than their BFS distance, and every send is delivered.
+func TestDelayPlaneDeliversEverything(t *testing.T) {
+	g, err := graph.Hypercube(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := floodProcs(g.N())
+	m, err := Run(Config{Graph: g, Seed: 3, Fault: &Delay{Max: 4}}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deliveries != m.Messages {
+		t.Fatalf("deliveries %d != messages %d under delay-only plane", m.Deliveries, m.Messages)
+	}
+	if m.Delayed == 0 {
+		t.Fatal("Delay{Max:4} delayed nothing (suspicious)")
+	}
+	dist := graph.BFSDist(g, 0)
+	for v, p := range procs {
+		fp := p.(*floodProc)
+		if !fp.seen {
+			t.Fatalf("node %d never informed under delay-only plane", v)
+		}
+		if fp.seenAt < dist[v] {
+			t.Fatalf("node %d informed at %d, before BFS distance %d", v, fp.seenAt, dist[v])
+		}
+	}
+}
+
+// Crashed nodes neither step nor receive; the rest of the network keeps
+// running.
+func TestCrashStopsNode(t *testing.T) {
+	g, err := graph.Clique(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := floodProcs(g.N())
+	m, err := Run(Config{Graph: g, Seed: 1, Fault: &Crash{At: map[int]int{2: 0}}}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs[2].(*floodProc).seen {
+		t.Fatal("crashed node was stepped")
+	}
+	for _, v := range []int{1, 3} {
+		if !procs[v].(*floodProc).seen {
+			t.Fatalf("healthy node %d not informed", v)
+		}
+	}
+	// The source's send to node 2 (and the other survivors' forwards to
+	// it) are lost at delivery.
+	if m.FaultDrops != 3 {
+		t.Fatalf("fault drops = %d, want 3 (one per neighbor of the dead node)", m.FaultDrops)
+	}
+}
+
+// CrashSample kills the same nodes for the same seed, and different ones
+// for a different seed (w.h.p. for a quarter of a 64-clique).
+func TestCrashSampleSeedDeterministic(t *testing.T) {
+	g, err := graph.Clique(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) (Metrics, []bool) {
+		procs := floodProcs(g.N())
+		m, err := Run(Config{Graph: g, Seed: seed, Fault: &CrashSample{Frac: 0.25, Round: 0}}, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, len(procs))
+		for v, p := range procs {
+			seen[v] = p.(*floodProc).seen
+		}
+		return m, seen
+	}
+	a, aSeen := run(5)
+	b, bSeen := run(5)
+	_, cSeen := run(6)
+	if a.FaultDrops != b.FaultDrops || a.Messages != b.Messages || a.Deliveries != b.Deliveries {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if fmt.Sprint(aSeen) != fmt.Sprint(bSeen) {
+		t.Fatal("same seed crashed different nodes")
+	}
+	if fmt.Sprint(aSeen) == fmt.Sprint(cSeen) {
+		t.Fatal("different seeds crashed identical node sets (suspicious)")
+	}
+}
+
+// The fault observer sees every drop and delay the metrics count, and one
+// crash event per dead node.
+func TestFaultObserverCounts(t *testing.T) {
+	g, err := graph.Clique(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &countingFaultObserver{}
+	m, err := Run(Config{
+		Graph: g, Seed: 2,
+		Fault:         Compose(&Drop{P: 0.3}, &Delay{Max: 2}, &Crash{At: map[int]int{3: 0, 6: 1}}),
+		FaultObserver: obs,
+	}, floodProcs(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.crashes != 2 {
+		t.Fatalf("crash events = %d, want 2", obs.crashes)
+	}
+	if obs.delays != m.Delayed {
+		t.Fatalf("delay events = %d, metrics %d", obs.delays, m.Delayed)
+	}
+	// In-transit drop events; crash-delivery drops are only in the metrics.
+	if obs.drops > m.FaultDrops || obs.drops == 0 {
+		t.Fatalf("drop events = %d, metrics %d", obs.drops, m.FaultDrops)
+	}
+}
+
+type countingFaultObserver struct {
+	drops, delays, crashes int64
+}
+
+func (o *countingFaultObserver) OnFault(ev FaultEvent) {
+	switch ev.Kind {
+	case FaultDrop:
+		o.drops++
+	case FaultDelay:
+		o.delays++
+	case FaultCrash:
+		o.crashes++
+	}
+}
+
+// Compose elides nil and Perfect planes and unwraps single members.
+func TestComposeElision(t *testing.T) {
+	if Compose() != nil || Compose(nil, Perfect{}) != nil {
+		t.Fatal("empty composition must be nil (perfect)")
+	}
+	d := &Drop{P: 0.5}
+	if Compose(nil, d, Perfect{}) != FaultPlane(d) {
+		t.Fatal("single effective plane must be returned unwrapped")
+	}
+	c := Compose(&Drop{P: 0.5}, &Delay{Max: 1})
+	if _, ok := c.(*composite); !ok {
+		t.Fatalf("two planes must compose, got %T", c)
+	}
+}
+
+// The anonymous model must not leak sender identities unless explicitly
+// asked to (Config.DebugFrom).
+func TestEnvelopeFromGatedByDebugFrom(t *testing.T) {
+	g, err := graph.Clique(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(debug bool) int {
+		from := -2
+		procs := []Process{
+			processFunc(func(ctx *Context, inbox []Envelope) error {
+				if ctx.Round() == 0 {
+					return ctx.Send(0, testMsg{bits: 1, kind: "x"})
+				}
+				return nil
+			}),
+			processFunc(func(ctx *Context, inbox []Envelope) error {
+				for _, env := range inbox {
+					from = env.From
+				}
+				return nil
+			}),
+		}
+		if _, err := Run(Config{Graph: g, Seed: 1, DebugFrom: debug}, procs); err != nil {
+			t.Fatal(err)
+		}
+		return from
+	}
+	if got := run(false); got != -1 {
+		t.Fatalf("default run leaked From = %d, want -1", got)
+	}
+	if got := run(true); got != 0 {
+		t.Fatalf("DebugFrom run got From = %d, want sender 0", got)
+	}
+}
+
+// The wake heap works both through its non-boxing methods and as a
+// container/heap.Interface, and reuses its backing array across pops.
+func TestRoundHeap(t *testing.T) {
+	var h roundHeap
+	for _, r := range []int{500, 3, 1000000, 42, 7} {
+		h.push(r)
+	}
+	heap.Push(&h, 1) // the boxing-compat path
+	want := []int{1, 3, 7, 42, 500, 1000000}
+	for i, w := range want[:3] {
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := heap.Pop(&h).(int); got != 42 {
+		t.Fatalf("heap.Pop = %d, want 42", got)
+	}
+	before := cap(h)
+	h.push(10)
+	if cap(h) != before {
+		t.Fatal("push after pop reallocated the backing array")
+	}
+	if h.pop() != 10 || h.pop() != 500 || h.pop() != 1000000 || h.Len() != 0 {
+		t.Fatal("heap order wrong after reuse")
+	}
+}
+
+// Out-of-range crash fractions clamp instead of panicking.
+func TestCrashSampleFracClamped(t *testing.T) {
+	g, err := graph.Clique(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{-0.5, 1.5} {
+		m, err := Run(Config{Graph: g, Seed: 1, Fault: &CrashSample{Frac: frac, Round: 0}}, floodProcs(g.N()))
+		if err != nil {
+			t.Fatalf("frac %v: %v", frac, err)
+		}
+		if frac < 0 && m.Deliveries == 0 {
+			t.Fatal("negative fraction must crash nobody")
+		}
+		if frac > 1 && m.Messages != 0 {
+			t.Fatalf("fraction > 1 must crash everyone, got %d messages", m.Messages)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"wcle/internal/graph"
+)
+
+// RunBatch returns metrics indexed by job and per-shard aggregates that
+// add up, whatever the worker count.
+func TestMultiRunnerShardingAndStats(t *testing.T) {
+	g, err := graph.Clique(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJob := func(i int) (Metrics, error) {
+		return Run(Config{Graph: g, Seed: int64(i)}, floodProcs(g.N()))
+	}
+	const jobs = 7
+	want, err := runJob(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		mr := &MultiRunner{Workers: workers}
+		metrics, stats, err := mr.RunBatch(jobs, runJob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(metrics) != jobs || len(stats) != workers {
+			t.Fatalf("got %d metrics, %d shards", len(metrics), len(stats))
+		}
+		var runs int
+		var messages int64
+		for s, st := range stats {
+			if st.Shard != s {
+				t.Fatalf("shard %d labeled %d", s, st.Shard)
+			}
+			runs += st.Runs
+			messages += st.Messages
+		}
+		if runs != jobs {
+			t.Fatalf("shard runs sum to %d, want %d", runs, jobs)
+		}
+		var total int64
+		for i, m := range metrics {
+			if m.Messages != want.Messages {
+				t.Fatalf("job %d messages %d, want %d (flood is seed-independent)", i, m.Messages, want.Messages)
+			}
+			total += m.Messages
+		}
+		if messages != total {
+			t.Fatalf("shard message totals %d != job totals %d", messages, total)
+		}
+	}
+}
+
+// A failing job surfaces its error; the batch does not hang.
+func TestMultiRunnerError(t *testing.T) {
+	boom := errors.New("boom")
+	mr := &MultiRunner{Workers: 2}
+	_, _, err := mr.RunBatch(5, func(i int) (Metrics, error) {
+		if i == 3 {
+			return Metrics{}, boom
+		}
+		return Metrics{}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, _, err := mr.RunBatch(0, nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}

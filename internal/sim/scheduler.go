@@ -1,0 +1,135 @@
+package sim
+
+// This file is the scheduler layer of the delivery plane: it owns round
+// advancement. The runner asks it for the next round with scheduled wakes
+// and for the set of nodes due at that round; everything message-related
+// lives in the transport layer (transport.go).
+
+// roundHeap is a min-heap of round numbers. It satisfies heap.Interface so
+// callers can drive it with container/heap, but the scheduler uses the
+// non-boxing push/pop methods below: routing an int through `any` allocates
+// for values outside the runtime's small-int cache, which on long schedules
+// means one allocation per scheduled wake.
+type roundHeap []int
+
+func (h roundHeap) Len() int           { return len(h) }
+func (h roundHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h roundHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface (container/heap appends then restores
+// the invariant itself via Less/Swap).
+func (h *roundHeap) Push(x any) { *h = append(*h, x.(int)) }
+
+// Pop implements heap.Interface: remove and return the LAST element
+// (container/heap has already swapped the minimum there).
+func (h *roundHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	x := old[n]
+	*h = old[:n]
+	return x
+}
+
+// push inserts a round without boxing, reusing the backing slice's spare
+// capacity left behind by earlier pops.
+func (h *roundHeap) push(x int) {
+	*h = append(*h, x)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum round. The backing slice is retained
+// (truncated, not reallocated) so steady-state push/pop cycles allocate
+// nothing.
+func (h *roundHeap) pop() int {
+	s := *h
+	n := len(s) - 1
+	min := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s[l] < s[smallest] {
+			smallest = l
+		}
+		if r < n && s[r] < s[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return min
+}
+
+// scheduler owns the wake timetable: which nodes must be stepped at which
+// future rounds. Wake sets are recycled through a free list so an election
+// that schedules millions of wakes reuses a handful of maps.
+type scheduler struct {
+	wakeSet map[int]map[int]struct{} // round -> nodes due
+	rounds  roundHeap                // rounds present in wakeSet
+	free    []map[int]struct{}       // recycled wake sets
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{wakeSet: make(map[int]map[int]struct{})}
+}
+
+// wake schedules node at round.
+func (s *scheduler) wake(node, round int) {
+	set, ok := s.wakeSet[round]
+	if !ok {
+		if n := len(s.free); n > 0 {
+			set = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			set = make(map[int]struct{})
+		}
+		s.wakeSet[round] = set
+		s.rounds.push(round)
+	}
+	set[node] = struct{}{}
+}
+
+// nextRound returns the earliest round with scheduled wakes, or -1.
+func (s *scheduler) nextRound() int {
+	if len(s.rounds) == 0 {
+		return -1
+	}
+	return s.rounds[0]
+}
+
+// popDue removes and returns the wake set for round if it is the earliest
+// scheduled one; nil otherwise. The caller must hand the set back through
+// recycle once iterated.
+func (s *scheduler) popDue(round int) map[int]struct{} {
+	if len(s.rounds) == 0 || s.rounds[0] != round {
+		return nil
+	}
+	s.rounds.pop()
+	set := s.wakeSet[round]
+	delete(s.wakeSet, round)
+	return set
+}
+
+// recycle clears a set returned by popDue and returns it to the free list.
+func (s *scheduler) recycle(set map[int]struct{}) {
+	clear(set)
+	s.free = append(s.free, set)
+}
+
+// pending reports whether any wakes are scheduled.
+func (s *scheduler) pending() bool { return len(s.rounds) > 0 }

@@ -5,15 +5,25 @@
 // is validated against a configurable bit cap (O(log n) in CONGEST mode,
 // O(log^3 n) in the paper's Lemma 12 large-message mode).
 //
-// The engine is event driven: rounds in which no node is awake are skipped
-// in O(1), so simulated time follows the paper's round schedule while CPU
-// cost tracks delivered messages. Two execution modes share identical
-// semantics and are equivalence-tested: a deterministic sequential loop and
-// a goroutine-per-awake-node barrier-synchronized mode.
+// The engine is composed of three layers (the delivery plane):
+//
+//   - a scheduler (scheduler.go) owning round advancement and the wake
+//     heap, so rounds in which no node is awake are skipped in O(1);
+//   - a transport (transport.go) buffering accepted sends double-buffered
+//     straight into the next round's inboxes (flat per-round batches for
+//     fault-delayed sends) and delivering by pointer swap;
+//   - a fault plane (fault.go), a pluggable adversary deciding the fate of
+//     every send (Perfect, Drop, Delay) and the liveness of every node
+//     (Crash, CrashSample), all seed-deterministic.
+//
+// Two execution modes share identical semantics and are equivalence-tested
+// under every fault plane: a deterministic sequential loop and a
+// goroutine-per-awake-node barrier-synchronized mode. For bulk independent
+// runs, MultiRunner (multi.go) shards whole simulations across a worker
+// pool instead.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,7 +41,8 @@ type Message interface {
 
 // Envelope is a delivered message. Port is the receiving port at the
 // destination node. From identifies the sender for observers and debugging
-// only; protocols in the anonymous model must not read it.
+// only; the model is anonymous, so From is -1 unless Config.DebugFrom is
+// set.
 type Envelope struct {
 	Port    int
 	From    int
@@ -47,7 +58,9 @@ type Process interface {
 }
 
 // Observer receives a callback for every accepted send. Used by the trace
-// recorder and the lower-bound clique-communication-graph tracker.
+// recorder and the lower-bound clique-communication-graph tracker. Sends
+// later lost by the fault plane are still observed: the sender paid for
+// them, and message complexity counts them.
 type Observer interface {
 	OnSend(round int, from, fromPort, to, toPort int, m Message)
 }
@@ -56,7 +69,8 @@ type Observer interface {
 type Config struct {
 	Graph *graph.Graph
 
-	// Seed derives all per-node randomness deterministically.
+	// Seed derives all per-node randomness (and the fault plane's)
+	// deterministically.
 	Seed int64
 
 	// MaxRounds aborts the run (with an error) if simulated time exceeds
@@ -76,26 +90,47 @@ type Config struct {
 	Concurrent bool
 
 	// LeanMetrics drops the per-kind accounting from the send hot path:
-	// Metrics.ByKind stays empty and deliver() does no map writes or
+	// Metrics.ByKind stays empty and the transport does no map writes or
 	// Kind() string work per message. The experiment harness enables it
 	// for bulk trial runs; per-kind counts remain available as an opt-in
 	// observer (trace.KindCounter).
 	LeanMetrics bool
 
+	// DebugFrom stamps the sender's node index on delivered envelopes.
+	// Default runs keep Envelope.From == -1: the model is anonymous, and
+	// a protocol must not be able to read sender identities by accident.
+	DebugFrom bool
+
+	// Fault, when non-nil, is the adversary of the run. nil means Perfect
+	// delivery (and skips the per-send fault calls entirely).
+	Fault FaultPlane
+
 	// Observer, when non-nil, is invoked for every accepted send.
 	Observer Observer
+
+	// FaultObserver, when non-nil, is invoked for every fault event
+	// (drops, delays, crashes).
+	FaultObserver FaultObserver
 }
 
 // DefaultMaxRounds bounds runaway protocols.
 const DefaultMaxRounds = 50_000_000
 
+// faultSeedStream is the DeriveSeed stream index of the fault plane's
+// randomness, far outside the per-node index range.
+const faultSeedStream = ^uint64(0) - 0x5EED
+
 // Metrics aggregates the model-level costs of a run. Messages and Bits
 // count accepted sends (the paper's message complexity); Dropped counts
-// sends suppressed by the message budget.
+// sends suppressed by the message budget; FaultDrops and Delayed count the
+// fault plane's interventions (sends it lost — including deliveries to
+// crashed nodes — and sends it delayed beyond one round).
 type Metrics struct {
 	Messages   int64
 	Bits       int64
 	Dropped    int64
+	FaultDrops int64
+	Delayed    int64
 	Deliveries int64
 	BusyRounds int64
 	FinalRound int
@@ -109,10 +144,11 @@ var ErrCongest = errors.New("sim: CONGEST violation")
 // ErrMaxRounds is returned by Runner.Run when MaxRounds is exceeded.
 var ErrMaxRounds = errors.New("sim: exceeded MaxRounds")
 
-// sendRec is a buffered send applied at the end of the round.
-type sendRec struct {
-	from, fromPort int
-	payload        Message
+// stagedSend is a send buffered in the sender's context until the end of
+// the round, when the runner moves it into the transport's flat queue.
+type stagedSend struct {
+	port    int
+	payload Message
 }
 
 // Context is the per-node handle passed to Step. It is only valid during
@@ -124,7 +160,7 @@ type Context struct {
 
 	round    int
 	sentPort []bool
-	out      []sendRec
+	out      []stagedSend
 	wakes    []int
 }
 
@@ -159,7 +195,7 @@ func (c *Context) Send(port int, m Message) error {
 			ErrCongest, c.node, m.Kind(), m.Bits(), c.r.cfg.MaxMessageBits)
 	}
 	c.sentPort[port] = true
-	c.out = append(c.out, sendRec{from: c.node, fromPort: port, payload: m})
+	c.out = append(c.out, stagedSend{port: port, payload: m})
 	return nil
 }
 
@@ -171,23 +207,9 @@ func (c *Context) WakeAt(round int) {
 	c.wakes = append(c.wakes, round)
 }
 
-// roundHeap is a min-heap of round numbers.
-type roundHeap []int
-
-func (h roundHeap) Len() int            { return len(h) }
-func (h roundHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h roundHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *roundHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
-func (h *roundHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-// Runner executes processes on a graph. Create with NewRunner; a Runner can
-// be resumed (Wake + Run) after quiescence, which the explicit-election and
+// Runner executes processes on a graph, composing the scheduler, transport
+// and fault layers. Create with NewRunner; a Runner can be resumed
+// (Wake + Run) after quiescence, which the explicit-election and
 // lower-bound experiments use for phased protocols.
 type Runner struct {
 	cfg   Config
@@ -195,12 +217,13 @@ type Runner struct {
 	procs []Process
 	ctxs  []*Context
 
-	round         int
-	deliveryRound int                // round at which pending messages are due
-	inboxes       map[int][]Envelope // inboxes being delivered this round
-	pending       map[int][]Envelope // node -> inbox for the next round
-	wakeSet       map[int]map[int]struct{}
-	wakeH         roundHeap
+	round int
+	sched *scheduler
+	tr    *transport
+	fault FaultPlane
+
+	awake      []int  // reused per-round scratch
+	crashNoted []bool // fault events emitted once per crashed node
 
 	metrics Metrics
 	stepErr error
@@ -223,9 +246,17 @@ func NewRunner(cfg Config, procs []Process) (*Runner, error) {
 		g:       cfg.Graph,
 		procs:   procs,
 		ctxs:    make([]*Context, cfg.Graph.N()),
-		pending: make(map[int][]Envelope),
-		wakeSet: make(map[int]map[int]struct{}),
+		sched:   newScheduler(),
+		tr:      newTransport(cfg.Graph.N()),
+		fault:   cfg.Fault,
 		metrics: Metrics{ByKind: make(map[string]int64)},
+	}
+	if _, perfect := r.fault.(Perfect); perfect {
+		r.fault = nil // same semantics, no per-send interface calls
+	}
+	if r.fault != nil {
+		r.fault.Reset(DeriveSeed(cfg.Seed, faultSeedStream), r.g)
+		r.crashNoted = make([]bool, cfg.Graph.N())
 	}
 	for v := range r.ctxs {
 		r.ctxs[v] = &Context{
@@ -243,7 +274,7 @@ func (r *Runner) Wake(node, round int) {
 	if round < r.round {
 		round = r.round
 	}
-	r.addWake(node, round)
+	r.sched.wake(node, round)
 }
 
 // WakeAll schedules every node at the given round.
@@ -251,16 +282,6 @@ func (r *Runner) WakeAll(round int) {
 	for v := 0; v < r.g.N(); v++ {
 		r.Wake(v, round)
 	}
-}
-
-func (r *Runner) addWake(node, round int) {
-	set, ok := r.wakeSet[round]
-	if !ok {
-		set = make(map[int]struct{})
-		r.wakeSet[round] = set
-		heap.Push(&r.wakeH, round)
-	}
-	set[node] = struct{}{}
 }
 
 // Round returns the current simulated round.
@@ -277,7 +298,7 @@ func (r *Runner) Metrics() Metrics {
 }
 
 // Quiet reports whether no messages are in flight and no wakes are pending.
-func (r *Runner) Quiet() bool { return len(r.pending) == 0 && r.wakeH.Len() == 0 }
+func (r *Runner) Quiet() bool { return !r.tr.pending() && !r.sched.pending() }
 
 // Run advances rounds until quiescence (no pending messages, no pending
 // wakes) or until MaxRounds, whichever comes first.
@@ -295,17 +316,12 @@ func (r *Runner) Run() error {
 	return nil
 }
 
+// nextEventRound asks the transport and the scheduler for their earliest
+// events and returns the sooner, clamped to the current round.
 func (r *Runner) nextEventRound() int {
-	next := -1
-	if len(r.pending) > 0 {
-		// Pending messages always deliver exactly one round after they were
-		// sent; deliveryRound tracks it.
-		next = r.deliveryRound
-	}
-	if r.wakeH.Len() > 0 {
-		if w := r.wakeH[0]; next == -1 || w < next {
-			next = w
-		}
+	next := r.tr.nextDueRound()
+	if w := r.sched.nextRound(); w >= 0 && (next == -1 || w < next) {
+		next = w
 	}
 	if next < r.round {
 		next = r.round
@@ -313,31 +329,54 @@ func (r *Runner) nextEventRound() int {
 	return next
 }
 
-func (r *Runner) stepRound() error {
-	// Collect awake nodes: those with deliveries due now plus scheduled wakes.
-	awake := make([]int, 0, len(r.pending)+8)
-	if len(r.pending) > 0 && r.deliveryRound == r.round {
-		r.inboxes = r.pending
-		r.pending = make(map[int][]Envelope)
-		for v := range r.inboxes {
-			awake = append(awake, v)
-		}
-	} else {
-		r.inboxes = nil
+// noteCrash emits the once-per-node crash event.
+func (r *Runner) noteCrash(v int) {
+	if r.crashNoted[v] {
+		return
 	}
-	if r.wakeH.Len() > 0 && r.wakeH[0] == r.round {
-		heap.Pop(&r.wakeH)
-		set := r.wakeSet[r.round]
-		delete(r.wakeSet, r.round)
+	r.crashNoted[v] = true
+	if r.cfg.FaultObserver != nil {
+		r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultCrash, Node: v, From: -1})
+	}
+}
+
+// acceptDelivery is the transport's destination filter: deliveries to
+// crashed nodes are dropped (counted in Metrics.FaultDrops; the node's
+// FaultCrash event already marks it dead, so no per-message drop events
+// are emitted for them).
+func (r *Runner) acceptDelivery(to int) bool {
+	if !r.fault.Crashed(to, r.round) {
+		return true
+	}
+	r.noteCrash(to)
+	return false
+}
+
+func (r *Runner) stepRound() error {
+	// Collect awake nodes: those with deliveries due now plus scheduled
+	// wakes (minus crashed nodes).
+	var accept func(int) bool
+	if r.fault != nil {
+		accept = r.acceptDelivery
+	}
+	delivered, crashDrops := r.tr.deliver(r.round, accept)
+	r.metrics.FaultDrops += int64(crashDrops)
+	awake := append(r.awake[:0], delivered...)
+	if set := r.sched.popDue(r.round); set != nil {
 		for v := range set {
-			if r.inboxes == nil {
-				awake = append(awake, v)
-			} else if _, has := r.inboxes[v]; !has {
+			if r.fault != nil && r.fault.Crashed(v, r.round) {
+				r.noteCrash(v)
+				continue
+			}
+			if len(r.tr.inbox(v)) == 0 {
 				awake = append(awake, v)
 			}
 		}
+		r.sched.recycle(set)
 	}
+	r.awake = awake
 	if len(awake) == 0 {
+		r.tr.release()
 		return nil
 	}
 	sort.Ints(awake)
@@ -356,24 +395,25 @@ func (r *Runner) stepRound() error {
 			}
 		}
 	}
+	r.tr.release()
 	if r.stepErr != nil {
 		return r.stepErr
 	}
 
-	// Apply buffered sends and wakes deterministically in node order.
+	// Move buffered sends into the transport and wakes into the scheduler
+	// deterministically in node order; the fault plane rules on each send
+	// here, so its random stream advances identically in both execution
+	// modes.
 	for _, v := range awake {
 		ctx := r.ctxs[v]
 		for _, s := range ctx.out {
-			r.deliver(s)
+			r.dispatch(v, s.port, s.payload)
 		}
 		ctx.out = ctx.out[:0]
 		for _, w := range ctx.wakes {
-			r.addWake(v, w)
+			r.sched.wake(v, w)
 		}
 		ctx.wakes = ctx.wakes[:0]
-	}
-	if len(r.pending) > 0 {
-		r.deliveryRound = r.round + 1
 	}
 	return nil
 }
@@ -384,15 +424,25 @@ func (r *Runner) stepNode(v int) {
 	for p := range ctx.sentPort {
 		ctx.sentPort[p] = false
 	}
-	var inbox []Envelope
-	if r.inboxes != nil {
-		inbox = r.inboxes[v]
-		sort.Slice(inbox, func(i, j int) bool { return inbox[i].Port < inbox[j].Port })
+	inbox := r.tr.inbox(v)
+	if len(inbox) > 0 {
+		sortByPort(inbox)
 		r.metrics.Deliveries += int64(len(inbox))
 	}
 	if err := r.procs[v].Step(ctx, inbox); err != nil {
 		if r.stepErr == nil {
 			r.stepErr = fmt.Errorf("sim: node %d at round %d: %w", v, r.round, err)
+		}
+	}
+}
+
+// sortByPort orders an inbox by receiving port. Ports are unique within a
+// round (one send per edge per direction), so insertion sort is exact and
+// avoids sort.Slice's closure allocation on the hot path.
+func sortByPort(inbox []Envelope) {
+	for i := 1; i < len(inbox); i++ {
+		for j := i; j > 0 && inbox[j].Port < inbox[j-1].Port; j-- {
+			inbox[j], inbox[j-1] = inbox[j-1], inbox[j]
 		}
 	}
 }
@@ -407,12 +457,11 @@ func (r *Runner) stepNodesConcurrent(awake []int) {
 		err  error
 	}
 	// Pre-sort inboxes and count deliveries serially (cheap) so Step
-	// goroutines never touch shared metrics.
+	// goroutines never touch shared state.
 	inboxes := make([][]Envelope, len(awake))
 	for i, v := range awake {
-		if r.inboxes != nil {
-			in := r.inboxes[v]
-			sort.Slice(in, func(a, b int) bool { return in[a].Port < in[b].Port })
+		if in := r.tr.inbox(v); len(in) > 0 {
+			sortByPort(in)
 			inboxes[i] = in
 			r.metrics.Deliveries += int64(len(in))
 		}
@@ -440,22 +489,47 @@ func (r *Runner) stepNodesConcurrent(awake []int) {
 	}
 }
 
-func (r *Runner) deliver(s sendRec) {
+// dispatch accounts one staged send and hands it to the fault plane and the
+// transport. Budget drops suppress the send entirely; fault drops lose a
+// sent (and counted) message in transit.
+func (r *Runner) dispatch(from, fromPort int, payload Message) {
 	if r.cfg.MessageBudget > 0 && r.metrics.Messages >= r.cfg.MessageBudget {
 		r.metrics.Dropped++
 		return
 	}
-	to := r.g.NeighborAt(s.from, s.fromPort)
-	toPort := r.g.BackPort(s.from, s.fromPort)
+	to := r.g.NeighborAt(from, fromPort)
+	toPort := r.g.BackPort(from, fromPort)
 	r.metrics.Messages++
-	r.metrics.Bits += int64(s.payload.Bits())
+	r.metrics.Bits += int64(payload.Bits())
 	if !r.cfg.LeanMetrics {
-		r.metrics.ByKind[s.payload.Kind()]++
+		r.metrics.ByKind[payload.Kind()]++
 	}
 	if r.cfg.Observer != nil {
-		r.cfg.Observer.OnSend(r.round, s.from, s.fromPort, to, toPort, s.payload)
+		r.cfg.Observer.OnSend(r.round, from, fromPort, to, toPort, payload)
 	}
-	r.pending[to] = append(r.pending[to], Envelope{Port: toPort, From: s.from, Payload: s.payload})
+	due := r.round + 1
+	if r.fault != nil {
+		delay, deliver := r.fault.Fate(r.round, from, to)
+		if !deliver {
+			r.metrics.FaultDrops++
+			if r.cfg.FaultObserver != nil {
+				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultDrop, Node: to, From: from})
+			}
+			return
+		}
+		if delay > 0 {
+			r.metrics.Delayed++
+			if r.cfg.FaultObserver != nil {
+				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultDelay, Node: to, From: from, Delay: delay})
+			}
+			due += delay
+		}
+	}
+	sender := -1
+	if r.cfg.DebugFrom {
+		sender = from
+	}
+	r.tr.send(r.round, due, to, Envelope{Port: toPort, From: sender, Payload: payload})
 }
 
 // Run is the one-shot convenience wrapper: wake every node at round 0 and

@@ -1,0 +1,141 @@
+package sim
+
+// This file is the transport layer of the delivery plane: it buffers
+// accepted sends and assembles per-destination inboxes.
+//
+// Every send without a Delay fault is due exactly one round after it was
+// accepted, so the transport is double-buffered: the apply phase of round r
+// writes envelopes straight into the next round's inbox buffers, and
+// delivery at r+1 is a pointer swap — no per-message staging copy, no
+// per-round map, no allocation in steady state. Sends a fault plane delays
+// further take the slow path: flat per-round batches, merged into the
+// inbox buffers (after the direct deliveries) when their round comes up.
+
+// delivery is one delayed message with its destination.
+type delivery struct {
+	to  int
+	env Envelope
+}
+
+// batch is the flat queue of one delayed delivery round, in accept order.
+type batch struct {
+	sends []delivery
+}
+
+type transport struct {
+	cur     [][]Envelope // inboxes being delivered/stepped this round
+	next    [][]Envelope // inboxes for the next round, filled by sends
+	touched []int        // nodes with deliveries in cur, first-send order
+	pend    []int        // nodes with deliveries in next, first-send order
+	nextDue int          // round next's deliveries are due (-1 = none)
+	nextCnt int
+
+	late  map[int]*batch // delayed deliveries by round
+	lateH roundHeap      // rounds present in late
+	free  []*batch
+
+	inFlight int
+}
+
+func newTransport(n int) *transport {
+	return &transport{
+		cur:     make([][]Envelope, n),
+		next:    make([][]Envelope, n),
+		nextDue: -1,
+		late:    make(map[int]*batch),
+	}
+}
+
+// send buffers env for delivery to node `to` at round `due`; `round` is the
+// current round (due > round).
+func (t *transport) send(round, due, to int, env Envelope) {
+	t.inFlight++
+	if due == round+1 {
+		if t.nextDue == -1 {
+			t.nextDue = due
+		}
+		if len(t.next[to]) == 0 {
+			t.pend = append(t.pend, to)
+		}
+		t.next[to] = append(t.next[to], env)
+		t.nextCnt++
+		return
+	}
+	b, ok := t.late[due]
+	if !ok {
+		if n := len(t.free); n > 0 {
+			b = t.free[n-1]
+			t.free = t.free[:n-1]
+		} else {
+			b = &batch{}
+		}
+		t.late[due] = b
+		t.lateH.push(due)
+	}
+	b.sends = append(b.sends, delivery{to: to, env: env})
+}
+
+// nextDueRound returns the earliest round with pending deliveries, or -1.
+func (t *transport) nextDueRound() int {
+	next := t.nextDue
+	if len(t.lateH) > 0 && (next == -1 || t.lateH[0] < next) {
+		next = t.lateH[0]
+	}
+	return next
+}
+
+// deliver assembles the given round's inboxes and returns the destinations
+// with at least one delivery, in first-send order (direct deliveries before
+// delayed ones). accept, when non-nil, can veto a destination (a crashed
+// node); vetoed deliveries are dropped and counted in the returned drop
+// count. The caller must call release after stepping the returned nodes.
+func (t *transport) deliver(round int, accept func(to int) bool) (awake []int, dropped int) {
+	if t.nextDue == round {
+		t.cur, t.next = t.next, t.cur
+		t.touched, t.pend = t.pend, t.touched
+		t.nextDue = -1
+		t.inFlight -= t.nextCnt
+		t.nextCnt = 0
+	}
+	if len(t.lateH) > 0 && t.lateH[0] == round {
+		t.lateH.pop()
+		b := t.late[round]
+		delete(t.late, round)
+		for _, d := range b.sends {
+			if len(t.cur[d.to]) == 0 {
+				t.touched = append(t.touched, d.to)
+			}
+			t.cur[d.to] = append(t.cur[d.to], d.env)
+		}
+		t.inFlight -= len(b.sends)
+		b.sends = b.sends[:0]
+		t.free = append(t.free, b)
+	}
+	if accept != nil && len(t.touched) > 0 {
+		kept := t.touched[:0]
+		for _, v := range t.touched {
+			if accept(v) {
+				kept = append(kept, v)
+				continue
+			}
+			dropped += len(t.cur[v])
+			t.cur[v] = t.cur[v][:0]
+		}
+		t.touched = kept
+	}
+	return t.touched, dropped
+}
+
+// inbox returns the assembled inbox of node v for the delivered round.
+func (t *transport) inbox(v int) []Envelope { return t.cur[v] }
+
+// release recycles the inbox buffers assembled by the last deliver call.
+func (t *transport) release() {
+	for _, v := range t.touched {
+		t.cur[v] = t.cur[v][:0]
+	}
+	t.touched = t.touched[:0]
+}
+
+// pending reports whether any messages are in flight.
+func (t *transport) pending() bool { return t.inFlight > 0 }

@@ -105,6 +105,59 @@ func (kc *KindCounter) OnSend(round int, from, fromPort, to, toPort int, m sim.M
 	kc.Counts[m.Kind()]++
 }
 
+// FaultLog records the fault plane's interventions: up to Cap events
+// (0 means DefaultCap) plus always-on aggregate counts per kind. Attach it
+// via Config.FaultObserver (or core.RunOptions.FaultObserver) to make a
+// faulty run's drops, delays, and crashes observable.
+type FaultLog struct {
+	Cap     int
+	Events  []sim.FaultEvent
+	Skipped int64
+
+	Drops   int64
+	Delays  int64
+	Crashes int64
+}
+
+var _ sim.FaultObserver = (*FaultLog)(nil)
+
+// OnFault implements sim.FaultObserver.
+func (l *FaultLog) OnFault(ev sim.FaultEvent) {
+	switch ev.Kind {
+	case sim.FaultDrop:
+		l.Drops++
+	case sim.FaultDelay:
+		l.Delays++
+	case sim.FaultCrash:
+		l.Crashes++
+	}
+	cap := l.Cap
+	if cap == 0 {
+		cap = DefaultCap
+	}
+	if len(l.Events) >= cap {
+		l.Skipped++
+		return
+	}
+	l.Events = append(l.Events, ev)
+}
+
+// Dump writes the recorded fault events as text, one per line.
+func (l *FaultLog) Dump(w io.Writer) error {
+	for _, e := range l.Events {
+		if _, err := fmt.Fprintf(w, "round=%d fault=%s node=%d from=%d delay=%d\n",
+			e.Round, e.Kind, e.Node, e.From, e.Delay); err != nil {
+			return err
+		}
+	}
+	if l.Skipped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d further fault events not recorded (cap %d)\n", l.Skipped, l.Cap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Multi fans one observer stream out to several observers.
 type Multi []sim.Observer
 

@@ -9,6 +9,7 @@ import (
 	"wcle/internal/experiments"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
+	"wcle/internal/sim"
 	"wcle/internal/spectral"
 )
 
@@ -37,7 +38,34 @@ type (
 	BroadcastResult = broadcast.Result
 	// FloodMaxResult reports the Omega(m)-class baseline.
 	FloodMaxResult = baseline.FloodMaxResult
+
+	// FaultPlane is the delivery-plane adversary interface (see
+	// internal/sim): Perfect, Drop, Delay, Crash, CrashSample, or a
+	// Compose of them, all seed-deterministic.
+	FaultPlane = sim.FaultPlane
+	// Drop loses each send independently with probability P.
+	Drop = sim.Drop
+	// Delay adds a uniform extra delay in [0, Max] rounds to each send.
+	Delay = sim.Delay
+	// Crash stops nodes at explicitly scheduled rounds.
+	Crash = sim.Crash
+	// CrashSample crashes a sampled fraction of nodes at a given round.
+	CrashSample = sim.CrashSample
+	// BatchOptions parameterizes ElectMany.
+	BatchOptions = core.BatchOptions
+	// BatchResult aggregates an ElectMany batch.
+	BatchResult = core.BatchResult
 )
+
+// ComposeFaults chains fault planes (drops combine, delays add, crashes
+// union); nil and Perfect members are elided.
+func ComposeFaults(planes ...FaultPlane) FaultPlane { return sim.Compose(planes...) }
+
+// ElectMany runs many independent elections of cfg on g across a sharded
+// worker pool and aggregates the outcomes (see core.RunMany).
+func ElectMany(g *Graph, cfg Config, opts BatchOptions) (*BatchResult, error) {
+	return core.RunMany(g, cfg, opts)
+}
 
 // DefaultConfig returns the paper-faithful default parameters (c1=6, c2=2,
 // natural log, CONGEST messages).

@@ -127,7 +127,7 @@ func TestPublicBaselines(t *testing.T) {
 
 func TestPublicExperiments(t *testing.T) {
 	ids := wcle.ExperimentIDs()
-	if len(ids) != 14 {
+	if len(ids) != 16 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	tab, err := wcle.RunExperiment("E3", 1, true)
@@ -139,5 +139,42 @@ func TestPublicExperiments(t *testing.T) {
 	}
 	if _, err := wcle.RunExperiment("E99", 1, true); err == nil {
 		t.Fatal("unknown experiment should fail")
+	}
+}
+
+// ElectMany aggregates a deterministic batch: outcome counts are identical
+// whatever the worker count, and a fault plane threads through the facade.
+func TestElectManyDeterministicAcrossWorkers(t *testing.T) {
+	g, err := wcle.NewRandomRegular(32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *wcle.BatchResult {
+		res, err := wcle.ElectMany(g, wcle.DefaultConfig(), wcle.BatchOptions{
+			Base:    wcle.Options{Seed: 11, LeanMetrics: true},
+			Trials:  4,
+			Workers: workers,
+			NewFault: func(int) wcle.FaultPlane {
+				return wcle.ComposeFaults(&wcle.Drop{P: 0.02}, &wcle.Delay{Max: 1})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(3)
+	if a.Trials != 4 || a.One+a.Zero+a.Multi != 4 {
+		t.Fatalf("outcome counts inconsistent: %+v", a)
+	}
+	if a.One != b.One || a.Zero != b.Zero || a.Multi != b.Multi ||
+		a.Messages != b.Messages || a.FaultDrops != b.FaultDrops || a.Delayed != b.Delayed {
+		t.Fatalf("worker count changed batch results:\n1 worker  %+v\n3 workers %+v", a, b)
+	}
+	if a.FaultDrops == 0 && a.Delayed == 0 {
+		t.Fatal("fault plane did not intervene (suspicious for 4 elections at 2% drop)")
+	}
+	if a.ElectionsPerSec <= 0 || len(a.Shards) == 0 {
+		t.Fatalf("throughput/shard stats missing: %+v", a)
 	}
 }
