@@ -122,12 +122,11 @@ func gitRevision() string {
 		if len(line) < 4 {
 			continue
 		}
-		// Tracked modifications always make the pinned revision a lie;
-		// untracked files only do when they enter the build (Go sources
-		// or module files), not when they are stray docs or notes.
+		// Only changes that enter the build (Go sources or module files)
+		// make the pinned revision a lie — not docs or notes, and in
+		// particular not the EXPERIMENTS.md this very render rewrites.
 		path := strings.TrimSpace(line[3:])
-		if !strings.HasPrefix(line, "??") ||
-			strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "go.mod") || strings.HasSuffix(path, "go.sum") {
+		if strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "go.mod") || strings.HasSuffix(path, "go.sum") {
 			return rev + "-dirty"
 		}
 	}
