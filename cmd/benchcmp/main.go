@@ -1,0 +1,364 @@
+// Command benchcmp is the CI benchmark-regression gate: it parses
+// `go test -bench` output and compares every benchmark against the
+// committed baseline (BENCH_seed.json), failing when a hot path regresses
+// beyond tolerance — ns/op by a generous relative margin (wall time is
+// noisy across machines), allocs/op by a tight one (allocation counts are
+// nearly deterministic for a fixed toolchain; single-iteration runs jitter
+// by a handful of allocs, so the default tolerance is 1%, not 0).
+//
+// Compare (the CI path):
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x . | tee bench.txt
+//	go run ./cmd/benchcmp -baseline BENCH_seed.json -bench bench.txt -ns-tol 1.0
+//
+// Re-baseline (after an intentional perf change, on a quiet machine):
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x . > bench.txt
+//	go run ./cmd/benchcmp -bench bench.txt -write BENCH_seed.json \
+//	    -revision "$(git rev-parse --short HEAD)"
+//
+// and commit the rewritten BENCH_seed.json with the change that motivated
+// it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	Name        string
+	Iterations  int64
+	NsPerOp     float64
+	BPerOp      float64 // -1 when the run lacked -benchmem
+	AllocsPerOp float64 // -1 when the run lacked -benchmem
+	Custom      map[string]float64
+}
+
+// Run is a parsed `go test -bench` output.
+type Run struct {
+	Goos, Goarch, CPU string
+	Entries           []Entry
+}
+
+// Baseline mirrors the committed BENCH_seed.json schema.
+type Baseline struct {
+	Description string
+	Revision    string
+	Entries     []Entry
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_seed.json", "committed baseline JSON")
+		benchPath    = flag.String("bench", "-", "go test -bench output to check (\"-\" = stdin)")
+		nsTol        = flag.Float64("ns-tol", 0.25, "relative ns/op regression tolerance (0.25 = +25%)")
+		allocsTol    = flag.Float64("allocs-tol", 0.01, "relative allocs/op regression tolerance (default 1%: benchtime=1x runs jitter by a handful of allocs; real hot-path regressions are orders of magnitude larger)")
+		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the run (partial -bench filters)")
+		writePath    = flag.String("write", "", "re-baseline: write this JSON from the run instead of comparing")
+		revision     = flag.String("revision", "unknown", "revision stamp for -write")
+		benchtime    = flag.String("benchtime", "1x", "benchtime stamp for -write")
+		seedSuite    = flag.Int64("seed", 42, "suite seed stamp for -write")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := parseBenchOutput(in)
+	if err != nil {
+		return err
+	}
+	if len(run.Entries) == 0 {
+		return fmt.Errorf("no benchmark lines in %s (did the bench run fail?)", *benchPath)
+	}
+
+	if *writePath != "" {
+		b := renderBaseline(run, *revision, *benchtime, *seedSuite)
+		if err := os.WriteFile(*writePath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchcmp: wrote %d benchmarks to %s\n", len(run.Entries), *writePath)
+		return nil
+	}
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	report, regressions := compare(base, run, *nsTol, *allocsTol, *allowMissing)
+	fmt.Print(report)
+	if regressions > 0 {
+		return fmt.Errorf("%d regression(s) against %s (re-baseline with -write if intentional; see README)", regressions, *baselinePath)
+	}
+	fmt.Printf("benchcmp: ok — %d benchmarks within tolerance (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+		len(base.Entries), *nsTol*100, *allocsTol*100)
+	return nil
+}
+
+// benchLine matches "BenchmarkName[-P] <iters> <measurements...>".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput reads the text format of `go test -bench`. Measurement
+// fields come in "<value> <unit>" pairs; ns/op, B/op, and allocs/op are
+// structural, anything else is a custom b.ReportMetric unit.
+func parseBenchOutput(r io.Reader) (*Run, error) {
+	out := &Run{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		e := Entry{Name: m[1], Iterations: iters, BPerOp: -1, AllocsPerOp: -1,
+			NsPerOp: -1, Custom: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd measurement fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad measurement %q in %q: %w", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				e.BPerOp = val
+			case "allocs/op":
+				e.AllocsPerOp = val
+			case "MB/s":
+				// throughput is derivable; skip
+			default:
+				e.Custom[unit] = val
+			}
+		}
+		if e.NsPerOp < 0 {
+			return nil, fmt.Errorf("benchmark line without ns/op: %q", line)
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	return out, sc.Err()
+}
+
+// loadBaseline reads the committed JSON. Benchmark objects are decoded as
+// loose maps: structural fields by name, every other numeric key (e.g.
+// congest_msgs, table_rows) is a custom metric with '_' for '-'.
+func loadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Description string                   `json:"description"`
+		Revision    string                   `json:"revision"`
+		Benchmarks  []map[string]interface{} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("corrupt baseline %s: %w", path, err)
+	}
+	out := &Baseline{Description: doc.Description, Revision: doc.Revision}
+	for i, b := range doc.Benchmarks {
+		e := Entry{BPerOp: -1, AllocsPerOp: -1, Custom: map[string]float64{}}
+		for k, v := range b {
+			switch k {
+			case "name":
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("baseline %s: benchmark %d has a non-string name", path, i)
+				}
+				e.Name = s
+				continue
+			}
+			f, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("baseline %s: %v.%s is not a number", path, b["name"], k)
+			}
+			switch k {
+			case "iterations":
+				e.Iterations = int64(f)
+			case "ns_per_op":
+				e.NsPerOp = f
+			case "B_per_op":
+				e.BPerOp = f
+			case "allocs_per_op":
+				e.AllocsPerOp = f
+			default:
+				e.Custom[strings.ReplaceAll(k, "_", "-")] = f
+			}
+		}
+		if e.Name == "" {
+			return nil, fmt.Errorf("baseline %s: benchmark %d has no name", path, i)
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	if len(out.Entries) == 0 {
+		return nil, fmt.Errorf("baseline %s has no benchmarks", path)
+	}
+	return out, nil
+}
+
+// compare checks the run against the baseline and returns a human report
+// plus the number of gating regressions.
+func compare(base *Baseline, run *Run, nsTol, allocsTol float64, allowMissing bool) (string, int) {
+	current := make(map[string]Entry, len(run.Entries))
+	for _, e := range run.Entries {
+		current[e.Name] = e
+	}
+	var sb strings.Builder
+	regressions := 0
+	fmt.Fprintf(&sb, "benchcmp: baseline rev %s, %d benchmarks\n", base.Revision, len(base.Entries))
+	for _, b := range base.Entries {
+		cur, ok := current[b.Name]
+		if !ok {
+			if allowMissing {
+				fmt.Fprintf(&sb, "  SKIP  %-38s not in this run\n", b.Name)
+				continue
+			}
+			regressions++
+			fmt.Fprintf(&sb, "  MISS  %-38s in baseline but not in this run (deleted a benchmark?)\n", b.Name)
+			continue
+		}
+		status := "ok"
+		var notes []string
+		if b.NsPerOp > 0 {
+			delta := cur.NsPerOp/b.NsPerOp - 1
+			if delta > nsTol {
+				status = "FAIL"
+				regressions++
+			}
+			notes = append(notes, fmt.Sprintf("ns/op %+.1f%%", delta*100))
+		}
+		if b.AllocsPerOp >= 0 && cur.AllocsPerOp < 0 {
+			// The baseline gates allocations but this run did not measure
+			// them — letting that pass silently would drop the gate's
+			// tightest signal.
+			status = "FAIL"
+			regressions++
+			notes = append(notes, "allocs/op unmeasured (run without -benchmem?)")
+		}
+		if b.AllocsPerOp >= 0 && cur.AllocsPerOp >= 0 {
+			delta := 0.0
+			if b.AllocsPerOp > 0 {
+				delta = cur.AllocsPerOp/b.AllocsPerOp - 1
+			} else if cur.AllocsPerOp > 0 {
+				delta = 1
+			}
+			if delta > allocsTol {
+				status = "FAIL"
+				regressions++
+			}
+			notes = append(notes, fmt.Sprintf("allocs/op %+.1f%% (%.0f -> %.0f)",
+				delta*100, b.AllocsPerOp, cur.AllocsPerOp))
+		}
+		fmt.Fprintf(&sb, "  %-4s  %-38s %s\n", status, b.Name, strings.Join(notes, ", "))
+	}
+	// Benchmarks the run has but the baseline lacks are not failures, yet
+	// they are ungated until someone re-baselines — say so, or the gap is
+	// invisible behind an all-ok report.
+	baselined := make(map[string]bool, len(base.Entries))
+	for _, b := range base.Entries {
+		baselined[b.Name] = true
+	}
+	for _, e := range run.Entries {
+		if !baselined[e.Name] {
+			fmt.Fprintf(&sb, "  NEW   %-38s not in the baseline — ungated until re-baselined (-write)\n", e.Name)
+		}
+	}
+	return sb.String(), regressions
+}
+
+// renderBaseline emits the BENCH_seed.json schema for a run, custom
+// metrics as underscored keys, deterministically ordered.
+func renderBaseline(run *Run, revision, benchtime string, seed int64) []byte {
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	fmt.Fprintf(&sb, "  %q: %q,\n", "description",
+		"Benchmark baseline for hot-path delta tracking. Regenerate with: go test -run XXX -bench . -benchmem -benchtime 1x . (single-iteration wall times on a noisy shared vCPU: treat ns/op as indicative, B/op and allocs/op as exact).")
+	fmt.Fprintf(&sb, "  %q: %q,\n", "revision", revision)
+	fmt.Fprintf(&sb, "  %q: %d,\n", "seed_suite", seed)
+	fmt.Fprintf(&sb, "  %q: %q,\n", "goos", run.Goos)
+	fmt.Fprintf(&sb, "  %q: %q,\n", "goarch", run.Goarch)
+	fmt.Fprintf(&sb, "  %q: %q,\n", "cpu", run.CPU)
+	fmt.Fprintf(&sb, "  %q: %q,\n", "benchtime", benchtime)
+	sb.WriteString("  \"benchmarks\": [\n")
+	for i, e := range run.Entries {
+		fields := []string{
+			fmt.Sprintf("      %q: %q", "name", e.Name),
+			fmt.Sprintf("      %q: %d", "iterations", e.Iterations),
+			fmt.Sprintf("      %q: %s", "ns_per_op", formatNum(e.NsPerOp)),
+		}
+		keys := make([]string, 0, len(e.Custom))
+		for k := range e.Custom {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fields = append(fields, fmt.Sprintf("      %q: %s",
+				strings.ReplaceAll(k, "-", "_"), formatNum(e.Custom[k])))
+		}
+		if e.BPerOp >= 0 {
+			fields = append(fields, fmt.Sprintf("      %q: %s", "B_per_op", formatNum(e.BPerOp)))
+		}
+		if e.AllocsPerOp >= 0 {
+			fields = append(fields, fmt.Sprintf("      %q: %s", "allocs_per_op", formatNum(e.AllocsPerOp)))
+		}
+		sb.WriteString("    {\n")
+		sb.WriteString(strings.Join(fields, ",\n"))
+		if i < len(run.Entries)-1 {
+			sb.WriteString("\n    },\n")
+		} else {
+			sb.WriteString("\n    }\n")
+		}
+	}
+	sb.WriteString("  ]\n}\n")
+	return []byte(sb.String())
+}
+
+// formatNum renders integral floats without an exponent or decimal point.
+func formatNum(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: wcle
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkElectClique64 	       1	  69565487 ns/op	     66588 congest-msgs	14800720 B/op	  139756 allocs/op
+BenchmarkE1MessageScaling-8 	       1	1541150817 ns/op	         6.000 table-rows	211374984 B/op	 1732484 allocs/op
+BenchmarkNoMem 	     100	      1234 ns/op
+PASS
+ok  	wcle	0.074s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	run, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Goarch != "amd64" || !strings.Contains(run.CPU, "Xeon") {
+		t.Fatalf("header: %+v", run)
+	}
+	if len(run.Entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(run.Entries))
+	}
+	e := run.Entries[0]
+	if e.Name != "BenchmarkElectClique64" || e.Iterations != 1 ||
+		e.NsPerOp != 69565487 || e.BPerOp != 14800720 || e.AllocsPerOp != 139756 {
+		t.Fatalf("entry 0: %+v", e)
+	}
+	if e.Custom["congest-msgs"] != 66588 {
+		t.Fatalf("custom metric lost: %+v", e.Custom)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped for stable names.
+	if run.Entries[1].Name != "BenchmarkE1MessageScaling" {
+		t.Fatalf("suffix not stripped: %q", run.Entries[1].Name)
+	}
+	if run.Entries[1].Custom["table-rows"] != 6 {
+		t.Fatalf("fractional custom metric: %+v", run.Entries[1].Custom)
+	}
+	// Without -benchmem the memory fields are absent, not zero.
+	if nm := run.Entries[2]; nm.BPerOp != -1 || nm.AllocsPerOp != -1 || nm.NsPerOp != 1234 {
+		t.Fatalf("benchmem-less entry: %+v", nm)
+	}
+}
+
+func TestLoadCommittedBaseline(t *testing.T) {
+	// The committed baseline itself must stay parseable: it is what CI
+	// gates on.
+	base, err := loadBaseline(filepath.Join("..", "..", "BENCH_seed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Entries) < 20 {
+		t.Fatalf("suspiciously few baseline benchmarks: %d", len(base.Entries))
+	}
+	byName := map[string]Entry{}
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	e, ok := byName["BenchmarkElectClique64"]
+	if !ok {
+		t.Fatal("BenchmarkElectClique64 missing from baseline")
+	}
+	if e.AllocsPerOp <= 0 || e.NsPerOp <= 0 {
+		t.Fatalf("baseline entry empty: %+v", e)
+	}
+	if e.Custom["congest-msgs"] != 66588 {
+		t.Fatalf("baseline custom metric: %+v", e.Custom)
+	}
+}
+
+func baselineOf(entries ...Entry) *Baseline {
+	return &Baseline{Revision: "test", Entries: entries}
+}
+
+func runOf(entries ...Entry) *Run {
+	return &Run{Entries: entries}
+}
+
+func TestCompare(t *testing.T) {
+	base := baselineOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+	)
+	// Within tolerance: +20% ns at 25% tolerance, equal allocs.
+	_, n := compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 100, BPerOp: 5000},
+		Entry{Name: "BenchmarkB", NsPerOp: 900, AllocsPerOp: 90, BPerOp: 4000},
+	), 0.25, 0, false)
+	if n != 0 {
+		t.Fatalf("within-tolerance run flagged %d regressions", n)
+	}
+	// ns blowup fails.
+	rep, n := compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1300, AllocsPerOp: 100, BPerOp: 5000},
+		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+	), 0.25, 0, false)
+	if n != 1 || !strings.Contains(rep, "FAIL") {
+		t.Fatalf("ns regression not flagged (n=%d):\n%s", n, rep)
+	}
+	// Any allocs increase fails at zero tolerance...
+	_, n = compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 101, BPerOp: 5000},
+		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+	), 0.25, 0, false)
+	if n != 1 {
+		t.Fatalf("allocs regression not flagged: n=%d", n)
+	}
+	// ...but passes under a nonzero allocs tolerance.
+	_, n = compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 101, BPerOp: 5000},
+		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+	), 0.25, 0.05, false)
+	if n != 0 {
+		t.Fatalf("allocs within tolerance still flagged: n=%d", n)
+	}
+	// A benchmark missing from the run is a failure unless allowed.
+	_, n = compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+	), 0.25, 0, false)
+	if n != 1 {
+		t.Fatalf("missing benchmark not flagged: n=%d", n)
+	}
+	rep, n = compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+	), 0.25, 0, true)
+	if n != 0 || !strings.Contains(rep, "SKIP") {
+		t.Fatalf("allow-missing not honored (n=%d):\n%s", n, rep)
+	}
+	// A baseline that gates allocations vs a run measured without
+	// -benchmem must fail loudly, not skip the allocation gate.
+	rep, n = compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: -1, BPerOp: -1},
+		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+	), 0.25, 0, false)
+	if n != 1 || !strings.Contains(rep, "unmeasured") {
+		t.Fatalf("benchmem-less run not flagged (n=%d):\n%s", n, rep)
+	}
+	// New benchmarks absent from the baseline are not failures, but they
+	// must be called out as ungated.
+	rep, n = compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
+		Entry{Name: "BenchmarkNew", NsPerOp: 1, AllocsPerOp: 1, BPerOp: 1},
+	), 0.25, 0, false)
+	if n != 0 {
+		t.Fatalf("novel benchmark treated as regression: n=%d", n)
+	}
+	if !strings.Contains(rep, "NEW") || !strings.Contains(rep, "BenchmarkNew") {
+		t.Fatalf("novel benchmark not reported as ungated:\n%s", rep)
+	}
+}
+
+// Re-baselining must round-trip: write a baseline from a parsed run, read
+// it back, and gate that same run cleanly against it.
+func TestWriteRoundTrip(t *testing.T) {
+	run, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, renderBaseline(run, "deadbeef", "1x", 42), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Revision != "deadbeef" || len(base.Entries) != len(run.Entries) {
+		t.Fatalf("round-trip header/count: %+v", base)
+	}
+	for i, e := range base.Entries {
+		orig := run.Entries[i]
+		if e.Name != orig.Name || e.NsPerOp != orig.NsPerOp ||
+			e.AllocsPerOp != orig.AllocsPerOp || e.BPerOp != orig.BPerOp ||
+			len(e.Custom) != len(orig.Custom) {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, e, orig)
+		}
+		for k, v := range orig.Custom {
+			if e.Custom[k] != v {
+				t.Fatalf("custom %q lost: %+v", k, e.Custom)
+			}
+		}
+	}
+	_, n := compare(base, run, 0, 0, false)
+	if n != 0 {
+		t.Fatalf("identical run vs its own baseline flagged %d regressions", n)
+	}
+}

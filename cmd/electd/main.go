@@ -1,0 +1,124 @@
+// Command electd is the long-running election daemon: an HTTP/JSON service
+// that runs batch leader elections (internal/serve on top of the sharded
+// core.RunMany engine) against a registry of named graphs with memoized
+// spectral profiles.
+//
+// API (see DESIGN.md section 5 for the wire contract):
+//
+//	POST /v1/graphs          register a named graph (family+params or edges)
+//	GET  /v1/graphs          list registered graphs
+//	GET  /v1/graphs/{name}   graph info + cached spectral profile
+//	POST /v1/elections       submit a batch job (202; 429 when the queue is full)
+//	GET  /v1/elections/{id}  job status, deterministic result, timing
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /metrics            Prometheus text ops metrics
+//
+// Examples:
+//
+//	electd -addr 127.0.0.1:8080
+//	electd -addr 127.0.0.1:0 -ready-file /tmp/electd.addr   # ephemeral port
+//	electd -graphs graphs.json -workers 2 -queue 64
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: submissions get 503,
+// in-flight jobs finish (bounded by -drain-timeout), then it exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wcle/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "electd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+		workers      = flag.Int("workers", 1, "concurrent jobs (each job already shards across -election-workers)")
+		queueCap     = flag.Int("queue", 16, "bounded job-queue capacity; overflow gets 429")
+		electWorkers = flag.Int("election-workers", 0, "per-job election shard count (0 = NumCPU)")
+		retainJobs   = flag.Int("retain-jobs", 1024, "finished jobs kept queryable; older ones are evicted (404)")
+		graphsFile   = flag.String("graphs", "", "JSON file of graphs to pre-register: {\"name\": {\"family\": ...}, ...}")
+		readyFile    = flag.String("ready-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	opts := serve.Options{Workers: *workers, QueueCap: *queueCap,
+		ElectionWorkers: *electWorkers, RetainJobs: *retainJobs}
+	if *graphsFile != "" {
+		b, err := os.ReadFile(*graphsFile)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b, &opts.Graphs); err != nil {
+			return fmt.Errorf("parsing -graphs %s: %w", *graphsFile, err)
+		}
+	}
+	srv, err := serve.NewServer(opts)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "electd: listening on %s (%d graphs pre-registered, queue %d, %d job workers)\n",
+		bound, len(opts.Graphs), *queueCap, *workers)
+	if *readyFile != "" {
+		// Write-then-rename so pollers never read a partial address.
+		tmp := *readyFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, *readyFile); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errs := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errs <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errs:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+
+	fmt.Fprintln(os.Stderr, "electd: draining (submissions now get 503)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "electd:", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "electd: drained, bye")
+	return nil
+}

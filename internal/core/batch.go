@@ -26,6 +26,11 @@ type BatchOptions struct {
 	// Base.Fault instance would be shared across concurrent trials and
 	// RunMany rejects it.
 	NewFault func(trial int) sim.FaultPlane
+	// CollectTrials retains the per-trial vectors (outcome, rounds,
+	// messages, contenders) in the result so callers can compute
+	// distributional summaries instead of settling for batch totals. Off by
+	// default: bulk sweeps that only need totals skip the extra retention.
+	CollectTrials bool
 }
 
 // BatchResult aggregates a RunMany batch.
@@ -49,6 +54,14 @@ type BatchResult struct {
 
 	// Shards is the per-shard aggregation from the worker pool.
 	Shards []sim.ShardStats
+
+	// Per-trial vectors, indexed by trial; populated only when
+	// BatchOptions.CollectTrials is set. TrialOutcomes holds 0 (no
+	// leader), 1 (unique leader), or 2 (multiple leaders).
+	TrialOutcomes   []int8
+	TrialRounds     []int32
+	TrialMessages   []int64
+	TrialContenders []int32
 }
 
 // RunMany executes opts.Trials independent elections of cfg on g across a
@@ -119,6 +132,15 @@ func RunMany(g *graph.Graph, cfg Config, opts BatchOptions) (*BatchResult, error
 		out.Delayed += m.Delayed
 		out.Rounds += int64(rounds[i])
 		out.Contenders += int(contenders[i])
+	}
+	if opts.CollectTrials {
+		out.TrialOutcomes = outcomes
+		out.TrialRounds = rounds
+		out.TrialContenders = contenders
+		out.TrialMessages = make([]int64, opts.Trials)
+		for i, m := range metrics {
+			out.TrialMessages[i] = m.Messages
+		}
 	}
 	return out, nil
 }

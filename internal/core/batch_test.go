@@ -35,3 +35,65 @@ func TestRunManyRejectsSharedFault(t *testing.T) {
 		t.Fatalf("batch outcome inconsistent: %+v", res)
 	}
 }
+
+// CollectTrials must expose per-trial vectors that are consistent with the
+// batch totals and independent of the worker count.
+func TestRunManyCollectTrials(t *testing.T) {
+	g, err := graph.Clique(12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *BatchResult {
+		res, err := RunMany(g, DefaultConfig(), BatchOptions{
+			Base:          RunOptions{Seed: 7, LeanMetrics: true},
+			Trials:        6,
+			Workers:       workers,
+			CollectTrials: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(3)
+	if len(res.TrialOutcomes) != 6 || len(res.TrialRounds) != 6 ||
+		len(res.TrialMessages) != 6 || len(res.TrialContenders) != 6 {
+		t.Fatalf("per-trial vectors not collected: %+v", res)
+	}
+	var msgs, rounds int64
+	var one, zero, multi, cont int
+	for i := range res.TrialOutcomes {
+		switch res.TrialOutcomes[i] {
+		case 0:
+			zero++
+		case 1:
+			one++
+		default:
+			multi++
+		}
+		msgs += res.TrialMessages[i]
+		rounds += int64(res.TrialRounds[i])
+		cont += int(res.TrialContenders[i])
+	}
+	if one != res.One || zero != res.Zero || multi != res.Multi {
+		t.Fatalf("outcome vector disagrees with totals: %+v", res)
+	}
+	if msgs != res.Messages || rounds != res.Rounds || cont != res.Contenders {
+		t.Fatalf("per-trial sums disagree with totals: %+v", res)
+	}
+	// Sharding must not change what each trial saw.
+	other := run(1)
+	for i := range res.TrialOutcomes {
+		if res.TrialOutcomes[i] != other.TrialOutcomes[i] ||
+			res.TrialRounds[i] != other.TrialRounds[i] ||
+			res.TrialMessages[i] != other.TrialMessages[i] {
+			t.Fatalf("trial %d differs across worker counts", i)
+		}
+	}
+	// Off by default.
+	if plain, err := RunMany(g, DefaultConfig(), BatchOptions{
+		Base: RunOptions{Seed: 7, LeanMetrics: true}, Trials: 2,
+	}); err != nil || plain.TrialOutcomes != nil {
+		t.Fatalf("per-trial vectors should be nil without CollectTrials (%v)", err)
+	}
+}

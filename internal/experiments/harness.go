@@ -77,14 +77,20 @@ func UnitKey(dataID, pointKey string, trial int) string {
 	return fmt.Sprintf("%s|%s|%d", dataID, pointKey, trial)
 }
 
-// trialSeed derives the deterministic seed of one unit (or one point's
-// setup) from the suite seed and the unit's stable key, so results are
-// independent of worker count and execution order.
-func trialSeed(master int64, key string) int64 {
+// SeedForKey derives the deterministic seed of one unit of work (a trial,
+// a point's setup, or a service-layer job) from a master seed and the
+// unit's stable string key, so results are independent of worker count and
+// execution order. This is the repo-wide seed-derivation contract: every
+// layer that fans work out (the harness here, the electd scheduler in
+// internal/serve) goes through it so identical keys replay identically.
+func SeedForKey(master int64, key string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))
 	return sim.DeriveSeed(master, h.Sum64())
 }
+
+// trialSeed is the harness-internal alias of SeedForKey.
+func trialSeed(master int64, key string) int64 { return SeedForKey(master, key) }
 
 // setupSlot lazily computes a point's Setup exactly once across workers.
 type setupSlot struct {

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// flightCache is a memoizing singleflight: the first caller of a key runs
+// the compute function, concurrent callers of the same key block on that
+// one in-flight computation instead of duplicating it, and the outcome
+// (value or error — a failed profile is just as deterministic as a good
+// one) is retained forever. The registry keys it by graph name, so the
+// expensive spectral work is paid once per registered graph no matter how
+// many requests race on first touch.
+type flightCache struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed when val/err are set
+	val  interface{}
+	err  error
+}
+
+func newFlightCache() *flightCache {
+	return &flightCache{m: make(map[string]*flight)}
+}
+
+// Do returns the cached outcome for key, computing it via fn exactly once
+// across all callers. hit reports whether the outcome existed (completed)
+// before this call — joiners of an in-flight computation count as misses,
+// matching the intuition that they had to wait for a compute.
+func (c *flightCache) Do(key string, fn func() (interface{}, error)) (val interface{}, err error, hit bool) {
+	c.mu.Lock()
+	if f, ok := c.m[key]; ok {
+		select {
+		case <-f.done:
+			hit = true
+		default:
+		}
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err, hit
+	}
+	f := &flight{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+
+	// A panicking fn must still resolve the flight — otherwise every
+	// later caller of the key would block on f.done forever. The panic
+	// propagates to this caller; waiters see the error.
+	finished := false
+	defer func() {
+		if !finished {
+			f.val, f.err = nil, errors.New("serve: cached computation panicked")
+		}
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	finished = true
+	return f.val, f.err, false
+}
+
+// Peek returns the completed outcome for key without computing; ok is
+// false when the key is absent or still in flight.
+func (c *flightCache) Peek(key string) (interface{}, error, bool) {
+	c.mu.Lock()
+	f, found := c.m[key]
+	c.mu.Unlock()
+	if !found {
+		return nil, nil, false
+	}
+	select {
+	case <-f.done:
+		return f.val, f.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Len returns the number of keys (completed or in flight).
+func (c *flightCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

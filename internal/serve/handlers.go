@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"wcle/internal/spectral"
+)
+
+// Options parameterizes NewServer.
+type Options struct {
+	// Scheduler sizing; see SchedulerOptions.
+	Workers         int
+	QueueCap        int
+	ElectionWorkers int
+	RetainJobs      int
+	// Spectral bounds the registry's profile computations (zero value =
+	// spectral defaults).
+	Spectral spectral.ProfileOptions
+	// Graphs pre-registers named graphs at construction (e.g. from a
+	// daemon's -graphs file); construction fails if any spec is invalid.
+	Graphs map[string]GraphSpec
+	// testBeforeRun is the scheduler's test hook (see SchedulerOptions).
+	testBeforeRun func(*Job)
+}
+
+// Server wires the registry, scheduler, and metrics behind an HTTP mux.
+// It embeds no listener: cmd/electd (and the tests, via httptest) bring
+// their own.
+type Server struct {
+	Registry *Registry
+	Sched    *Scheduler
+	Met      *Metrics
+	mux      *http.ServeMux
+}
+
+// NewServer builds the service stack.
+func NewServer(opts Options) (*Server, error) {
+	met := NewMetrics()
+	reg := NewRegistry(opts.Spectral)
+	for name, spec := range opts.Graphs {
+		if _, err := reg.Register(name, spec); err != nil {
+			return nil, fmt.Errorf("serve: pre-registering %q: %w", name, err)
+		}
+	}
+	s := &Server{
+		Registry: reg,
+		Sched: NewScheduler(reg, met, SchedulerOptions{
+			Workers:         opts.Workers,
+			QueueCap:        opts.QueueCap,
+			ElectionWorkers: opts.ElectionWorkers,
+			RetainJobs:      opts.RetainJobs,
+			testBeforeRun:   opts.testBeforeRun,
+		}),
+		Met: met,
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	s.mux.HandleFunc("POST /v1/elections", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/elections/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting elections and waits for in-flight jobs (bounded
+// by ctx). The ops surface stays up so orchestration sees the drain.
+func (s *Server) Drain(ctx context.Context) error { return s.Sched.Drain(ctx) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// maxBodyBytes caps request bodies (an explicit edge list within the
+// MaxGraphEdges cap fits comfortably; nothing legitimate is larger).
+const maxBodyBytes = 8 << 20
+
+// decodeBody strictly decodes a JSON body (unknown fields are client
+// errors: a misspelled knob silently ignored would elect with defaults),
+// bounded so a huge body cannot balloon the daemon's memory.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reg, err := s.Registry.Register(req.Name, req.Spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrSpecConflict) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, GraphInfo{
+		Name: reg.Name, Spec: reg.Spec, N: reg.Graph.N(), M: reg.Graph.M(),
+	})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	names := s.Registry.Names()
+	out := make([]GraphInfo, 0, len(names))
+	for _, name := range names {
+		reg, ok := s.Registry.Get(name)
+		if !ok {
+			continue
+		}
+		info := GraphInfo{Name: name, Spec: reg.Spec, N: reg.Graph.N(), M: reg.Graph.M()}
+		// Only completed profiles are attached here; listing must never
+		// trigger the expensive computation.
+		if val, err, ok := s.Registry.profiles.Peek(name); ok && err == nil {
+			info.Spectral = val.(*spectral.Profile)
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	reg, ok := s.Registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown graph %q", name))
+		return
+	}
+	info := GraphInfo{Name: name, Spec: reg.Spec, N: reg.Graph.N(), M: reg.Graph.M()}
+	// ?spectral=0 skips the profile (first touch on a big graph computes
+	// it inline, which a latency-sensitive caller may not want to pay).
+	if r.URL.Query().Get("spectral") != "0" {
+		prof, err := s.Registry.Profile(name)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("serve: spectral profile of %q: %w", name, err))
+			return
+		}
+		info.Spectral = prof
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Sched.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: the client should retry later, and says so.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	loc := "/v1/elections/" + job.ID
+	w.Header().Set("Location", loc)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.ID, State: job.State(), Location: loc})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	depth, capacity, running := s.Sched.QueueDepth()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Met.WriteProm(w, s.Registry, depth, capacity, running)
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wcle/internal/stats"
+)
+
+// Metrics is electd's ops surface: monotone counters for traffic and the
+// spectral cache, gauges for the queue, and a bounded window of job
+// latencies for p50/p99. Rendered as Prometheus-style text at /metrics.
+type Metrics struct {
+	start time.Time
+
+	// Traffic counters.
+	JobsSubmitted atomic.Int64
+	JobsRejected  atomic.Int64 // queue-full 429s
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	// ElectionsServed counts completed election trials across all jobs.
+	ElectionsServed atomic.Int64
+
+	// latencyWindow keeps the most recent job wall-clock latencies
+	// (seconds) for quantile estimation; bounded so /metrics stays O(1)
+	// memory however long the daemon runs.
+	latMu     sync.Mutex
+	latencies []float64
+	latNext   int
+}
+
+// latencyWindowSize bounds the latency sample.
+const latencyWindowSize = 512
+
+// NewMetrics returns a metrics sink anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// ObserveJobLatency records one finished job's wall-clock run time.
+func (m *Metrics) ObserveJobLatency(d time.Duration) {
+	m.latMu.Lock()
+	defer m.latMu.Unlock()
+	s := d.Seconds()
+	if len(m.latencies) < latencyWindowSize {
+		m.latencies = append(m.latencies, s)
+	} else {
+		m.latencies[m.latNext] = s
+		m.latNext = (m.latNext + 1) % latencyWindowSize
+	}
+}
+
+// latencyQuantiles returns (p50, p99, n) over the current window.
+func (m *Metrics) latencyQuantiles() (p50, p99 float64, n int) {
+	m.latMu.Lock()
+	window := append([]float64(nil), m.latencies...)
+	m.latMu.Unlock()
+	if len(window) == 0 {
+		return 0, 0, 0
+	}
+	qs, err := stats.Quantiles(window, 0.5, 0.99)
+	if err != nil {
+		return 0, 0, 0
+	}
+	return qs[0], qs[1], len(window)
+}
+
+// WriteProm renders the metrics in Prometheus exposition format. reg and
+// queueDepth/queueCap are read at render time so the gauges are live.
+func (m *Metrics) WriteProm(w io.Writer, reg *Registry, queueDepth, queueCap, running int) {
+	p50, p99, n := m.latencyQuantiles()
+	hits, misses, computes := int64(0), int64(0), int64(0)
+	graphs := 0
+	if reg != nil {
+		hits, misses, computes = reg.CacheStats()
+		graphs = len(reg.Names())
+	}
+	var hitRate float64
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# electd ops metrics\n")
+	fmt.Fprintf(w, "electd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "electd_jobs_submitted_total %d\n", m.JobsSubmitted.Load())
+	fmt.Fprintf(w, "electd_jobs_rejected_total %d\n", m.JobsRejected.Load())
+	fmt.Fprintf(w, "electd_jobs_done_total %d\n", m.JobsDone.Load())
+	fmt.Fprintf(w, "electd_jobs_failed_total %d\n", m.JobsFailed.Load())
+	fmt.Fprintf(w, "electd_elections_served_total %d\n", m.ElectionsServed.Load())
+	fmt.Fprintf(w, "electd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "electd_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(w, "electd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "electd_graphs_registered %d\n", graphs)
+	fmt.Fprintf(w, "electd_spectral_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "electd_spectral_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "electd_spectral_computes_total %d\n", computes)
+	fmt.Fprintf(w, "electd_spectral_cache_hit_rate %.6f\n", hitRate)
+	fmt.Fprintf(w, "electd_job_latency_seconds_p50 %.6f\n", p50)
+	fmt.Fprintf(w, "electd_job_latency_seconds_p99 %.6f\n", p99)
+	fmt.Fprintf(w, "electd_job_latency_window_size %d\n", n)
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wcle/internal/graph"
+	"wcle/internal/spectral"
+)
+
+// ErrSpecConflict is returned by Register when the name is already bound
+// to a different spec (HTTP 409 at the wire).
+var ErrSpecConflict = errors.New("serve: graph name already registered with a different spec")
+
+// Registry is electd's graph store: named graph specs instantiated once,
+// with a memoized spectral profile per graph. The election algorithm's
+// cost is graph-dependent (O(tmix log^2 n) rounds), so the profile — the
+// expensive part — is computed on first touch, deduplicated across
+// concurrent first requests by a singleflight, and amortized over every
+// later election on the same graph.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*Registered
+
+	profiles *flightCache
+	// profileFn computes one graph's profile; tests swap it to count and
+	// stall computations.
+	profileFn func(g *graph.Graph) (*spectral.Profile, error)
+	opts      spectral.ProfileOptions
+
+	computes atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// Registered is one named graph.
+type Registered struct {
+	Name  string
+	Spec  GraphSpec
+	Graph *graph.Graph
+}
+
+// DefaultProfileWork bounds one profile computation in walk-step units
+// (~ a few seconds of CPU) unless the caller overrides it. The service
+// must stay live even when someone registers a badly-conditioned graph
+// (a large cycle's tmix is Theta(n^2)): past the budget the profile
+// resolves to a cached deterministic error, not an eternal computation.
+const DefaultProfileWork = int64(1) << 31
+
+// NewRegistry returns an empty registry whose profiles are computed at the
+// given options (zero value = spectral defaults bounded by
+// DefaultProfileWork).
+func NewRegistry(opts spectral.ProfileOptions) *Registry {
+	if opts.MaxWork == 0 {
+		opts.MaxWork = DefaultProfileWork
+	}
+	r := &Registry{
+		graphs:   make(map[string]*Registered),
+		profiles: newFlightCache(),
+		opts:     opts,
+	}
+	r.profileFn = func(g *graph.Graph) (*spectral.Profile, error) {
+		return spectral.ComputeProfile(g, r.opts)
+	}
+	return r
+}
+
+// Register instantiates and stores spec under name. Re-registering the
+// same name is idempotent when the spec is identical (so clients can
+// blindly re-register on startup) and an error otherwise — a name's graph,
+// and with it its cached profile, never changes once bound.
+func (r *Registry) Register(name string, spec GraphSpec) (*Registered, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: graph name must be non-empty")
+	}
+	// Fast path and conflict check without building.
+	if prev, ok := r.Get(name); ok {
+		if specKey(prev.Spec) == specKey(spec) {
+			return prev, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrSpecConflict, name)
+	}
+	// Build outside the lock: an expensive generator (rr on a large n)
+	// must not stall every Get — and with it all election traffic — for
+	// the duration. Racing registrations of the same spec both build; the
+	// loser's graph is garbage-collected.
+	g, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.graphs[name]; ok {
+		if specKey(prev.Spec) == specKey(spec) {
+			return prev, nil
+		}
+		return nil, fmt.Errorf("%w: %q", ErrSpecConflict, name)
+	}
+	reg := &Registered{Name: name, Spec: spec, Graph: g}
+	r.graphs[name] = reg
+	return reg, nil
+}
+
+// specKey is the identity of a spec for idempotent re-registration.
+func specKey(s GraphSpec) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%d|%v",
+		s.Family, s.N, s.D, s.Dim, s.Rows, s.Cols, s.Seed, s.Edges)
+}
+
+// Get returns the named graph.
+func (r *Registry) Get(name string) (*Registered, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.graphs[name]
+	return g, ok
+}
+
+// Names lists the registered graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.graphs))
+	for n := range r.graphs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profile returns the named graph's spectral profile, computing it at most
+// once per graph across all concurrent callers. The returned profile is
+// shared and must not be mutated.
+func (r *Registry) Profile(name string) (*spectral.Profile, error) {
+	reg, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown graph %q", name)
+	}
+	val, err, hit := r.profiles.Do(name, func() (interface{}, error) {
+		r.computes.Add(1)
+		return r.profileFn(reg.Graph)
+	})
+	if hit {
+		r.hits.Add(1)
+	} else {
+		r.misses.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return val.(*spectral.Profile), nil
+}
+
+// CacheStats reports the profile cache counters: completed-entry hits,
+// misses (computes plus waiters that joined an in-flight compute), and
+// actual profile computations.
+func (r *Registry) CacheStats() (hits, misses, computes int64) {
+	return r.hits.Load(), r.misses.Load(), r.computes.Load()
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wcle/internal/graph"
+	"wcle/internal/spectral"
+)
+
+func TestRegistryRegister(t *testing.T) {
+	r := NewRegistry(spectral.ProfileOptions{})
+	spec := GraphSpec{Family: "clique", N: 8}
+	reg, err := r.Register("k8", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Graph.N() != 8 || reg.Graph.M() != 28 {
+		t.Fatalf("clique sizes: n=%d m=%d", reg.Graph.N(), reg.Graph.M())
+	}
+	// Identical re-registration is idempotent and returns the same graph.
+	again, err := r.Register("k8", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Graph != reg.Graph {
+		t.Fatal("idempotent re-register must return the existing instance")
+	}
+	// A different spec under the same name conflicts.
+	if _, err := r.Register("k8", GraphSpec{Family: "clique", N: 9}); err == nil {
+		t.Fatal("conflicting spec not rejected")
+	}
+	if _, err := r.Register("bad", GraphSpec{Family: "nope", N: 8}); err == nil {
+		t.Fatal("unknown family not rejected")
+	}
+	if _, err := r.Register("", spec); err == nil {
+		t.Fatal("empty name not rejected")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "k8" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestGraphSpecExplicit(t *testing.T) {
+	g, err := GraphSpec{Family: "explicit", Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("triangle sizes: n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := (GraphSpec{Family: "explicit"}).Build(); err == nil {
+		t.Fatal("explicit graph without edges not rejected")
+	}
+	if _, err := (GraphSpec{Family: "explicit", Edges: [][2]int{{0, 0}}}).Build(); err == nil {
+		t.Fatal("self-loop not rejected")
+	}
+}
+
+// TestSpectralSingleflight is the cache-concurrency contract: many
+// goroutines racing on a cold graph must trigger exactly one profile
+// computation and all observe the identical cached value. Runs under the
+// CI -race job.
+func TestSpectralSingleflight(t *testing.T) {
+	r := NewRegistry(spectral.ProfileOptions{})
+	if _, err := r.Register("g", GraphSpec{Family: "clique", N: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	orig := r.profileFn
+	r.profileFn = func(g *graph.Graph) (*spectral.Profile, error) {
+		computes.Add(1)
+		<-gate // hold the computation until every goroutine is racing
+		return orig(g)
+	}
+
+	const goroutines = 64
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		profs   = make([]*spectral.Profile, 0, goroutines)
+		started = make(chan struct{}, goroutines)
+	)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			p, err := r.Profile("g")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			profs = append(profs, p)
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < goroutines; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("profile computed %d times, want exactly 1", got)
+	}
+	if len(profs) != goroutines {
+		t.Fatalf("only %d/%d goroutines got a profile", len(profs), goroutines)
+	}
+	for _, p := range profs {
+		if p != profs[0] {
+			t.Fatal("goroutines observed different profile instances")
+		}
+	}
+	if *profs[0] == (spectral.Profile{}) {
+		t.Fatal("cached profile is empty")
+	}
+	hits, misses, computed := r.CacheStats()
+	if computed != 1 || hits+misses != goroutines {
+		t.Fatalf("cache stats hits=%d misses=%d computes=%d", hits, misses, computed)
+	}
+
+	// A later call is a pure hit: no new compute, same instance.
+	p, err := r.Profile("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != profs[0] || computes.Load() != 1 {
+		t.Fatal("warm call recomputed or returned a different instance")
+	}
+	hits2, _, _ := r.CacheStats()
+	if hits2 <= hits {
+		t.Fatalf("warm call did not count as a hit (%d -> %d)", hits, hits2)
+	}
+}
+
+func TestProfileUnknownGraph(t *testing.T) {
+	r := NewRegistry(spectral.ProfileOptions{})
+	if _, err := r.Profile("missing"); err == nil {
+		t.Fatal("profile of unregistered graph not rejected")
+	}
+}
+
+// A profile that fails (disconnected graph: the walk never mixes) is
+// cached like a value: the error is deterministic, so recomputing it on
+// every request would be pure waste.
+func TestProfileErrorCached(t *testing.T) {
+	r := NewRegistry(spectral.ProfileOptions{Tmax: 100})
+	spec := GraphSpec{Family: "explicit", Edges: [][2]int{{0, 1}, {2, 3}}}
+	if _, err := r.Register("disc", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Profile("disc"); err == nil {
+		t.Fatal("disconnected graph should fail to profile")
+	}
+	if _, err := r.Profile("disc"); err == nil {
+		t.Fatal("cached failure should still be a failure")
+	}
+	_, _, computes := r.CacheStats()
+	if computes != 1 {
+		t.Fatalf("failed profile recomputed: %d computes", computes)
+	}
+}

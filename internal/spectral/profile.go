@@ -1,0 +1,153 @@
+package spectral
+
+import (
+	"errors"
+
+	"wcle/internal/graph"
+)
+
+// This file is the one-call spectral characterization used by the service
+// layer's graph registry (internal/serve): everything the paper's cost
+// bounds are written in terms of, computed once per graph and cached. The
+// quantities are expensive (tmix is O(starts * (n+m) * tmix) walk steps)
+// while the election itself is graph-reusable, so callers memoize the
+// Profile and surface it in responses to let clients predict an election's
+// O(tmix log^2 n) round cost before paying for a run.
+
+// ProfileOptions bounds the work ComputeProfile performs. The zero value
+// selects sensible defaults for registry-sized graphs.
+type ProfileOptions struct {
+	// ExactStartLimit is the largest n for which tmix maximizes over every
+	// start node (the paper's exact definition). Larger graphs sample
+	// SampleStarts evenly spread starts instead, which is exact on
+	// vertex-transitive families and a tight lower estimate in practice.
+	// 0 means 256.
+	ExactStartLimit int
+	// SampleStarts is the number of sampled start nodes beyond the exact
+	// limit. 0 means 16.
+	SampleStarts int
+	// Tmax caps the walk-step search for tmix. 0 means 2n^2 + 1000, which
+	// covers even the Theta(n^2)-mixing cycle at the paper's accuracy.
+	Tmax int
+	// PowerIters and Tol bound the lambda_2 power iteration. 0 means
+	// 20000 iterations at tolerance 1e-12.
+	PowerIters int
+	Tol        float64
+	// MaxWork, when positive, caps the total profile cost in walk-step
+	// units (one unit ~ one O(n+m) sparse operator application): Tmax and
+	// PowerIters are clamped so starts*Tmax*(n+m) and PowerIters*(n+m)
+	// each stay within it. A graph whose walk cannot mix within the
+	// clamped budget gets a deterministic ErrNoMix instead of an
+	// effectively unbounded computation — the service layer relies on
+	// this to keep one badly-conditioned graph (a million-node cycle has
+	// tmix = Theta(n^2)) from wedging a worker forever.
+	MaxWork int64
+}
+
+func (o ProfileOptions) withDefaults(n int) ProfileOptions {
+	if o.ExactStartLimit <= 0 {
+		o.ExactStartLimit = 256
+	}
+	if o.SampleStarts <= 0 {
+		o.SampleStarts = 16
+	}
+	if o.Tmax <= 0 {
+		o.Tmax = 2*n*n + 1000
+	}
+	if o.PowerIters <= 0 {
+		o.PowerIters = 20000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// Profile is the cached spectral characterization of one graph.
+type Profile struct {
+	N int `json:"n"`
+	M int `json:"m"`
+	// Tmix is the lazy-walk mixing time at the paper's accuracy 1/(2n);
+	// TmixExact reports whether it maximized over every start node or over
+	// a sampled subset.
+	Tmix      int  `json:"tmix"`
+	TmixExact bool `json:"tmix_exact"`
+	// Lambda2 is the second eigenvalue of the lazy walk operator.
+	Lambda2 float64 `json:"lambda2"`
+	// CheegerLo/Hi sandwich the conductance: 1-lambda2 <= phi <=
+	// 2 sqrt(1-lambda2) (Equation (1) territory).
+	CheegerLo float64 `json:"cheeger_lo"`
+	CheegerHi float64 `json:"cheeger_hi"`
+}
+
+// sampleStarts returns k deterministic start nodes spread evenly over
+// [0, n): profile results must not depend on who asked first.
+func sampleStarts(n, k int) []int {
+	if k >= n {
+		k = n
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for i := 0; i < k; i++ {
+		s := i * n / k
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ComputeProfile computes the full spectral profile of g. It is a pure
+// deterministic function of (g, opts) — the property the registry's
+// memoization relies on.
+func ComputeProfile(g *graph.Graph, opts ProfileOptions) (*Profile, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, errors.New("spectral: profile needs at least 2 nodes")
+	}
+	if g.M() == 0 {
+		return nil, errors.New("spectral: profile needs at least 1 edge")
+	}
+	opts = opts.withDefaults(n)
+	p := &Profile{N: n, M: g.M()}
+
+	var starts []int
+	if n <= opts.ExactStartLimit {
+		p.TmixExact = true
+		starts = make([]int, n)
+		for i := range starts {
+			starts[i] = i
+		}
+	} else {
+		starts = sampleStarts(n, opts.SampleStarts)
+	}
+	if opts.MaxWork > 0 {
+		perApply := int64(n + g.M())
+		if budget := opts.MaxWork / (perApply * int64(len(starts))); int64(opts.Tmax) > budget {
+			opts.Tmax = int(budget)
+			if opts.Tmax < 1 {
+				opts.Tmax = 1
+			}
+		}
+		if budget := opts.MaxWork / perApply; int64(opts.PowerIters) > budget {
+			opts.PowerIters = int(budget)
+			if opts.PowerIters < 16 {
+				opts.PowerIters = 16
+			}
+		}
+	}
+	tmix, err := MixingTimeSampled(g, DefaultEps(n), opts.Tmax, starts)
+	if err != nil {
+		return nil, err
+	}
+	p.Tmix = tmix
+
+	lam, err := Lambda2(g, opts.PowerIters, opts.Tol)
+	if err != nil {
+		return nil, err
+	}
+	p.Lambda2 = lam
+	p.CheegerLo, p.CheegerHi = CheegerBounds(lam)
+	return p, nil
+}

@@ -1,0 +1,143 @@
+package spectral
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcle/internal/graph"
+)
+
+func TestComputeProfileClique(t *testing.T) {
+	g, err := graph.Clique(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ComputeProfile(g, ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.TmixExact {
+		t.Fatal("n=16 is under the exact limit; tmix should be exact")
+	}
+	want, err := MixingTime(g, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tmix != want {
+		t.Fatalf("profile tmix %d != MixingTime %d", p.Tmix, want)
+	}
+	if p.Lambda2 <= 0 || p.Lambda2 >= 1 {
+		t.Fatalf("clique lambda2 = %v out of (0,1)", p.Lambda2)
+	}
+	if !(p.CheegerLo <= p.CheegerHi) {
+		t.Fatalf("Cheeger sandwich inverted: [%v, %v]", p.CheegerLo, p.CheegerHi)
+	}
+	// The clique's conductance is ~1/2 and must sit inside the sandwich.
+	phi, err := ConductanceBrute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi < p.CheegerLo-1e-9 || phi > p.CheegerHi+1e-9 {
+		t.Fatalf("phi=%v outside Cheeger bounds [%v, %v]", phi, p.CheegerLo, p.CheegerHi)
+	}
+	if p.N != 16 || p.M != g.M() {
+		t.Fatalf("profile sizes %d/%d", p.N, p.M)
+	}
+}
+
+func TestComputeProfileSampledDeterministic(t *testing.T) {
+	g, err := graph.RandomRegular(300, 8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ProfileOptions{ExactStartLimit: 64, SampleStarts: 8}
+	a, err := ComputeProfile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TmixExact {
+		t.Fatal("n=300 over the exact limit; tmix should be sampled")
+	}
+	b, err := ComputeProfile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("profile is not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Tmix <= 0 {
+		t.Fatalf("expander tmix = %d", a.Tmix)
+	}
+}
+
+// MaxWork turns a profile whose mixing search would be effectively
+// unbounded (large cycles mix in Theta(n^2) steps) into a fast
+// deterministic error instead of an open-ended computation.
+func TestComputeProfileMaxWork(t *testing.T) {
+	g, err := graph.Cycle(4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := ProfileOptions{ExactStartLimit: 8, SampleStarts: 4, MaxWork: 1 << 20}
+	if _, err := ComputeProfile(g, start); err == nil {
+		t.Fatal("budgeted profile of a slow-mixing cycle should fail, not run ~n^2 steps")
+	}
+	// A generous budget leaves well-conditioned graphs unaffected.
+	k, err := graph.Clique(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := ComputeProfile(k, ProfileOptions{MaxWork: 1 << 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := ComputeProfile(k, ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *bounded != *free {
+		t.Fatalf("budget changed a cheap profile: %+v vs %+v", bounded, free)
+	}
+}
+
+func TestComputeProfileErrors(t *testing.T) {
+	if _, err := ComputeProfile(mustGraph(t, 1), ProfileOptions{}); err == nil {
+		t.Fatal("single node should error")
+	}
+	// Two isolated pairs: disconnected, the walk never mixes.
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build("disconnected", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComputeProfile(g, ProfileOptions{Tmax: 200}); err == nil {
+		t.Fatal("disconnected graph should fail to mix")
+	}
+}
+
+func mustGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	g, err := b.Build("tiny", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleStarts(t *testing.T) {
+	s := sampleStarts(100, 4)
+	if !reflect.DeepEqual(s, []int{0, 25, 50, 75}) {
+		t.Fatalf("sampleStarts = %v", s)
+	}
+	if got := sampleStarts(3, 16); len(got) != 3 {
+		t.Fatalf("oversampling should clamp to n: %v", got)
+	}
+}

@@ -77,26 +77,46 @@ func Mean(xs []float64) (float64, error) {
 // Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics. The input slice is not modified.
 func Quantile(xs []float64, q float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, ErrEmpty
+	qs, err := Quantiles(xs, q)
+	if err != nil {
+		return 0, err
 	}
-	if q < 0 || q > 1 {
-		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
-	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0], nil
-	}
+	return qs[0], nil
+}
+
+// quantileSorted interpolates the q-th quantile of an already-sorted
+// sample (the shared core of Quantile and Quantiles).
+func quantileSorted(sorted []float64, q float64) float64 {
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo], nil
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns the requested quantiles of xs, sorting the sample
+// once (unlike repeated Quantile calls). The input slice is not modified.
+// It is the helper behind latency summaries (p50/p99) in the ops surfaces.
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
+		}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out, nil
 }
 
 // BinomialCI returns a Wilson score confidence interval for the success

@@ -258,3 +258,37 @@ func TestAggregate(t *testing.T) {
 		t.Fatalf("single sample: %+v, %v", one, err)
 	}
 }
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	got, err := Quantiles(xs, 0, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Quantiles = %v", got)
+	}
+	if xs[0] != 5 {
+		t.Fatal("input slice was modified")
+	}
+	// Each entry must agree with the single-quantile function.
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		single, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := Quantiles(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi[0] != single {
+			t.Fatalf("Quantiles(%v) = %v, Quantile = %v", q, multi[0], single)
+		}
+	}
+	if _, err := Quantiles(nil, 0.5); err == nil {
+		t.Fatal("empty sample should error")
+	}
+	if _, err := Quantiles(xs, 1.5); err == nil {
+		t.Fatal("out-of-range quantile should error")
+	}
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the electd daemon, as run by the CI smoke job:
+# build it, start it on an ephemeral port, register a clique, submit a
+# small election batch over HTTP, require a unique leader in every trial,
+# require a spectral-cache hit on a second job, and exercise graceful
+# SIGTERM shutdown. Needs only bash, curl, and grep.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+bin="$workdir/electd"
+addrfile="$workdir/electd.addr"
+logfile="$workdir/electd.log"
+pid=""
+
+cleanup() {
+  if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+    kill -KILL "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "smoke: FAIL: $*" >&2
+  echo "--- electd log ---" >&2
+  cat "$logfile" >&2 || true
+  exit 1
+}
+
+# Extract "field":value from a one-object JSON response without jq.
+json_field() { # json_field <json> <field>
+  printf '%s' "$1" | tr -d ' \n' | grep -o "\"$2\":[^,}]*" | head -n1 | cut -d: -f2- | tr -d '"'
+}
+
+echo "smoke: building electd"
+go build -o "$bin" ./cmd/electd
+
+echo "smoke: starting daemon on an ephemeral port"
+"$bin" -addr 127.0.0.1:0 -ready-file "$addrfile" -queue 8 >"$logfile" 2>&1 &
+pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$addrfile" ] && break
+  kill -0 "$pid" 2>/dev/null || fail "daemon exited before binding"
+  sleep 0.1
+done
+[ -s "$addrfile" ] || fail "daemon never wrote the ready file"
+base="http://$(cat "$addrfile")"
+echo "smoke: daemon at $base"
+
+curl -fsS "$base/healthz" | grep -q '"ok"' || fail "healthz not ok"
+
+echo "smoke: registering a 32-clique"
+curl -fsS -X POST "$base/v1/graphs" \
+  -d '{"name":"k32","spec":{"family":"clique","n":32}}' >/dev/null \
+  || fail "graph registration"
+
+submit() {
+  curl -fsS -X POST "$base/v1/elections" \
+    -d '{"seed":7,"points":[{"graph":"k32","trials":6}]}'
+}
+
+wait_done() { # wait_done <job-id>
+  local status state
+  for _ in $(seq 1 300); do
+    status="$(curl -fsS "$base/v1/elections/$1")"
+    state="$(json_field "$status" state)"
+    case "$state" in
+      done) printf '%s' "$status"; return 0 ;;
+      failed) fail "job $1 failed: $status" ;;
+    esac
+    sleep 0.2
+  done
+  fail "job $1 did not finish"
+}
+
+echo "smoke: submitting an election batch"
+resp="$(submit)" || fail "submission"
+job="$(json_field "$resp" id)"
+[ -n "$job" ] || fail "no job id in $resp"
+
+status="$(wait_done "$job")"
+echo "$status" | tr -d ' \n' | grep -q '"unique_leader":true' \
+  || fail "no unique leader: $status"
+echo "$status" | tr -d ' \n' | grep -q '"one":6' \
+  || fail "expected 6/6 single-leader trials: $status"
+echo "smoke: unique leader in all 6 trials"
+
+echo "smoke: second job must hit the spectral cache"
+resp="$(submit)" || fail "second submission"
+wait_done "$(json_field "$resp" id)" >/dev/null
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -q '^electd_spectral_computes_total 1$' \
+  || fail "profile recomputed: $(echo "$metrics" | grep electd_spectral)"
+hits="$(echo "$metrics" | grep '^electd_spectral_cache_hits_total' | awk '{print $2}')"
+[ "$hits" -ge 1 ] || fail "no cache hit observed: $metrics"
+echo "smoke: cache hits=$hits computes=1"
+
+echo "smoke: graceful SIGTERM shutdown"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  fail "daemon still alive after SIGTERM"
+fi
+wait "$pid" || fail "daemon exited non-zero"
+grep -q "drained, bye" "$logfile" || fail "no graceful-drain log line"
+pid=""
+
+echo "smoke: PASS"

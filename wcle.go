@@ -9,6 +9,7 @@ import (
 	"wcle/internal/experiments"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
+	"wcle/internal/serve"
 	"wcle/internal/sim"
 	"wcle/internal/spectral"
 )
@@ -55,6 +56,25 @@ type (
 	BatchOptions = core.BatchOptions
 	// BatchResult aggregates an ElectMany batch.
 	BatchResult = core.BatchResult
+
+	// GraphSpec names a graph family + parameters (or an explicit edge
+	// list) for the service layer's registry.
+	GraphSpec = serve.GraphSpec
+	// FaultSpec is the wire form of a delivery-plane adversary.
+	FaultSpec = serve.FaultSpec
+	// GraphRegistry stores named graphs with memoized spectral profiles
+	// behind a singleflight (see internal/serve).
+	GraphRegistry = serve.Registry
+	// ElectionServer is the electd HTTP service stack: registry +
+	// bounded-queue scheduler + ops surface.
+	ElectionServer = serve.Server
+	// ServerOptions parameterizes NewElectionServer.
+	ServerOptions = serve.Options
+	// SpectralProfile is a graph's cached spectral characterization
+	// (tmix, lambda_2, Cheeger conductance bounds).
+	SpectralProfile = spectral.Profile
+	// SpectralOptions bounds a profile computation.
+	SpectralOptions = spectral.ProfileOptions
 )
 
 // ComposeFaults chains fault planes (drops combine, delays add, crashes
@@ -65,6 +85,27 @@ func ComposeFaults(planes ...FaultPlane) FaultPlane { return sim.Compose(planes.
 // worker pool and aggregates the outcomes (see core.RunMany).
 func ElectMany(g *Graph, cfg Config, opts BatchOptions) (*BatchResult, error) {
 	return core.RunMany(g, cfg, opts)
+}
+
+// BuildGraph instantiates a GraphSpec (the registry does this once per
+// registered name; this entry point is for ad-hoc use).
+func BuildGraph(spec GraphSpec) (*Graph, error) { return spec.Build() }
+
+// NewGraphRegistry returns an empty registry whose spectral profiles are
+// computed at the given options (zero value = defaults).
+func NewGraphRegistry(opts SpectralOptions) *GraphRegistry { return serve.NewRegistry(opts) }
+
+// NewElectionServer builds the electd service stack (registry, bounded
+// scheduler, ops metrics) without binding a listener; cmd/electd and
+// embedders bring their own http.Server around Handler().
+func NewElectionServer(opts ServerOptions) (*ElectionServer, error) { return serve.NewServer(opts) }
+
+// Profile computes a graph's full spectral characterization — mixing time
+// (exact on small graphs, sampled beyond SpectralOptions.ExactStartLimit),
+// lambda_2, and the Cheeger conductance sandwich — in one call. The
+// registry memoizes exactly this function per graph.
+func Profile(g *Graph, opts SpectralOptions) (*SpectralProfile, error) {
+	return spectral.ComputeProfile(g, opts)
 }
 
 // DefaultConfig returns the paper-faithful default parameters (c1=6, c2=2,
