@@ -1,7 +1,9 @@
 // Command electd is the long-running election daemon: an HTTP/JSON service
-// that runs batch leader elections (internal/serve on top of the sharded
-// core.RunMany engine) against a registry of named graphs with memoized
-// spectral profiles.
+// that runs batch leader elections (internal/serve on top of the algo
+// backend registry's sharded batch engine) against a registry of named
+// graphs with memoized spectral profiles. Each submitted point may name
+// its election backend ("algorithm": gilbertrs18, floodmax, or kpprt);
+// per-backend election counters are exported at /metrics.
 //
 // API (see DESIGN.md section 5 for the wire contract):
 //

@@ -24,14 +24,28 @@
 // else needs to learn its identity. ElectExplicit appends the Corollary 14
 // push-pull broadcast so every node learns the leader id.
 //
+// # Algorithm backends
+//
+// Election protocols are pluggable backends behind one registry
+// (internal/algo): gilbertrs18 (the paper's algorithm — what Elect runs),
+// floodmax (the Omega(m) flooding baseline), and kpprt (the sublinear
+// candidate-sampling election of Kutten et al.). ElectWith and
+// ElectManyWith run any of them under the same options, seeds, and fault
+// planes:
+//
+//	out, err := wcle.ElectWith("kpprt", g, wcle.AlgorithmConfig{},
+//	    wcle.AlgorithmOptions{Seed: 7})
+//
 // # Packages
 //
 // The root package is a facade over the internal packages: internal/core
-// (the algorithm), internal/sim (the synchronous CONGEST engine),
-// internal/graph (families and the lower-bound constructions),
-// internal/spectral (mixing times and conductance), internal/protocol
-// (CONGEST message plumbing), internal/broadcast, internal/baseline,
-// internal/lowerbound, and internal/experiments (the E1-E14 suite described
-// in DESIGN.md, run on a parallel worker-pool harness and rendered into
-// EXPERIMENTS.md by cmd/benchsuite). README.md has the CLI quickstart.
+// (the paper's algorithm), internal/algo (the backend registry),
+// internal/sim (the synchronous CONGEST engine), internal/graph (families
+// and the lower-bound constructions), internal/spectral (mixing times and
+// conductance), internal/protocol (CONGEST message plumbing),
+// internal/broadcast, internal/baseline, internal/lowerbound,
+// internal/serve (the electd service layer), and internal/experiments
+// (the E1-E18 suite described in DESIGN.md, run on a parallel worker-pool
+// harness and rendered into EXPERIMENTS.md by cmd/benchsuite). README.md
+// has the CLI quickstart.
 package wcle

@@ -1,0 +1,79 @@
+package algo
+
+import (
+	"wcle/internal/graph"
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+)
+
+// Options are the backend-independent knobs of one election run. They are
+// the algorithm-agnostic subset of core.RunOptions: every backend maps
+// them onto its own sim.Config the same way, so a fault plane or a budget
+// means the same thing whichever protocol runs.
+type Options struct {
+	// Seed drives all randomness of the run deterministically.
+	Seed int64
+	// Budget, when positive, drops sends beyond the budget (counted in
+	// Metrics.Dropped).
+	Budget int64
+	// MaxRounds overrides the backend's default round cap (0 = backend
+	// default).
+	MaxRounds int
+	// Concurrent selects the goroutine-per-awake-node engine.
+	Concurrent bool
+	// LeanMetrics skips per-kind message accounting on the send hot path.
+	LeanMetrics bool
+	// DebugFrom stamps sender indices on delivered envelopes. Debugging
+	// only: the conformance suite asserts no backend's outcome depends on
+	// it (the model is anonymous).
+	DebugFrom bool
+	// Observer taps every accepted send.
+	Observer sim.Observer
+	// Fault, when non-nil, is the run's delivery-plane adversary.
+	Fault sim.FaultPlane
+	// FaultObserver receives every fault event of the run.
+	FaultObserver sim.FaultObserver
+}
+
+// Outcome is the backend-independent summary every algorithm reports.
+// Backend-specific detail rides along in Detail.
+type Outcome struct {
+	// Algorithm is the registry name of the backend that produced this.
+	Algorithm string
+	// Leaders lists node indices that declared leadership. Success means
+	// exactly one.
+	Leaders   []int
+	LeaderIDs []protocol.ID
+	Success   bool
+	// Explicit reports whether the election is explicit: every node learns
+	// the leader's id (FloodMax), not just the leader itself (implicit
+	// election, the paper's setting).
+	Explicit bool
+	// Contenders counts the nodes that actively competed: self-selected
+	// contenders (gilbertrs18), sampled candidates (kpprt), or every node
+	// (floodmax).
+	Contenders int
+	// LeaderRound is the round of the (first) self-election, -1 if none.
+	LeaderRound int
+	// Rounds is the simulated round at which all activity ceased.
+	Rounds int
+	// Metrics is the sim-level cost accounting of the run.
+	Metrics sim.Metrics
+	// Detail is the backend's native result (*core.Result,
+	// *baseline.FloodMaxResult, *SublinearResult), for callers that want
+	// more than the common summary.
+	Detail interface{}
+}
+
+// Algorithm is one election protocol runnable on the sim delivery planes.
+// Implementations must be pure functions of (graph, options): all
+// randomness flows from Options.Seed through the per-node sim streams, so
+// a run replays byte-identically. Instances are cheap, immutable
+// configuration holders and safe for concurrent use; all per-run state
+// lives inside Run.
+type Algorithm interface {
+	// Name returns the backend's registry name.
+	Name() string
+	// Run executes one election on g.
+	Run(g *graph.Graph, opts Options) (*Outcome, error)
+}

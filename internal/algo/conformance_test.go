@@ -1,0 +1,61 @@
+package algo_test
+
+import (
+	"testing"
+
+	"wcle/internal/algo"
+	"wcle/internal/algo/algotest"
+	"wcle/internal/core"
+	"wcle/internal/graph"
+)
+
+// The cross-backend conformance suite: every registered backend must
+// elect exactly one leader, replay deterministically, ignore DebugFrom
+// (anonymity), and conserve messages on the cycle/torus/expander/clique
+// battery. Per-graph configuration reflects each protocol's documented
+// regime knobs, not special-casing: GilbertRS18 needs a walk-length cap
+// above the graph's mixing time, KPPRT needs referee-sampling walks of
+// mixing length (and a window wide enough for the cycle's congestion).
+
+func TestConformanceGilbertRS18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full elections on four graphs; skipped in -short mode")
+	}
+	algotest.Conformance(t, algo.GilbertRS18, func(name string, g *graph.Graph) algo.Config {
+		cfg := core.DefaultConfig()
+		switch name {
+		case "cycle12":
+			// At n=12 the default C1=6 makes the intersection threshold
+			// (3/4 C1 ln n = 12) exceed the 11 other nodes — unsatisfiable;
+			// and the 12-cycle mixes in Theta(n^2) rounds, beyond the
+			// default 4n walk-length cap.
+			cfg.C1 = 3
+			cfg.MaxWalkLen = 1024
+		case "torus4x4":
+			cfg.MaxWalkLen = 1024
+		}
+		return algo.Config{Core: cfg}
+	}, []int64{0, 1, 2})
+}
+
+func TestConformanceFloodMax(t *testing.T) {
+	algotest.Conformance(t, algo.FloodMax, func(name string, g *graph.Graph) algo.Config {
+		return algo.Config{}
+	}, []int64{0, 1, 2})
+}
+
+func TestConformanceKPPRT(t *testing.T) {
+	algotest.Conformance(t, algo.KPPRT, func(name string, g *graph.Graph) algo.Config {
+		var sub algo.SublinearConfig
+		switch name {
+		case "cycle12":
+			// tmix of the 12-cycle's lazy walk is Theta(n^2); the wide
+			// window absorbs the congestion of routing every committee
+			// through two directed edges per cut.
+			sub.Hops, sub.Window = 300, 2000
+		case "torus4x4":
+			sub.Hops = 100 // tmix is Theta(side^2)
+		}
+		return algo.Config{Sublinear: sub}
+	}, []int64{0, 1, 2})
+}

@@ -1,0 +1,33 @@
+// Package algo makes election protocols first-class pluggable backends: a
+// small Algorithm interface over the sim delivery planes, a named registry,
+// and a generic sharded batch runner, so every surface of the repo (the
+// wcle facade, cmd/electsim, the experiment harness, the electd service)
+// compares protocols through one contract instead of hard-wiring the
+// paper's algorithm.
+//
+// Three backends ship in the registry:
+//
+//   - gilbertrs18 — the paper's guess-and-double random-walk election
+//     (internal/core): O(sqrt(n) log^{7/2} n · tmix) messages,
+//     O(tmix log^2 n) rounds, no knowledge of tmix.
+//   - floodmax — the Omega(m)-message flooding baseline
+//     (internal/baseline): explicit election in Theta(n) rounds, the
+//     general-graph regime the paper's bound is contrasted against.
+//   - kpprt — a KPPRT-style sublinear randomized election (Kutten,
+//     Pandurangan, Peleg, Robinson, Trehan, "Sublinear Bounds for
+//     Randomized Leader Election"): candidate sampling plus referee
+//     committees, ~O(sqrt(n) log^{3/2} n) messages on its home regime
+//     (complete graphs, and diameter-two/expander graphs via short
+//     referee-sampling walks — the scenario of Chatterjee–Pandurangan–
+//     Robinson).
+//
+// Contract (see DESIGN.md section 6 for the full discussion): a backend
+// receives a port-numbered graph and backend-independent Options (seed,
+// budget, fault plane, observers, LeanMetrics, DebugFrom) and must (1) be
+// a pure function of (graph, options) — all randomness through the
+// per-node sim streams, (2) respect the anonymous model — node identities
+// are protocol-level random ids in payloads, never Envelope.From, and
+// (3) leave scheduling to the sim planes — no backdoor communication
+// between node processes. The algotest subpackage checks these invariants
+// for every registered backend.
+package algo

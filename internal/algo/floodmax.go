@@ -1,0 +1,58 @@
+package algo
+
+import (
+	"wcle/internal/baseline"
+	"wcle/internal/graph"
+	"wcle/internal/protocol"
+)
+
+// floodmax adapts internal/baseline's FloodMax to the backend contract.
+type floodmax struct {
+	horizon int
+}
+
+func newFloodMax(cfg Config) (Algorithm, error) {
+	return floodmax{horizon: cfg.Horizon}, nil
+}
+
+func (a floodmax) Name() string { return FloodMax }
+
+func (a floodmax) Run(g *graph.Graph, opts Options) (*Outcome, error) {
+	res, err := baseline.Run(g, baseline.Config{
+		Seed:          opts.Seed,
+		Horizon:       a.horizon,
+		Budget:        opts.Budget,
+		MaxRounds:     opts.MaxRounds,
+		Concurrent:    opts.Concurrent,
+		LeanMetrics:   opts.LeanMetrics,
+		DebugFrom:     opts.DebugFrom,
+		Observer:      opts.Observer,
+		Fault:         opts.Fault,
+		FaultObserver: opts.FaultObserver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Algorithm: FloodMax,
+		Leaders:   res.Leaders,
+		Success:   len(res.Leaders) == 1,
+		// FloodMax is an explicit election only when every node converged
+		// to the winning id (faults can break agreement).
+		Explicit:    res.AllAgree,
+		Contenders:  g.N(), // every node competes with its drawn id
+		LeaderRound: -1,
+		Rounds:      res.Metrics.FinalRound,
+		Metrics:     res.Metrics,
+		Detail:      res,
+	}
+	if len(res.Leaders) > 0 {
+		// Leaders all decide at the horizon round.
+		out.LeaderRound = res.Horizon
+	}
+	if len(res.Leaders) == 1 {
+		// Under perfect delivery the unique leader holds the global max id.
+		out.LeaderIDs = []protocol.ID{res.LeaderID}
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package algo
+
+import (
+	"reflect"
+
+	"wcle/internal/core"
+	"wcle/internal/graph"
+)
+
+// gilbert adapts internal/core (the paper's algorithm) to the backend
+// contract.
+type gilbert struct {
+	cfg core.Config
+}
+
+// newGilbertRS18 builds the paper's algorithm from cfg.Core. Only an
+// entirely zero Core section means core.DefaultConfig(); a partially
+// filled one is used as-is, so core's "start from DefaultConfig" C1/C2
+// validation still fails loudly instead of knobs being silently dropped.
+func newGilbertRS18(cfg Config) (Algorithm, error) {
+	c := cfg.Core
+	if reflect.DeepEqual(c, core.Config{}) {
+		c = core.DefaultConfig()
+	}
+	return gilbert{cfg: c}, nil
+}
+
+func (a gilbert) Name() string { return GilbertRS18 }
+
+func (a gilbert) Run(g *graph.Graph, opts Options) (*Outcome, error) {
+	res, err := core.Run(g, a.cfg, core.RunOptions{
+		Seed:          opts.Seed,
+		Budget:        opts.Budget,
+		Concurrent:    opts.Concurrent,
+		Observer:      opts.Observer,
+		LeanMetrics:   opts.LeanMetrics,
+		MaxRounds:     opts.MaxRounds,
+		DebugFrom:     opts.DebugFrom,
+		Fault:         opts.Fault,
+		FaultObserver: opts.FaultObserver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Algorithm:   GilbertRS18,
+		Leaders:     res.Leaders,
+		LeaderIDs:   res.LeaderIDs,
+		Success:     res.Success,
+		Explicit:    false,
+		Contenders:  len(res.Contenders),
+		LeaderRound: res.LeaderRound,
+		Rounds:      res.Rounds,
+		Metrics:     res.Metrics,
+		Detail:      res,
+	}, nil
+}

@@ -1,0 +1,102 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wcle/internal/core"
+)
+
+// Registry names of the built-in backends.
+const (
+	// GilbertRS18 is the paper's guess-and-double random-walk election.
+	GilbertRS18 = "gilbertrs18"
+	// FloodMax is the Omega(m)-message flooding baseline.
+	FloodMax = "floodmax"
+	// KPPRT is the sublinear candidate-sampling + referee-committee
+	// election of Kutten et al.
+	KPPRT = "kpprt"
+)
+
+// DefaultName is the backend used when a caller names none.
+const DefaultName = GilbertRS18
+
+// Config is the union of the built-in backends' constructor knobs. A
+// backend reads only its own section and ignores the rest, so one Config
+// can parameterize a whole comparison sweep.
+type Config struct {
+	// Core parameterizes the gilbertrs18 backend. The (entirely) zero
+	// value means core.DefaultConfig(); any non-zero field makes the
+	// value be used as-is — callers overriding, say, Resend must start
+	// from core.DefaultConfig, exactly as with core.Run.
+	Core core.Config
+	// Horizon is the floodmax decision round (0 = n).
+	Horizon int
+	// Sublinear parameterizes the kpprt backend (zero value = defaults).
+	Sublinear SublinearConfig
+}
+
+// Builder constructs a configured instance of one backend.
+type Builder func(cfg Config) (Algorithm, error)
+
+var (
+	regMu    sync.RWMutex
+	builders = map[string]Builder{
+		GilbertRS18: newGilbertRS18,
+		FloodMax:    newFloodMax,
+		KPPRT:       newSublinear,
+	}
+)
+
+// Register adds (or replaces) a backend builder under name. The built-in
+// names are registered at init; future protocols (async model, population
+// protocols) plug in here.
+func Register(name string, b Builder) {
+	if name == "" || b == nil {
+		panic("algo: Register needs a name and a builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	builders[name] = b
+}
+
+// Known reports whether name is a registered backend.
+func Known(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := builders[name]
+	return ok
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve normalizes a backend name: empty means DefaultName.
+func Resolve(name string) string {
+	if name == "" {
+		return DefaultName
+	}
+	return name
+}
+
+// New builds a configured instance of the named backend ("" = default).
+func New(name string, cfg Config) (Algorithm, error) {
+	name = Resolve(name)
+	regMu.RLock()
+	b, ok := builders[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return b(cfg)
+}

@@ -1,0 +1,203 @@
+package algo_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcle/internal/algo"
+	"wcle/internal/core"
+	"wcle/internal/graph"
+	"wcle/internal/sim"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := algo.Names()
+	want := []string{algo.FloodMax, algo.GilbertRS18, algo.KPPRT}
+	for _, w := range want {
+		if !algo.Known(w) {
+			t.Fatalf("backend %q not registered", w)
+		}
+	}
+	if len(names) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", names, want)
+	}
+	if algo.Resolve("") != algo.DefaultName {
+		t.Fatal("empty name must resolve to the default backend")
+	}
+	if _, err := algo.New("no-such-algorithm", algo.Config{}); err == nil {
+		t.Fatal("unknown backend must error")
+	}
+	for _, name := range want {
+		a, err := algo.New(name, algo.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+}
+
+// TestGilbertPartialConfigErrsLoudly pins the config contract: only an
+// entirely zero Core section defaults; a partial one (here FixedWalkLen
+// without C1/C2) must fail core's validation instead of silently running
+// the default algorithm with the knob dropped.
+func TestGilbertPartialConfigErrsLoudly(t *testing.T) {
+	g, err := graph.Clique(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := algo.New(algo.GilbertRS18, algo.Config{Core: core.Config{FixedWalkLen: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(g, algo.Options{Seed: 1}); err == nil {
+		t.Fatal("partial Core config must error, not silently default")
+	}
+}
+
+// TestGilbertBackendMatchesCore pins the adapter: running the paper's
+// algorithm through the registry must reproduce core.Run exactly.
+func TestGilbertBackendMatchesCore(t *testing.T) {
+	g, err := graph.RandomRegular(48, 8, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := algo.New(algo.GilbertRS18, algo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		out, err := a.Run(g, algo.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Run(g, core.DefaultConfig(), core.RunOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out.Leaders, want.Leaders) ||
+			out.Rounds != want.Rounds ||
+			out.Metrics.Messages != want.Metrics.Messages ||
+			out.Metrics.Bits != want.Metrics.Bits {
+			t.Fatalf("seed %d: backend diverged from core.Run: %+v vs %+v", seed, out, want)
+		}
+		if _, ok := out.Detail.(*core.Result); !ok {
+			t.Fatalf("Detail is %T, want *core.Result", out.Detail)
+		}
+	}
+}
+
+// TestBatchMatchesCoreRunMany pins the generic batch runner against
+// core.RunMany for the default backend: same seeds, same aggregation,
+// field for field.
+func TestBatchMatchesCoreRunMany(t *testing.T) {
+	g, err := graph.RandomRegular(48, 8, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := algo.New(algo.GilbertRS18, algo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := algo.RunMany(g, a, algo.BatchOptions{
+		Base: algo.Options{Seed: 42, LeanMetrics: true}, Trials: 6, Workers: 3, CollectTrials: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.RunMany(g, core.DefaultConfig(), core.BatchOptions{
+		Base: core.RunOptions{Seed: 42, LeanMetrics: true}, Trials: 6, Workers: 3, CollectTrials: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.One != want.One || got.Zero != want.Zero || got.Multi != want.Multi ||
+		got.Messages != want.Messages || got.Bits != want.Bits ||
+		got.Rounds != want.Rounds || got.Contenders != want.Contenders ||
+		!reflect.DeepEqual(got.TrialMessages, want.TrialMessages) ||
+		!reflect.DeepEqual(got.TrialRounds, want.TrialRounds) ||
+		!reflect.DeepEqual(got.TrialOutcomes, want.TrialOutcomes) {
+		t.Fatalf("batch diverged:\n algo: %+v\n core: %+v", got, want)
+	}
+}
+
+// TestBatchWorkerCountInvariance: a batch's deterministic fields cannot
+// depend on the shard count, whatever the backend.
+func TestBatchWorkerCountInvariance(t *testing.T) {
+	g, err := graph.Clique(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{algo.FloodMax, algo.KPPRT} {
+		a, err := algo.New(name, algo.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := algo.RunMany(g, a, algo.BatchOptions{
+			Base: algo.Options{Seed: 9}, Trials: 8, Workers: 1, CollectTrials: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		four, err := algo.RunMany(g, a, algo.BatchOptions{
+			Base: algo.Options{Seed: 9}, Trials: 8, Workers: 4, CollectTrials: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(one.TrialMessages, four.TrialMessages) ||
+			!reflect.DeepEqual(one.TrialOutcomes, four.TrialOutcomes) ||
+			one.One != four.One {
+			t.Fatalf("%s: worker count changed the batch", name)
+		}
+	}
+}
+
+// TestBatchRejectsSharedFault mirrors core.RunMany's guard: a stateful
+// fault plane shared across shards is a determinism bug.
+func TestBatchRejectsSharedFault(t *testing.T) {
+	g, err := graph.Clique(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := algo.New(algo.FloodMax, algo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = algo.RunMany(g, a, algo.BatchOptions{
+		Base: algo.Options{Seed: 1, Fault: &sim.Drop{P: 0.1}}, Trials: 4})
+	if err == nil {
+		t.Fatal("shared Base.Fault must be rejected")
+	}
+	if _, err := algo.RunMany(g, a, algo.BatchOptions{
+		Base:     algo.Options{Seed: 1},
+		Trials:   4,
+		NewFault: func(int) sim.FaultPlane { return &sim.Drop{P: 0.1} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKPPRTSublinearOnCliques spot-checks the headline property: the
+// kpprt message count on cliques grows far slower than m.
+func TestKPPRTSublinearOnCliques(t *testing.T) {
+	a, err := algo.New(algo.KPPRT, algo.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gap widens with n (Theta(sqrt(n) log^{3/2} n) vs m = Theta(n^2)):
+	// ~4x at n=64, ~16x at n=256.
+	for _, c := range []struct{ n, factor int }{{64, 2}, {256, 8}} {
+		g, err := graph.Clique(c.n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := a.Run(g, algo.Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Metrics.Messages*int64(c.factor) > int64(g.M()) {
+			t.Fatalf("n=%d: %d messages vs m=%d — not sublinear", c.n, out.Metrics.Messages, g.M())
+		}
+	}
+}

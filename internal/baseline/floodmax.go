@@ -1,8 +1,3 @@
-// Package baseline implements the comparison algorithms the paper measures
-// against: FloodMax-style explicit leader election, representative of the
-// Omega(m)-message class of general-graph algorithms ([24]'s lower bound
-// regime), against which Theorem 13's sublinear bound is contrasted on
-// well-connected graphs.
 package baseline
 
 import (
@@ -13,7 +8,8 @@ import (
 	"wcle/internal/sim"
 )
 
-// idMsg carries a candidate id during flooding.
+// idMsg carries a candidate id during flooding. The id is the payload: the
+// anonymous model forbids reading sender identities off the envelope.
 type idMsg struct {
 	id   protocol.ID
 	bits int
@@ -81,20 +77,53 @@ func (nd *floodNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
 // FloodMaxResult reports a FloodMax run.
 type FloodMaxResult struct {
 	// Leaders holds the node indices that declared leadership (exactly one
-	// when the horizon covers the diameter).
+	// when the horizon covers the diameter and delivery is perfect).
 	Leaders []int
 	// LeaderID is the elected id (the global maximum).
 	LeaderID protocol.ID
 	// AllAgree reports whether every node's maxSeen converged to LeaderID.
 	AllAgree bool
-	Metrics  sim.Metrics
+	// Horizon is the resolved decision round.
+	Horizon int
+	Metrics sim.Metrics
 }
 
-// FloodMax runs the baseline on g. horizon is the number of rounds before
-// nodes decide; 0 means n (always >= diameter + 1).
-func FloodMax(g *graph.Graph, seed int64, horizon int) (*FloodMaxResult, error) {
+// Config parameterizes a generalized FloodMax run. The zero value plus a
+// seed is the classical setting: horizon n, perfect delivery.
+type Config struct {
+	// Seed drives all randomness (id draws) deterministically.
+	Seed int64
+	// Horizon is the number of rounds before nodes decide; 0 means n
+	// (always >= diameter + 1).
+	Horizon int
+	// Budget, when positive, drops sends beyond the budget (sim semantics).
+	Budget int64
+	// MaxRounds overrides the round cap (0 = Horizon + 8).
+	MaxRounds int
+	// Concurrent selects the goroutine-based engine.
+	Concurrent bool
+	// LeanMetrics skips per-kind message accounting on the send hot path.
+	LeanMetrics bool
+	// DebugFrom stamps sender indices on envelopes (debugging only; the
+	// regression tests assert the run is unchanged by it).
+	DebugFrom bool
+	// Observer taps every accepted send.
+	Observer sim.Observer
+	// Fault, when non-nil, is the run's delivery-plane adversary.
+	Fault sim.FaultPlane
+	// FaultObserver receives every fault event of the run.
+	FaultObserver sim.FaultObserver
+}
+
+// Run executes FloodMax on g under the full delivery-plane option set.
+func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
+	horizon := cfg.Horizon
 	if horizon <= 0 {
 		horizon = g.N()
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = horizon + 8
 	}
 	sizing, err := protocol.NewSizing(g.N())
 	if err != nil {
@@ -108,14 +137,21 @@ func FloodMax(g *graph.Graph, seed int64, horizon int) (*FloodMaxResult, error) 
 	}
 	metrics, err := sim.Run(sim.Config{
 		Graph:          g,
-		Seed:           seed,
+		Seed:           cfg.Seed,
 		MaxMessageBits: sizing.CongestCap(),
-		MaxRounds:      horizon + 8,
+		MaxRounds:      maxRounds,
+		MessageBudget:  cfg.Budget,
+		Concurrent:     cfg.Concurrent,
+		LeanMetrics:    cfg.LeanMetrics,
+		DebugFrom:      cfg.DebugFrom,
+		Observer:       cfg.Observer,
+		Fault:          cfg.Fault,
+		FaultObserver:  cfg.FaultObserver,
 	}, procs)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: floodmax failed: %w", err)
 	}
-	res := &FloodMaxResult{Metrics: metrics, AllAgree: true}
+	res := &FloodMaxResult{Metrics: metrics, AllAgree: true, Horizon: horizon}
 	var max protocol.ID
 	for _, nd := range nodes {
 		if nd.id > max {
@@ -132,4 +168,10 @@ func FloodMax(g *graph.Graph, seed int64, horizon int) (*FloodMaxResult, error) 
 		}
 	}
 	return res, nil
+}
+
+// FloodMax runs the baseline on g. horizon is the number of rounds before
+// nodes decide; 0 means n (always >= diameter + 1).
+func FloodMax(g *graph.Graph, seed int64, horizon int) (*FloodMaxResult, error) {
+	return Run(g, Config{Seed: seed, Horizon: horizon})
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"wcle/internal/graph"
+	"wcle/internal/sim"
 )
 
 func TestFloodMaxElectsExactlyOne(t *testing.T) {
@@ -69,6 +70,53 @@ func TestFloodMaxShortHorizonOnCycleDisagrees(t *testing.T) {
 	}
 	if res.AllAgree {
 		t.Fatal("horizon 3 on a 64-cycle should not reach agreement")
+	}
+}
+
+// TestFloodMaxAnonymityRegression pins the anonymous-model contract of
+// PR 2: candidate ids travel in the payload, and the algorithm must never
+// read sender identities off the envelope. Toggling sim.Config.DebugFrom
+// changes Envelope.From from -1 to the true sender index; if any node
+// logic consulted it, the two runs below would diverge.
+func TestFloodMaxAnonymityRegression(t *testing.T) {
+	g, err := graph.RandomRegular(48, 6, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		anon, err := Run(g, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		debug, err := Run(g, Config{Seed: seed, DebugFrom: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anon.LeaderID != debug.LeaderID || anon.Metrics.Messages != debug.Metrics.Messages ||
+			anon.Metrics.FinalRound != debug.Metrics.FinalRound ||
+			len(anon.Leaders) != len(debug.Leaders) {
+			t.Fatalf("seed %d: DebugFrom changed the run: %+v vs %+v", seed, anon, debug)
+		}
+	}
+}
+
+// TestFloodMaxUnderDrops exercises the generalized entry point with a lossy
+// delivery plane: losing flood improvements can break agreement, but never
+// errors and never loses the message accounting.
+func TestFloodMaxUnderDrops(t *testing.T) {
+	g, err := graph.Clique(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Config{Seed: 5, Fault: &sim.Drop{P: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.FaultDrops == 0 {
+		t.Fatal("drop plane reported no drops")
+	}
+	if res.Metrics.Deliveries+res.Metrics.FaultDrops != res.Metrics.Messages {
+		t.Fatalf("message conservation broken: %+v", res.Metrics)
 	}
 }
 

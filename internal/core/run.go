@@ -32,6 +32,10 @@ type RunOptions struct {
 	Fault sim.FaultPlane
 	// FaultObserver, when non-nil, receives every fault event of the run.
 	FaultObserver sim.FaultObserver
+	// DebugFrom stamps sender indices on delivered envelopes
+	// (sim.Config.DebugFrom). Debugging only: the model is anonymous, and
+	// the algotest conformance suite asserts runs are unchanged by it.
+	DebugFrom bool
 }
 
 // Result summarizes one election run.
@@ -110,6 +114,7 @@ func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
 		MessageBudget:  opts.Budget,
 		Concurrent:     opts.Concurrent,
 		LeanMetrics:    opts.LeanMetrics,
+		DebugFrom:      opts.DebugFrom,
 		Fault:          opts.Fault,
 		Observer:       opts.Observer,
 		FaultObserver:  opts.FaultObserver,

@@ -18,10 +18,12 @@ import (
 // algorithm's first coin flip). One trial = one sampled contender count.
 func e3Spec() Spec {
 	return Spec{
-		ID:          "E3",
-		Name:        "contender-concentration",
-		Title:       "Lemma 1: contender count concentration in [3/4 c1 ln n, 5/4 c1 ln n]",
-		Claim:       "Lemma 1 (Chernoff concentration of the contender count)",
+		ID:    "E3",
+		Name:  "contender-concentration",
+		Title: "Lemma 1: contender count concentration in [3/4 c1 ln n, 5/4 c1 ln n]",
+		Claim: "Lemma 1 (Chernoff concentration of the contender count)",
+		Preamble: "Everything downstream (both stopping thresholds) assumes the contender count lands in [3/4 c1 ln n, 5/4 c1 ln n] — a Chernoff bound, so the in-band probability should climb toward 1 as n grows. " +
+			"This experiment samples only the algorithm's first coin flip; no network is needed.",
 		FullTrials:  400,
 		QuickTrials: 150,
 		Points: func(cfg SuiteConfig) []Point {
@@ -92,10 +94,12 @@ func renderE3(cfg SuiteConfig, data []PointData) (*Table, error) {
 // half (never more than one) as a hard invariant.
 func e4Spec() Spec {
 	return Spec{
-		ID:          "E4",
-		Name:        "unique-leader",
-		Title:       "Lemma 11: unique leader w.h.p. (and never more than one)",
-		Claim:       "Lemma 11 (exactly one leader w.h.p.; at most one always)",
+		ID:    "E4",
+		Name:  "unique-leader",
+		Title: "Lemma 11: unique leader w.h.p. (and never more than one)",
+		Claim: "Lemma 11 (exactly one leader w.h.p.; at most one always)",
+		Preamble: "The correctness claim itself. Lemma 11 promises exactly one leader with high probability; the safety half (never more than one) should hold in every single run, " +
+			"while zero-leader runs are the finite-n probability tail and must stay rare. Expect the multi column to be identically 0.",
 		FullTrials:  10,
 		QuickTrials: 3,
 		Points: func(cfg SuiteConfig) []Point {
@@ -154,10 +158,12 @@ func renderE4(cfg SuiteConfig, data []PointData) (*Table, error) {
 // push-pull broadcast of the leader id.
 func e7Spec() Spec {
 	return Spec{
-		ID:          "E7",
-		Name:        "explicit-election",
-		Title:       "Corollary 14: explicit election (implicit + push-pull) vs the Omega(m) FloodMax baseline",
-		Claim:       "Corollary 14 (explicit election) vs the Omega(m) flooding regime of [24]",
+		ID:    "E7",
+		Name:  "explicit-election",
+		Title: "Corollary 14: explicit election (implicit + push-pull) vs the Omega(m) FloodMax baseline",
+		Claim: "Corollary 14 (explicit election) vs the Omega(m) flooding regime of [24]",
+		Preamble: "Corollary 14 upgrades the implicit election to an explicit one (every node learns the leader's id) by appending a push-pull broadcast, at no asymptotic cost. " +
+			"Expected shapes on expanders: explicit total ~ the E1 message bound plus Theta(n log log n) gossip, versus FloodMax's Omega(m) flooding — the fitted exponents separate even where absolute counts favor FloodMax at small n.",
 		FullTrials:  3,
 		QuickTrials: 1,
 		Points: func(cfg SuiteConfig) []Point {
@@ -282,10 +288,12 @@ var e14Variants = []struct {
 // "sufficiently large c1" requirement.
 func e14Spec() Spec {
 	return Spec{
-		ID:          "E14",
-		Name:        "ablations",
-		Title:       "Ablations: correctness clarifications and the c1 constant (rr8, n=96)",
-		Claim:       "Design ablations (Claims 9/10 relay chain, Lemma 1's constant)",
+		ID:    "E14",
+		Name:  "ablations",
+		Title: "Ablations: correctness clarifications and the c1 constant (rr8, n=96)",
+		Claim: "Design ablations (Claims 9/10 relay chain, Lemma 1's constant)",
+		Preamble: "Each row switches off one realization choice the paper's proofs lean on — the inactive-exchange relay of Claims 9/10, the distinctness property, winner piggybacking — or moves the \"sufficiently large\" c1 constant. " +
+			"Expected shape: defaults elect one leader; c1=2 starves the intersection threshold (zero leaders appear); the paper-literal no-inactive-exchange variant is where multiple leaders can in principle arise.",
 		FullTrials:  6,
 		QuickTrials: 2,
 		Points: func(cfg SuiteConfig) []Point {

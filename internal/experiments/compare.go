@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"wcle/internal/algo"
+	"wcle/internal/graph"
+	"wcle/internal/sim"
+)
+
+// This file holds the backend head-to-head experiments: E17 measures
+// message complexity and E18 round complexity for every registered
+// election backend on one graph family, through the same algo registry
+// every other surface (facade, electsim, electd) uses. Cliques are the
+// comparison family: they are the KPPRT home regime (direct referee
+// sampling), the densest case for FloodMax's Omega(m), and a
+// constant-tmix case for GilbertRS18 — so the three asymptotics separate
+// cleanly in n.
+
+// e17Sizes returns the clique sizes of the comparison grid for a regime.
+func e17Sizes(cfg SuiteConfig) []int {
+	sizes := []int{64, 128, 256, 512}
+	if cfg.Quick {
+		sizes = []int{32, 64}
+	}
+	return cfg.capSizes(sizes)
+}
+
+// e17Backends enumerates the compared backends in render order, with the
+// metric prefix each one reports under.
+var e17Backends = []struct {
+	name   string
+	prefix string
+}{
+	{algo.GilbertRS18, "g"},
+	{algo.FloodMax, "f"},
+	{algo.KPPRT, "k"},
+}
+
+// e17Spec runs the three registered backends on the clique grid. E18 is a
+// view over the same trials.
+func e17Spec() Spec {
+	return Spec{
+		ID:    "E17",
+		Name:  "backend-messages",
+		Title: "Backend head-to-head (messages): GilbertRS18 vs FloodMax vs KPPRT on cliques",
+		Claim: "Theorem 13 and Kutten et al. vs the Omega(m) flooding regime, through the algo registry",
+		Preamble: "Every backend of the `internal/algo` registry runs the same elections on the same cliques with the same derived seeds. " +
+			"Expected asymptotics in n: FloodMax floods Omega(m) = Omega(n^2) messages; GilbertRS18 pays O(sqrt(n) log^{7/2} n * tmix) with tmix = O(1) on cliques; " +
+			"KPPRT's candidate sampling + referee committees pay O(sqrt(n) log^{3/2} n). The fitted exponents and the msgs/m columns make the separation visible at laptop scales.",
+		FullTrials:  3,
+		QuickTrials: 1,
+		Points: func(cfg SuiteConfig) []Point {
+			var out []Point
+			for _, n := range e17Sizes(cfg) {
+				out = append(out, Point{Key: fmt.Sprintf("clique-%d", n), Family: "clique", N: n})
+			}
+			return out
+		},
+		Setup: func(cfg SuiteConfig, pt Point, seed int64) (interface{}, error) {
+			return buildFamily("clique", pt.N, seed)
+		},
+		Trial: func(cfg SuiteConfig, pt Point, setup interface{}, seed int64) (Metrics, error) {
+			g := setup.(*graph.Graph)
+			m := Metrics{"m": float64(g.M())}
+			for i, b := range e17Backends {
+				a, err := algo.New(b.name, algo.Config{})
+				if err != nil {
+					return nil, err
+				}
+				out, err := a.Run(g, algo.Options{
+					Seed:        sim.DeriveSeed(seed, uint64(0xA1+i)),
+					LeanMetrics: true,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", b.name, err)
+				}
+				leaderRound := float64(out.Rounds)
+				if out.LeaderRound >= 0 {
+					leaderRound = float64(out.LeaderRound)
+				}
+				m[b.prefix+"_msgs"] = float64(out.Metrics.Messages)
+				m[b.prefix+"_bits"] = float64(out.Metrics.Bits)
+				m[b.prefix+"_rounds"] = float64(out.Rounds)
+				m[b.prefix+"_leader_round"] = leaderRound
+				m[b.prefix+"_success"] = b2f(out.Success)
+			}
+			return m, nil
+		},
+		Render: renderE17,
+	}
+}
+
+func renderE17(cfg SuiteConfig, data []PointData) (*Table, error) {
+	t := &Table{
+		ID:    "E17",
+		Title: "Backend head-to-head (messages): GilbertRS18 vs FloodMax vs KPPRT on cliques",
+		Columns: []string{"n", "m", "gilbertrs18 msgs", "floodmax msgs", "kpprt msgs",
+			"gilbert/m", "floodmax/m", "kpprt/m", "elected g+f+k"},
+	}
+	for _, pd := range data {
+		m := pd.First("m")
+		g, f, k := pd.Median("g_msgs"), pd.Median("f_msgs"), pd.Median("k_msgs")
+		t.AddRow(d(pd.Point.N), d(int(m)),
+			d64(int64(g)), d64(int64(f)), d64(int64(k)),
+			f2(g/m), f2(f/m), g3(k/m),
+			fmt.Sprintf("%d+%d+%d/%d", pd.Count("g_success"), pd.Count("f_success"),
+				pd.Count("k_success"), len(pd.Trials)))
+	}
+	for _, b := range e17Backends {
+		b := b
+		slope, err := fitExponent(data, "clique", func(pd PointData) float64 {
+			return pd.Median(b.prefix + "_msgs")
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddNote("%s: fitted messages ~ n^%.2f.", b.name, slope)
+	}
+	t.AddNote("m = n(n-1)/2 grows as n^2. FloodMax must track it (every node floods every improvement). KPPRT's fitted exponent sits near 0.8-0.9 at these sizes — the asymptotic sqrt(n) plus the log^{3/2} n factor, which decays slowly — and the kpprt/m column collapsing by an order of magnitude across the sweep is the sublinearity claim made visible. GilbertRS18 is also sublinear in m but pays its walk machinery's larger polylog factors.")
+	t.Plot = ASCIIPlot("median messages vs n (per backend)", "n", "messages", true, true,
+		backendSeries(data, "_msgs"))
+	return t, nil
+}
+
+// backendSeries builds one plot series per backend from the E17 grid.
+func backendSeries(data []PointData, suffix string) []Series {
+	out := make([]Series, 0, len(e17Backends))
+	for i, b := range e17Backends {
+		s := Series{Name: b.name, Mark: seriesMarks[i%len(seriesMarks)]}
+		for _, pd := range data {
+			v := pd.Median(b.prefix + suffix)
+			if math.IsNaN(v) {
+				continue
+			}
+			s.Xs = append(s.Xs, float64(pd.Point.N))
+			s.Ys = append(s.Ys, v)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// e18Spec renders the round-complexity view of the E17 grid.
+func e18Spec() Spec {
+	return Spec{
+		ID:    "E18",
+		Name:  "backend-rounds",
+		Title: "Backend head-to-head (rounds): GilbertRS18 vs FloodMax vs KPPRT on cliques",
+		Claim: "Round-complexity separation: O(tmix log^2 n) vs Theta(n) vs O(1) decision schedules",
+		Preamble: "The round-complexity view of the E17 trials. FloodMax cannot decide before its horizon (n rounds: without knowing the diameter it must assume the worst); " +
+			"GilbertRS18 needs O(tmix log^2 n) rounds of staged walk phases; KPPRT's referees answer after a constant decision window, so its total round count is flat in n on cliques.",
+		DataFrom: "E17",
+		Render:   renderE18,
+	}
+}
+
+func renderE18(cfg SuiteConfig, data []PointData) (*Table, error) {
+	t := &Table{
+		ID:    "E18",
+		Title: "Backend head-to-head (rounds): GilbertRS18 vs FloodMax vs KPPRT on cliques",
+		Columns: []string{"n", "gilbertrs18 rounds", "floodmax rounds", "kpprt rounds",
+			"gilbert leader round", "kpprt leader round"},
+	}
+	for _, pd := range data {
+		t.AddRow(d(pd.Point.N),
+			d64(int64(pd.Median("g_rounds"))), d64(int64(pd.Median("f_rounds"))),
+			d64(int64(pd.Median("k_rounds"))),
+			d64(int64(pd.Median("g_leader_round"))), d64(int64(pd.Median("k_leader_round"))))
+	}
+	t.AddNote("FloodMax rounds equal its horizon (n). KPPRT's count stays constant: announcements land in one hop on a clique and referees decide at a fixed window. GilbertRS18 grows with its log^2 n schedule despite tmix = O(1) on cliques.")
+	t.Plot = ASCIIPlot("median rounds vs n (per backend)", "n", "rounds", true, true,
+		backendSeries(data, "_rounds"))
+	return t, nil
+}

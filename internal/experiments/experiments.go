@@ -1,9 +1,10 @@
 // Package experiments defines the reproduction suite: one Spec per
-// experiment E1..E16 of DESIGN.md, each regenerating the measurements that
+// experiment E1..E18 of DESIGN.md, each regenerating the measurements that
 // stand in for the paper's quantitative claims (the paper is a theory paper
 // with no empirical tables; every theorem/lemma/corollary with a complexity
 // statement becomes a table here, plus the Figure 1/2 construction checks,
-// the fault-resilience sweep E15, and the engine throughput benchmark E16).
+// the fault-resilience sweep E15, the engine throughput benchmark E16, and
+// the E17/E18 algorithm-backend head-to-head grids over the algo registry).
 //
 // A Spec decomposes an experiment into measurement Points (a graph family
 // and size, a conductance scale, an ablation variant, ...) and independent
@@ -27,11 +28,16 @@ import (
 
 // Table is one experiment's rendered output.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID    string
+	Title string
+	// Preamble, when non-empty, is the narrative paragraph rendered
+	// between the heading and the table: what paper claim the experiment
+	// checks and what asymptotic shape to expect. RenderSuite fills it
+	// from the spec.
+	Preamble string
+	Columns  []string
+	Rows     [][]string
+	Notes    []string
 	// Plot, when non-empty, is an ASCII trend plot rendered as a fenced
 	// code block under the table.
 	Plot string
@@ -49,6 +55,9 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 func (t *Table) Markdown() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Preamble != "" {
+		sb.WriteString(t.Preamble + "\n\n")
+	}
 	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
 	seps := make([]string, len(t.Columns))
 	for i := range seps {
@@ -144,6 +153,9 @@ type Spec struct {
 	Title string
 	// Claim names the paper statement the experiment exercises.
 	Claim string
+	// Preamble is the narrative paragraph rendered ahead of the table:
+	// what claim the experiment checks and the expected asymptotic shape.
+	Preamble string
 
 	// DataFrom, when set, makes this experiment a pure view: it renders
 	// the named experiment's trial data and contributes no trials itself.
@@ -178,12 +190,12 @@ func (s Spec) DataID() string {
 	return s.ID
 }
 
-// All returns every experiment spec in E1..E16 order.
+// All returns every experiment spec in E1..E18 order.
 func All() []Spec {
 	return []Spec{
 		e1Spec(), e2Spec(), e3Spec(), e4Spec(), e5Spec(), e6Spec(), e7Spec(),
 		e8Spec(), e9Spec(), e10Spec(), e11Spec(), e12Spec(), e13Spec(), e14Spec(),
-		e15Spec(), e16Spec(),
+		e15Spec(), e16Spec(), e17Spec(), e18Spec(),
 	}
 }
 

@@ -56,10 +56,12 @@ func e15Elections(cfg SuiteConfig) int {
 // delay, and crash fraction on the rr8 expander.
 func e15Spec() Spec {
 	return Spec{
-		ID:          "E15",
-		Name:        "fault-resilience",
-		Title:       "Fault resilience: leader uniqueness vs drop rate, delay, and crash fraction (rr8)",
-		Claim:       "Robustness beyond Theorem 13's clean synchronous model (cf. Kutten et al.)",
+		ID:    "E15",
+		Name:  "fault-resilience",
+		Title: "Fault resilience: leader uniqueness vs drop rate, delay, and crash fraction (rr8)",
+		Claim: "Robustness beyond Theorem 13's clean synchronous model (cf. Kutten et al.)",
+		Preamble: "Theorem 13 assumes perfect synchronous delivery; this sweep injects seed-deterministic drops, delays, and crashes to measure what actually degrades. " +
+			"Expected shape: safety holds everywhere (multi stays 0 — losing control floods suppresses elections rather than doubling them) while liveness decays with the drop rate; delays should be nearly free because the staged schedule absorbs reordering.",
 		FullTrials:  2,
 		QuickTrials: 1,
 		Points: func(cfg SuiteConfig) []Point {
@@ -153,10 +155,12 @@ const e16Elections = 12
 // 3.3): reruns reproduce the speedup, not the exact numbers.
 func e16Spec() Spec {
 	return Spec{
-		ID:          "E16",
-		Name:        "throughput",
-		Title:       "Bulk-election throughput: sharded MultiRunner vs goroutine-per-node concurrency (rr8)",
-		Claim:       "Engine scalability (ROADMAP hardware-speed goal); no paper claim",
+		ID:    "E16",
+		Name:  "throughput",
+		Title: "Bulk-election throughput: sharded MultiRunner vs goroutine-per-node concurrency (rr8)",
+		Claim: "Engine scalability (ROADMAP hardware-speed goal); no paper claim",
+		Preamble: "An engine benchmark, not a paper claim: bulk independent elections sharded across a worker pool (one sequential engine per shard) versus the goroutine-per-awake-node mode with every election in flight. " +
+			"Expected shape: the sharded path wins by avoiding per-round spawn-and-barrier overhead; the measured speedup is hardware-dependent (wall-clock — the suite's one exception to byte-identical determinism).",
 		FullTrials:  2,
 		QuickTrials: 1,
 		Points: func(cfg SuiteConfig) []Point {

@@ -438,7 +438,12 @@ func RunOne(cfg SuiteConfig, id string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return spec.Render(cfg, data)
+	tab, err := spec.Render(cfg, data)
+	if err != nil {
+		return nil, err
+	}
+	tab.Preamble = spec.Preamble
+	return tab, nil
 }
 
 // elected formats "k successes out of t trials".

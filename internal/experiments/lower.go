@@ -35,10 +35,12 @@ func lbPoints(cfg SuiteConfig) []Point {
 // Lemma 16: conductance Theta(alpha).
 func e8Spec() Spec {
 	return Spec{
-		ID:          "E8",
-		Name:        "lower-bound-graph",
-		Title:       "Lemma 16 / Figures 1-2: the lower-bound graph G(n, alpha) has conductance Theta(alpha)",
-		Claim:       "Lemma 16 and the Figure 1/2 construction",
+		ID:    "E8",
+		Name:  "lower-bound-graph",
+		Title: "Lemma 16 / Figures 1-2: the lower-bound graph G(n, alpha) has conductance Theta(alpha)",
+		Claim: "Lemma 16 and the Figure 1/2 construction",
+		Preamble: "The lower-bound half of the paper builds a clique-of-cliques G(n, alpha) whose conductance is tunable: Lemma 16 claims phi = Theta(alpha). " +
+			"This check instantiates the Figure 1/2 construction across the alpha range, verifies regularity, and measures the conductance two ways (the designed clique cut and a spectral sweep cut); phi/alpha should sit at a modest constant across two orders of magnitude of alpha.",
 		FullTrials:  1,
 		QuickTrials: 1,
 		Points:      lbPoints,
@@ -105,10 +107,12 @@ func renderE8(cfg SuiteConfig, data []PointData) (*Table, error) {
 func e9Spec() Spec {
 	const probesPerTrial = 100
 	return Spec{
-		ID:          "E9",
-		Name:        "inter-clique-discovery",
-		Title:       "Lemma 18: messages before the first inter-clique edge (port probing)",
-		Claim:       "Lemma 18 (Theta(1/alpha) probes to find an inter-clique edge)",
+		ID:    "E9",
+		Name:  "inter-clique-discovery",
+		Title: "Lemma 18: messages before the first inter-clique edge (port probing)",
+		Claim: "Lemma 18 (Theta(1/alpha) probes to find an inter-clique edge)",
+		Preamble: "Why is low conductance expensive? Lemma 18's engine: a node probing random unused ports needs Theta(1/alpha) messages in expectation before it first crosses its clique's boundary. " +
+			"The probe process runs on G(n, alpha) directly; mean probes times alpha should be a constant across the alpha sweep.",
 		FullTrials:  40,
 		QuickTrials: 10,
 		Points:      lbPoints,
@@ -164,10 +168,12 @@ func renderE9(cfg SuiteConfig, data []PointData) (*Table, error) {
 func e10Spec() Spec {
 	const alpha = 1.0 / 196
 	return Spec{
-		ID:          "E10",
-		Name:        "budgeted-election",
-		Title:       "Theorem 15 / Lemmas 19-25: budgeted election on G(n, alpha): CG sparsity, Disj, and failure",
-		Claim:       "Theorem 15 via Lemmas 19-25 (budgeted elections fail)",
+		ID:    "E10",
+		Name:  "budgeted-election",
+		Title: "Theorem 15 / Lemmas 19-25: budgeted election on G(n, alpha): CG sparsity, Disj, and failure",
+		Claim: "Theorem 15 via Lemmas 19-25 (budgeted elections fail)",
+		Preamble: "Theorem 15's argument: an algorithm restricted to o(n/sqrt(phi)) messages leaves the clique-communication graph so sparse that disjoint cliques never hear from each other (the Disj event), and elections fail. " +
+			"The full algorithm runs under hard message budgets scaled in units of 1/alpha; expect CG sparsity and the zero-leader rate to rise as the budget falls, exactly the failure mode the lower bound predicts.",
 		FullTrials:  3,
 		QuickTrials: 2,
 		Points: func(cfg SuiteConfig) []Point {
@@ -228,10 +234,12 @@ func renderE10(cfg SuiteConfig, data []PointData) (*Table, error) {
 // construction need Omega(n/sqrt(phi)) messages on G(n, alpha).
 func e11Spec() Spec {
 	return Spec{
-		ID:          "E11",
-		Name:        "broadcast-spanning-tree",
-		Title:       "Corollaries 26/27: broadcast and spanning tree on G(n, alpha) cost Theta(n/sqrt(phi))",
-		Claim:       "Corollaries 26/27 (broadcast and spanning tree lower bounds)",
+		ID:    "E11",
+		Name:  "broadcast-spanning-tree",
+		Title: "Corollaries 26/27: broadcast and spanning tree on G(n, alpha) cost Theta(n/sqrt(phi))",
+		Claim: "Corollaries 26/27 (broadcast and spanning tree lower bounds)",
+		Preamble: "The lower bound radiates outward: Corollaries 26/27 transfer the Omega(n/sqrt(phi)) message bound to broadcast and spanning-tree construction. " +
+			"BFS flooding and push-pull gossip run on G(n, alpha); their message counts divided by n/sqrt(alpha) should stay bounded below by a constant as alpha falls.",
 		FullTrials:  1,
 		QuickTrials: 1,
 		Points:      lbPoints,
@@ -298,10 +306,12 @@ func renderE11(cfg SuiteConfig, data []PointData) (*Table, error) {
 func e12Spec() Spec {
 	const half = 24
 	return Spec{
-		ID:          "E12",
-		Name:        "dumbbell-knowledge-of-n",
-		Title:       "Theorem 28: the knowledge of n is critical (dumbbell graphs)",
-		Claim:       "Theorem 28 / Observation 31 (knowledge of n)",
+		ID:    "E12",
+		Name:  "dumbbell-knowledge-of-n",
+		Title: "Theorem 28: the knowledge of n is critical (dumbbell graphs)",
+		Claim: "Theorem 28 / Observation 31 (knowledge of n)",
+		Preamble: "Section 5's impossibility: without (approximate) knowledge of n, no sublinear election can be correct. The construction joins two expander halves by two bridges and lies to every node that n equals one half's size; " +
+			"expect both halves to elect their own leader (two leaders network-wide) while the honest-n control elects exactly one — the bridges simply carry too few messages to reveal the other half in time.",
 		FullTrials:  3,
 		QuickTrials: 2,
 		Points: func(cfg SuiteConfig) []Point {

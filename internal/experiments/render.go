@@ -229,6 +229,7 @@ func RenderSuite(w io.Writer, cfg SuiteConfig, ids []string, res *Results, revis
 		if err != nil {
 			return fmt.Errorf("experiments: render %s: %w", s.ID, err)
 		}
+		tab.Preamble = s.Preamble
 		if _, err := io.WriteString(w, tab.Markdown()); err != nil {
 			return err
 		}

@@ -213,10 +213,12 @@ func fitExponent(data []PointData, family string, y func(PointData) float64) (fl
 // bound. E2/E5/E13 are views over the same data.
 func e1Spec() Spec {
 	return Spec{
-		ID:          "E1",
-		Name:        "message-scaling",
-		Title:       "Theorem 13 (messages): CONGEST messages vs sqrt(n) ln^{7/2} n * tmix",
-		Claim:       "Theorem 13 (message complexity O(sqrt(n) log^{7/2} n * tmix))",
+		ID:    "E1",
+		Name:  "message-scaling",
+		Title: "Theorem 13 (messages): CONGEST messages vs sqrt(n) ln^{7/2} n * tmix",
+		Claim: "Theorem 13 (message complexity O(sqrt(n) log^{7/2} n * tmix))",
+		Preamble: "The headline upper bound. Theorem 13 says the algorithm elects with O(sqrt(n) log^{7/2} n * tmix) messages — sublinear in the edge count m on well-connected graphs. " +
+			"This grid runs the full algorithm across four families whose mixing times grow differently (cliques and hypercubes mix in O(log n)-ish time, tori in Theta(n)); the msgs/ref column divides the measured count by the theorem's reference, so a bounded (non-growing) ratio within a family is the claimed shape, and the fitted per-family exponent of the normalized series should stay at or below the theorem's 0.5.",
 		FullTrials:  3,
 		QuickTrials: 1,
 		Points:      gridPoints,
@@ -263,10 +265,12 @@ func renderE1(cfg SuiteConfig, data []PointData) (*Table, error) {
 // e2Spec renders Theorem 13's time bound from the E1 grid.
 func e2Spec() Spec {
 	return Spec{
-		ID:       "E2",
-		Name:     "time-scaling",
-		Title:    "Theorem 13 (time): rounds to election vs tmix ln^2 n",
-		Claim:    "Theorem 13 (round complexity O(tmix log^2 n))",
+		ID:    "E2",
+		Name:  "time-scaling",
+		Title: "Theorem 13 (time): rounds to election vs tmix ln^2 n",
+		Claim: "Theorem 13 (round complexity O(tmix log^2 n))",
+		Preamble: "The time half of Theorem 13: a leader emerges within O(tmix log^2 n) rounds. A view over the E1 grid's trials — no elections of its own — " +
+			"dividing the measured leader round by tmix ln^2 n; a bounded ratio per family is the claim, with step jumps of up to 2x expected because guess-and-double quantizes the stopping phase.",
 		DataFrom: "E1",
 		Render:   renderE2,
 	}
@@ -293,10 +297,12 @@ func renderE2(cfg SuiteConfig, data []PointData) (*Table, error) {
 // e5Spec renders the guess-and-double walk lengths from the E1 grid.
 func e5Spec() Spec {
 	return Spec{
-		ID:       "E5",
-		Name:     "guess-and-double",
-		Title:    "Lemmas 3/6: final guess-and-double walk length vs measured tmix",
-		Claim:    "Lemmas 3/6 (guess-and-double settles at Theta(tmix))",
+		ID:    "E5",
+		Name:  "guess-and-double",
+		Title: "Lemmas 3/6: final guess-and-double walk length vs measured tmix",
+		Claim: "Lemmas 3/6 (guess-and-double settles at Theta(tmix))",
+		Preamble: "The paper's central trick is electing without knowing tmix: contenders double a walk-length guess until the stopping properties hold, and Lemmas 3/6 promise they settle at Theta(tmix). " +
+			"Another view over the E1 grid: the final guess tu, divided by the independently measured tmix, should be a bounded constant (at most 2x overshoot by doubling) across families whose tmix differs by orders of magnitude.",
 		DataFrom: "E1",
 		Render:   renderE5,
 	}
@@ -329,10 +335,12 @@ func renderE5(cfg SuiteConfig, data []PointData) (*Table, error) {
 // (the baseline runs ride along on the grid's rr8 trials).
 func e13Spec() Spec {
 	return Spec{
-		ID:       "E13",
-		Name:     "known-tmix-baseline",
-		Title:    "Known-tmix baseline [25] vs guess-and-double (price of not knowing tmix)",
-		Claim:    "Kutten et al. [25] comparison (the assumption the paper removes)",
+		ID:    "E13",
+		Name:  "known-tmix-baseline",
+		Title: "Known-tmix baseline [25] vs guess-and-double (price of not knowing tmix)",
+		Claim: "Kutten et al. [25] comparison (the assumption the paper removes)",
+		Preamble: "Kutten et al. [25] elect with similar complexity but assume every node knows tmix; the paper removes that assumption, paying (in the worst case) a constant factor. " +
+			"The E1 expander trials carry a paired baseline run with the walk length fixed at 2*tmix; the message ratio measures the actual price of not knowing tmix — expected O(1), and in practice below 1 because adaptive stopping quits before full mixing.",
 		DataFrom: "E1",
 		Render:   renderE13,
 	}
@@ -362,10 +370,12 @@ func renderE13(cfg SuiteConfig, data []PointData) (*Table, error) {
 // e6Spec compares the two message-size regimes of Lemma 12.
 func e6Spec() Spec {
 	return Spec{
-		ID:          "E6",
-		Name:        "message-modes",
-		Title:       "Lemma 12: CONGEST (O(log n)-bit) vs large (O(log^3 n)-bit) message mode",
-		Claim:       "Lemma 12 (large-message mode trades message count for size)",
+		ID:    "E6",
+		Name:  "message-modes",
+		Title: "Lemma 12: CONGEST (O(log n)-bit) vs large (O(log^3 n)-bit) message mode",
+		Claim: "Lemma 12 (large-message mode trades message count for size)",
+		Preamble: "Lemma 12 offers a trade: allow O(log^3 n)-bit messages and the message count drops by a log^2 n factor, because whole id sets travel in one message instead of O(log n)-bit chunks. " +
+			"Both modes run on identical expander elections with identical seeds; expect the message ratio to grow with n (toward log^2 n) while the bit totals stay comparable.",
 		FullTrials:  2,
 		QuickTrials: 1,
 		Points: func(cfg SuiteConfig) []Point {

@@ -1,0 +1,18 @@
+// Package lowerbound instruments the paper's Section 4 and 5 lower-bound
+// arguments so they can be measured empirically rather than only proved:
+//
+//   - a clique-communication-graph (CG) tracker that classifies every
+//     message of a run on the Section 4.1 graph as intra- or inter-clique,
+//     records per-clique message counts before the first inter-clique edge
+//     is discovered (Lemma 18), builds the CG, identifies spontaneous
+//     cliques, and checks the Disj event (Lemma 20);
+//   - the port-probing process underlying Lemma 18 (messages over
+//     uniformly random unused ports until an inter-clique port is hit);
+//   - a bridge tracker for the Theorem 28 dumbbell experiments, counting
+//     the traffic that crosses the two bridges joining the halves.
+//
+// The trackers are sim.Observer implementations: they watch a real run of
+// any algorithm and report the quantities the lower-bound proofs reason
+// about, which is how experiments E9-E12 turn impossibility arguments
+// into tables.
+package lowerbound

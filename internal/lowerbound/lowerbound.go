@@ -1,14 +1,3 @@
-// Package lowerbound instruments the paper's Section 4 and 5 lower-bound
-// arguments so they can be measured empirically:
-//
-//   - a clique-communication-graph (CG) tracker that classifies every
-//     message of a run on the Section 4.1 graph as intra- or inter-clique,
-//     records per-clique message counts before the first inter-clique edge
-//     is discovered (Lemma 18), builds the CG, identifies spontaneous
-//     cliques, and checks the Disj event (Lemma 20);
-//   - the port-probing process underlying Lemma 18 (messages over uniformly
-//     random unused ports until an inter-clique port is hit);
-//   - a bridge tracker for the Theorem 28 dumbbell experiments.
 package lowerbound
 
 import (

@@ -1,9 +1,3 @@
-// Package protocol provides the message-level plumbing shared by the
-// election algorithm and the baselines: CONGEST bit-size accounting, the
-// walk/exchange/control message types, a per-port outbox that merges and
-// chunks messages exactly as the paper's Lemma 12 prescribes (one token plus
-// a count instead of many tokens; id sets split into O(log n)-bit pieces;
-// duplicate filtering), and the lazy-random-walk token splitting logic.
 package protocol
 
 import (

@@ -1,6 +1,8 @@
 // Package serve is the election service layer behind cmd/electd: a
 // long-running HTTP/JSON daemon that serves batch leader elections on top
-// of core.RunMany's sharded engine.
+// of the algo backend registry and its sharded batch engine
+// (algo.RunMany), so one daemon compares every registered protocol —
+// gilbertrs18, floodmax, kpprt — under identical seeds and graphs.
 //
 // It has three parts:
 //
@@ -14,13 +16,14 @@
 //     predict a run's cost before paying for it.
 //
 //   - Scheduler: bounded-queue batch submission. POST /v1/elections
-//     enqueues a job of points (graph x trials x fault plane x resend);
-//     each point runs as one core.RunMany batch across the MultiRunner
-//     worker pool with seeds derived from the job's master seed via
-//     experiments.SeedForKey, so a job's "result" object is a
-//     deterministic, byte-identical function of (registered graphs,
-//     request). A full queue rejects with 429 (backpressure); wall-clock
-//     observations are fenced into a separate "timing" object.
+//     enqueues a job of points (graph x trials x algorithm x fault plane
+//     x resend); each point runs as one algo.RunMany batch of its chosen
+//     backend across the MultiRunner worker pool with seeds derived from
+//     the job's master seed via experiments.SeedForKey, so a job's
+//     "result" object is a deterministic, byte-identical function of
+//     (registered graphs, request). A full queue rejects with 429
+//     (backpressure); wall-clock observations are fenced into a separate
+//     "timing" object.
 //
 //   - Ops surface: GET /healthz, GET /metrics (Prometheus text:
 //     elections served, queue depth, spectral cache hit rate, p50/p99 job

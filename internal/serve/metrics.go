@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,12 +25,43 @@ type Metrics struct {
 	// ElectionsServed counts completed election trials across all jobs.
 	ElectionsServed atomic.Int64
 
+	// electionsByAlgo counts completed election trials per backend (the
+	// algo registry names). Bounded by the registry size.
+	algoMu          sync.Mutex
+	electionsByAlgo map[string]int64
+
 	// latencyWindow keeps the most recent job wall-clock latencies
 	// (seconds) for quantile estimation; bounded so /metrics stays O(1)
 	// memory however long the daemon runs.
 	latMu     sync.Mutex
 	latencies []float64
 	latNext   int
+}
+
+// AddAlgoElections records n completed election trials for one backend.
+func (m *Metrics) AddAlgoElections(name string, n int64) {
+	m.algoMu.Lock()
+	defer m.algoMu.Unlock()
+	if m.electionsByAlgo == nil {
+		m.electionsByAlgo = make(map[string]int64)
+	}
+	m.electionsByAlgo[name] += n
+}
+
+// algoElections snapshots the per-backend counters in sorted name order.
+func (m *Metrics) algoElections() ([]string, []int64) {
+	m.algoMu.Lock()
+	defer m.algoMu.Unlock()
+	names := make([]string, 0, len(m.electionsByAlgo))
+	for name := range m.electionsByAlgo {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counts := make([]int64, len(names))
+	for i, name := range names {
+		counts[i] = m.electionsByAlgo[name]
+	}
+	return names, counts
 }
 
 // latencyWindowSize bounds the latency sample.
@@ -89,6 +121,10 @@ func (m *Metrics) WriteProm(w io.Writer, reg *Registry, queueDepth, queueCap, ru
 	fmt.Fprintf(w, "electd_jobs_done_total %d\n", m.JobsDone.Load())
 	fmt.Fprintf(w, "electd_jobs_failed_total %d\n", m.JobsFailed.Load())
 	fmt.Fprintf(w, "electd_elections_served_total %d\n", m.ElectionsServed.Load())
+	names, counts := m.algoElections()
+	for i, name := range names {
+		fmt.Fprintf(w, "electd_elections_by_algorithm_total{algorithm=%q} %d\n", name, counts[i])
+	}
 	fmt.Fprintf(w, "electd_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "electd_queue_capacity %d\n", queueCap)
 	fmt.Fprintf(w, "electd_jobs_running %d\n", running)

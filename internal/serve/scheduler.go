@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wcle/internal/algo"
 	"wcle/internal/core"
 	"wcle/internal/experiments"
 	"wcle/internal/sim"
@@ -77,7 +78,8 @@ func (j *Job) State() string {
 // Scheduler runs submitted jobs on a fixed worker pool behind a bounded
 // queue. Submissions beyond the queue capacity are rejected immediately
 // (backpressure) rather than buffered without bound; each accepted job's
-// elections are sharded across core.RunMany's MultiRunner pool with seeds
+// elections run through the algo backend registry (per-point "algorithm"
+// field) and are sharded across algo.RunMany's MultiRunner pool with seeds
 // derived from the job's master seed via the experiments contract, so a
 // job's result is a deterministic function of (registry, request).
 type Scheduler struct {
@@ -304,8 +306,14 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 		cfg := core.DefaultConfig()
 		cfg.Resend = p.Resend
 		cfg.AssumedN = p.AssumedN
-		opts := core.BatchOptions{
-			Base:          core.RunOptions{Seed: baseSeed, LeanMetrics: true},
+		algName := algo.Resolve(p.Algorithm)
+		backend, err := algo.New(algName, algo.Config{Core: cfg})
+		if err != nil {
+			// Validated at submission; the registry never unregisters.
+			return nil, fmt.Errorf("serve: point %d: %w", i, err)
+		}
+		opts := algo.BatchOptions{
+			Base:          algo.Options{Seed: baseSeed, LeanMetrics: true},
 			Trials:        p.Trials,
 			Workers:       s.electionWorkers,
 			CollectTrials: true,
@@ -314,13 +322,15 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 			fault := p.Fault
 			opts.NewFault = func(int) sim.FaultPlane { return fault.Plane() }
 		}
-		batch, err := core.RunMany(reg.Graph, cfg, opts)
+		batch, err := algo.RunMany(reg.Graph, backend, opts)
 		if err != nil {
-			return nil, fmt.Errorf("serve: point %d (%s): %w", i, p.Graph, err)
+			return nil, fmt.Errorf("serve: point %d (%s, %s): %w", i, p.Graph, algName, err)
 		}
 		s.met.ElectionsServed.Add(int64(p.Trials))
+		s.met.AddAlgoElections(algName, int64(p.Trials))
 		pr := PointResult{
 			Graph:        p.Graph,
+			Algorithm:    algName,
 			Trials:       p.Trials,
 			Seed:         baseSeed,
 			One:          batch.One,
@@ -345,7 +355,7 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 }
 
 // trialSummaries aggregates the per-trial vectors of a collected batch.
-func trialSummaries(b *core.BatchResult) map[string]AggWire {
+func trialSummaries(b *algo.BatchResult) map[string]AggWire {
 	series := map[string][]float64{
 		"rounds":     int32Floats(b.TrialRounds),
 		"messages":   int64Floats(b.TrialMessages),

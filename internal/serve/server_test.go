@@ -214,6 +214,88 @@ func TestDeterministicResults(t *testing.T) {
 	}
 }
 
+// TestAlgorithmBackends exercises the per-point "algorithm" field: one job
+// runs all three registered backends on the same clique, every point must
+// elect a unique leader, echo its resolved backend, and show up in the
+// per-backend /metrics counters. Naming the default explicitly must
+// replay the exact same point as omitting it (the seed-key contract).
+func TestAlgorithmBackends(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Graphs: map[string]GraphSpec{"k32": {Family: "clique", N: 32}},
+	})
+	base := ts.URL
+
+	run := func(req SubmitRequest) []PointResult {
+		t.Helper()
+		var sub SubmitResponse
+		code, raw := doJSON(t, "POST", base+"/v1/elections", req, &sub)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", code, raw)
+		}
+		st := waitForJob(t, base, sub.ID)
+		if st.State != StateDone {
+			t.Fatalf("job failed: %+v", st)
+		}
+		return st.Result.Points
+	}
+
+	pts := run(SubmitRequest{Seed: 11, Points: []PointSpec{
+		{Graph: "k32", Trials: 4},
+		{Graph: "k32", Trials: 4, Algorithm: "floodmax"},
+		{Graph: "k32", Trials: 4, Algorithm: "kpprt"},
+	}})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	wantAlgo := []string{"gilbertrs18", "floodmax", "kpprt"}
+	for i, pt := range pts {
+		if pt.Algorithm != wantAlgo[i] {
+			t.Fatalf("point %d: algorithm %q, want %q", i, pt.Algorithm, wantAlgo[i])
+		}
+		// Safety is absolute for every backend; the zero-leader tail is
+		// the gilbertrs18 algorithm's documented w.h.p. slack (Lemma 11).
+		if pt.Multi != 0 || pt.One < 3 {
+			t.Fatalf("point %d (%s): outcomes %+v", i, pt.Algorithm, pt)
+		}
+		if pt.Algorithm != "gilbertrs18" && !pt.UniqueLeader {
+			t.Fatalf("point %d (%s): no unique leader: %+v", i, pt.Algorithm, pt)
+		}
+		if pt.Messages <= 0 {
+			t.Fatalf("point %d (%s): empty totals: %+v", i, pt.Algorithm, pt)
+		}
+	}
+	// FloodMax on a clique must pay Omega(m) while kpprt stays sublinear.
+	if pts[1].Messages <= pts[2].Messages {
+		t.Fatalf("floodmax (%d msgs) should dwarf kpprt (%d msgs)", pts[1].Messages, pts[2].Messages)
+	}
+
+	// Omitting the algorithm and naming the default explicitly must be
+	// the same point: identical seed key, identical result bytes.
+	implicit := run(SubmitRequest{Seed: 23, Points: []PointSpec{{Graph: "k32", Trials: 4}}})
+	explicit := run(SubmitRequest{Seed: 23, Points: []PointSpec{
+		{Graph: "k32", Trials: 4, Algorithm: "gilbertrs18"}}})
+	b0, _ := json.Marshal(implicit[0])
+	b1, _ := json.Marshal(explicit[0])
+	if !bytes.Equal(b0, b1) {
+		t.Fatalf("default-algorithm points diverged:\n%s\n%s", b0, b1)
+	}
+
+	for algoName, want := range map[string]float64{"gilbertrs18": 12, "floodmax": 4, "kpprt": 4} {
+		metric := fmt.Sprintf("electd_elections_by_algorithm_total{algorithm=%q}", algoName)
+		if v := promValue(t, base, metric); v != want {
+			t.Fatalf("%s = %v, want %v", metric, v, want)
+		}
+	}
+
+	// Unknown backends are client errors at submission, not queued work.
+	code, raw := doJSON(t, "POST", base+"/v1/elections", SubmitRequest{
+		Seed: 1, Points: []PointSpec{{Graph: "k32", Trials: 1, Algorithm: "paxos"}},
+	}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(string(raw), "unknown algorithm") {
+		t.Fatalf("unknown algorithm: %d %s", code, raw)
+	}
+}
+
 // TestBackpressure fills the bounded queue and requires 429 with
 // Retry-After. The worker is held on the first job by the test hook, so
 // queue occupancy is deterministic, not a race.

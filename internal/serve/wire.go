@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"wcle/internal/algo"
 	"wcle/internal/graph"
 	"wcle/internal/sim"
 	"wcle/internal/spectral"
@@ -190,9 +191,15 @@ type PointSpec struct {
 	Graph string `json:"graph"`
 	// Trials is the number of independent elections.
 	Trials int `json:"trials"`
-	// Resend retransmits idempotent protocol messages (core.Config.Resend).
+	// Algorithm names the election backend from the algo registry
+	// (gilbertrs18, floodmax, kpprt, ...). Empty means the default
+	// (gilbertrs18); validated at submission.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Resend retransmits idempotent protocol messages (core.Config.Resend;
+	// gilbertrs18 only, other backends ignore it).
 	Resend int `json:"resend,omitempty"`
-	// AssumedN overrides every node's belief of n (the Section 5 knob).
+	// AssumedN overrides every node's belief of n (the Section 5 knob;
+	// gilbertrs18 only).
 	AssumedN int `json:"assumed_n,omitempty"`
 	// Fault is the per-trial delivery-plane adversary.
 	Fault FaultSpec `json:"fault,omitempty"`
@@ -200,11 +207,18 @@ type PointSpec struct {
 
 // Key is the point's stable identity inside its job: the seed-derivation
 // key, so a point's trials replay identically wherever the point sits in
-// the request and whatever the worker count.
+// the request and whatever the worker count. The algorithm name enters
+// the key only when it differs from the default, so requests predating
+// the backend registry (and requests naming the default explicitly)
+// replay the exact seeds they always had.
 func (p PointSpec) Key() string {
-	return fmt.Sprintf("%s|t%d|r%d|a%d|f%.6g:%d:%.6g:%d",
+	key := fmt.Sprintf("%s|t%d|r%d|a%d|f%.6g:%d:%.6g:%d",
 		p.Graph, p.Trials, p.Resend, p.AssumedN,
 		p.Fault.Drop, p.Fault.DelayMax, p.Fault.CrashFrac, p.Fault.CrashRound)
+	if alg := algo.Resolve(p.Algorithm); alg != algo.DefaultName {
+		key += "|" + alg
+	}
+	return key
 }
 
 // SubmitRequest is the body of POST /v1/elections.
@@ -233,6 +247,9 @@ func (r SubmitRequest) Validate(reg *Registry) error {
 		}
 		if p.Trials <= 0 || p.Trials > MaxTrialsPerPoint {
 			return fmt.Errorf("serve: point %d: trials %d out of [1,%d]", i, p.Trials, MaxTrialsPerPoint)
+		}
+		if p.Algorithm != "" && !algo.Known(p.Algorithm) {
+			return fmt.Errorf("serve: point %d: unknown algorithm %q (known: %v)", i, p.Algorithm, algo.Names())
 		}
 		if p.Resend < 0 || p.AssumedN < 0 {
 			return fmt.Errorf("serve: point %d: negative knob", i)
@@ -270,8 +287,10 @@ func aggWire(a stats.Agg) AggWire {
 
 // PointResult is one point's deterministic outcome.
 type PointResult struct {
-	Graph  string `json:"graph"`
-	Trials int    `json:"trials"`
+	Graph string `json:"graph"`
+	// Algorithm is the resolved backend that ran the point.
+	Algorithm string `json:"algorithm"`
+	Trials    int    `json:"trials"`
 	// Seed is the point's derived base seed (trial i runs at
 	// sim.DeriveSeed(Seed, i)), reported so any point is replayable in
 	// isolation.

@@ -1,0 +1,18 @@
+// Package trace provides the opt-in observers of a simulation run — the
+// debugging and reporting instruments that stay out of the engine's hot
+// path until a caller attaches them:
+//
+//   - Recorder, a bounded event recorder of accepted sends (round,
+//     endpoints, kind, bits) for post-mortem inspection;
+//   - RoundCounter, a per-round message counter used to split a run's
+//     cost into its schedule stages;
+//   - KindCounter, the per-kind tally that replaces the engine's
+//     Metrics.ByKind accounting when sim.Config.LeanMetrics removes it
+//     from the send path;
+//   - FaultLog, the fault-event counterpart (drops, delays, crashes)
+//     fed by sim.Config.FaultObserver;
+//   - Multi, an observer multiplexer for attaching several at once.
+//
+// Observers see sends the fault plane later loses — the sender paid for
+// them, and message complexity counts them.
+package trace

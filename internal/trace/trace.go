@@ -1,6 +1,3 @@
-// Package trace provides observers for debugging and reporting: a bounded
-// event recorder and a per-round message counter (used, e.g., to split a
-// run's cost into its stages).
 package trace
 
 import (

@@ -2,8 +2,10 @@
 # End-to-end smoke of the electd daemon, as run by the CI smoke job:
 # build it, start it on an ephemeral port, register a clique, submit a
 # small election batch over HTTP, require a unique leader in every trial,
-# require a spectral-cache hit on a second job, and exercise graceful
-# SIGTERM shutdown. Needs only bash, curl, and grep.
+# require a spectral-cache hit on a second job, exercise the per-point
+# "algorithm" field against the floodmax and kpprt backends (plus the
+# per-backend /metrics counters), and exercise graceful SIGTERM shutdown.
+# Needs only bash, curl, and grep.
 set -euo pipefail
 
 workdir="$(mktemp -d)"
@@ -95,6 +97,33 @@ echo "$metrics" | grep -q '^electd_spectral_computes_total 1$' \
 hits="$(echo "$metrics" | grep '^electd_spectral_cache_hits_total' | awk '{print $2}')"
 [ "$hits" -ge 1 ] || fail "no cache hit observed: $metrics"
 echo "smoke: cache hits=$hits computes=1"
+
+echo "smoke: algorithm backends (floodmax, kpprt) via the per-point field"
+submit_algo() { # submit_algo <algorithm>
+  curl -fsS -X POST "$base/v1/elections" \
+    -d "{\"seed\":7,\"points\":[{\"graph\":\"k32\",\"trials\":6,\"algorithm\":\"$1\"}]}"
+}
+for alg in floodmax kpprt; do
+  resp="$(submit_algo "$alg")" || fail "$alg submission"
+  status="$(wait_done "$(json_field "$resp" id)")"
+  echo "$status" | tr -d ' \n' | grep -q '"unique_leader":true' \
+    || fail "$alg: no unique leader: $status"
+  echo "$status" | tr -d ' \n' | grep -q "\"algorithm\":\"$alg\"" \
+    || fail "$alg: result does not echo the backend: $status"
+  echo "smoke: $alg elected a unique leader in all 6 trials"
+done
+
+echo "smoke: unknown algorithms are rejected at submission"
+code="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$base/v1/elections" \
+  -d '{"seed":1,"points":[{"graph":"k32","trials":1,"algorithm":"paxos"}]}')"
+[ "$code" = "400" ] || fail "unknown algorithm got HTTP $code, want 400"
+
+metrics="$(curl -fsS "$base/metrics")"
+for alg in gilbertrs18 floodmax kpprt; do
+  echo "$metrics" | grep -q "^electd_elections_by_algorithm_total{algorithm=\"$alg\"}" \
+    || fail "no per-backend counter for $alg: $(echo "$metrics" | grep electd_elections)"
+done
+echo "smoke: per-backend election counters present"
 
 echo "smoke: graceful SIGTERM shutdown"
 kill -TERM "$pid"

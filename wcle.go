@@ -3,6 +3,7 @@ package wcle
 import (
 	"math/rand"
 
+	"wcle/internal/algo"
 	"wcle/internal/baseline"
 	"wcle/internal/broadcast"
 	"wcle/internal/core"
@@ -56,6 +57,22 @@ type (
 	BatchOptions = core.BatchOptions
 	// BatchResult aggregates an ElectMany batch.
 	BatchResult = core.BatchResult
+
+	// Algorithm is a pluggable election backend (see internal/algo): the
+	// registry ships gilbertrs18 (the paper), floodmax (the Omega(m)
+	// baseline), and kpprt (the sublinear candidate-sampling election of
+	// Kutten et al.).
+	Algorithm = algo.Algorithm
+	// AlgorithmConfig is the union of the backends' constructor knobs.
+	AlgorithmConfig = algo.Config
+	// AlgorithmOptions are the backend-independent per-run knobs.
+	AlgorithmOptions = algo.Options
+	// AlgorithmOutcome is the backend-independent election summary.
+	AlgorithmOutcome = algo.Outcome
+	// AlgorithmBatchOptions parameterizes ElectManyWith.
+	AlgorithmBatchOptions = algo.BatchOptions
+	// AlgorithmBatchResult aggregates an ElectManyWith batch.
+	AlgorithmBatchResult = algo.BatchResult
 
 	// GraphSpec names a graph family + parameters (or an explicit edge
 	// list) for the service layer's registry.
@@ -112,13 +129,61 @@ func Profile(g *Graph, opts SpectralOptions) (*SpectralProfile, error) {
 // natural log, CONGEST messages).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// Elect runs the paper's implicit leader-election algorithm on g.
+// Algorithms lists the registered election backends (sorted).
+func Algorithms() []string { return algo.Names() }
+
+// DefaultAlgorithm is the backend Elect runs: the paper's algorithm.
+func DefaultAlgorithm() string { return algo.DefaultName }
+
+// Elect runs the paper's implicit leader-election algorithm on g — the
+// default backend of the algo registry; ElectWith selects the others.
 func Elect(g *Graph, cfg Config, opts Options) (*Result, error) {
-	return core.Run(g, cfg, opts)
+	a, err := algo.New(algo.GilbertRS18, algo.Config{Core: cfg})
+	if err != nil {
+		return nil, err
+	}
+	out, err := a.Run(g, algo.Options{
+		Seed:          opts.Seed,
+		Budget:        opts.Budget,
+		MaxRounds:     opts.MaxRounds,
+		Concurrent:    opts.Concurrent,
+		LeanMetrics:   opts.LeanMetrics,
+		DebugFrom:     opts.DebugFrom,
+		Observer:      opts.Observer,
+		Fault:         opts.Fault,
+		FaultObserver: opts.FaultObserver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.Detail.(*core.Result), nil
+}
+
+// ElectWith runs one election of the named backend ("" = the default) on
+// g. All three shipped backends — gilbertrs18, floodmax, kpprt — accept
+// the same backend-independent options (seed, budget, fault plane).
+func ElectWith(algorithm string, g *Graph, cfg AlgorithmConfig, opts AlgorithmOptions) (*AlgorithmOutcome, error) {
+	a, err := algo.New(algorithm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(g, opts)
+}
+
+// ElectManyWith runs many independent elections of the named backend on g
+// across a sharded worker pool, with the same seed-derivation contract as
+// ElectMany.
+func ElectManyWith(algorithm string, g *Graph, cfg AlgorithmConfig, opts AlgorithmBatchOptions) (*AlgorithmBatchResult, error) {
+	a, err := algo.New(algorithm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return algo.RunMany(g, a, opts)
 }
 
 // FloodMax runs the Omega(m)-message flooding baseline (explicit election).
-// horizon 0 means n rounds.
+// horizon 0 means n rounds. ElectWith("floodmax", ...) is the registry
+// route to the same algorithm with the full option set.
 func FloodMax(g *Graph, seed int64, horizon int) (*FloodMaxResult, error) {
 	return baseline.FloodMax(g, seed, horizon)
 }
@@ -203,7 +268,7 @@ func NewDumbbellCliques(half int, seed int64) (*DumbbellGraph, error) {
 	return graph.NewDumbbellCliques(half, rand.New(rand.NewSource(seed)))
 }
 
-// RunExperiment executes one of the reproduction experiments (E1..E14; see
+// RunExperiment executes one of the reproduction experiments (E1..E18; see
 // DESIGN.md) on the parallel harness and returns its table. quick shrinks
 // sizes for smoke runs.
 func RunExperiment(id string, seed int64, quick bool) (*Table, error) {

@@ -127,7 +127,7 @@ func TestPublicBaselines(t *testing.T) {
 
 func TestPublicExperiments(t *testing.T) {
 	ids := wcle.ExperimentIDs()
-	if len(ids) != 16 {
+	if len(ids) != 18 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	tab, err := wcle.RunExperiment("E3", 1, true)
@@ -176,5 +176,60 @@ func TestElectManyDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if a.ElectionsPerSec <= 0 || len(a.Shards) == 0 {
 		t.Fatalf("throughput/shard stats missing: %+v", a)
+	}
+}
+
+// TestElectWithBackends drives every registered backend through the
+// facade on one clique and cross-checks that Elect (the default route)
+// matches ElectWith("gilbertrs18") exactly.
+func TestElectWithBackends(t *testing.T) {
+	g, err := wcle.NewClique(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := wcle.Algorithms()
+	if len(algos) < 3 {
+		t.Fatalf("registered backends = %v, want at least 3", algos)
+	}
+	for _, name := range algos {
+		out, err := wcle.ElectWith(name, g, wcle.AlgorithmConfig{}, wcle.AlgorithmOptions{Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Algorithm != name || len(out.Leaders) > 1 {
+			t.Fatalf("%s: outcome %+v", name, out)
+		}
+	}
+	res, err := wcle.Elect(g, wcle.DefaultConfig(), wcle.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := wcle.ElectWith(wcle.DefaultAlgorithm(), g, wcle.AlgorithmConfig{}, wcle.AlgorithmOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Leaders) != len(out.Leaders) || res.Metrics.Messages != out.Metrics.Messages {
+		t.Fatalf("Elect and ElectWith(default) diverged: %+v vs %+v", res, out)
+	}
+	if _, err := wcle.ElectWith("paxos", g, wcle.AlgorithmConfig{}, wcle.AlgorithmOptions{Seed: 1}); err == nil {
+		t.Fatal("unknown backend must error")
+	}
+}
+
+// TestElectManyWithBackends runs a floodmax batch through the facade's
+// generic batch path.
+func TestElectManyWithBackends(t *testing.T) {
+	g, err := wcle.NewClique(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wcle.ElectManyWith("floodmax", g, wcle.AlgorithmConfig{}, wcle.AlgorithmBatchOptions{
+		Base: wcle.AlgorithmOptions{Seed: 5}, Trials: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "floodmax" || res.One != 5 {
+		t.Fatalf("floodmax batch: %+v", res)
 	}
 }
