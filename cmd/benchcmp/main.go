@@ -70,6 +70,7 @@ func run() error {
 		benchPath    = flag.String("bench", "-", "go test -bench output to check (\"-\" = stdin)")
 		nsTol        = flag.Float64("ns-tol", 0.25, "relative ns/op regression tolerance (0.25 = +25%)")
 		allocsTol    = flag.Float64("allocs-tol", 0.01, "relative allocs/op regression tolerance (default 1%: benchtime=1x runs jitter by a handful of allocs; real hot-path regressions are orders of magnitude larger)")
+		tolerance    = flag.Float64("tolerance", 0.01, "alias for -allocs-tol, the gate's tight margin; takes precedence when set explicitly")
 		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the run (partial -bench filters)")
 		writePath    = flag.String("write", "", "re-baseline: write this JSON from the run instead of comparing")
 		revision     = flag.String("revision", "unknown", "revision stamp for -write")
@@ -77,6 +78,11 @@ func run() error {
 		seedSuite    = flag.Int64("seed", 42, "suite seed stamp for -write")
 	)
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tolerance" {
+			*allocsTol = *tolerance
+		}
+	})
 
 	in := os.Stdin
 	if *benchPath != "-" {
@@ -108,10 +114,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	report, regressions := compare(base, run, *nsTol, *allocsTol, *allowMissing)
+	report, regressions, worst := compare(base, run, *nsTol, *allocsTol, *allowMissing)
 	fmt.Print(report)
 	if regressions > 0 {
-		return fmt.Errorf("%d regression(s) against %s (re-baseline with -write if intentional; see README)", regressions, *baselinePath)
+		// Name the measured margin, not just the verdict: a gate tripped
+		// by +1.2% against a 1% tolerance reads very differently from one
+		// tripped by +300% — or by a benchmark that never ran at all.
+		msg := fmt.Sprintf("%d regression(s) against %s — worst ns/op %+.1f%% (tolerance +%.0f%%), worst allocs/op %+.1f%% (tolerance +%.1f%%)",
+			regressions, *baselinePath, worst.ns*100, *nsTol*100, worst.allocs*100, *allocsTol*100)
+		if worst.missing > 0 {
+			msg += fmt.Sprintf(", %d baseline benchmark(s) missing from the run", worst.missing)
+		}
+		return fmt.Errorf("%s; re-baseline with -write if intentional, see README", msg)
 	}
 	fmt.Printf("benchcmp: ok — %d benchmarks within tolerance (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
 		len(base.Entries), *nsTol*100, *allocsTol*100)
@@ -238,15 +252,24 @@ func loadBaseline(path string) (*Baseline, error) {
 	return out, nil
 }
 
-// compare checks the run against the baseline and returns a human report
-// plus the number of gating regressions.
-func compare(base *Baseline, run *Run, nsTol, allocsTol float64, allowMissing bool) (string, int) {
+// worstDeltas tracks the largest measured regressions (and structural
+// failures with no delta to measure), for the failure message.
+type worstDeltas struct {
+	ns      float64
+	allocs  float64
+	missing int // baseline benchmarks absent from the run
+}
+
+// compare checks the run against the baseline and returns a human report,
+// the number of gating regressions, and the worst measured deltas.
+func compare(base *Baseline, run *Run, nsTol, allocsTol float64, allowMissing bool) (string, int, worstDeltas) {
 	current := make(map[string]Entry, len(run.Entries))
 	for _, e := range run.Entries {
 		current[e.Name] = e
 	}
 	var sb strings.Builder
 	regressions := 0
+	var worst worstDeltas
 	fmt.Fprintf(&sb, "benchcmp: baseline rev %s, %d benchmarks\n", base.Revision, len(base.Entries))
 	for _, b := range base.Entries {
 		cur, ok := current[b.Name]
@@ -256,6 +279,7 @@ func compare(base *Baseline, run *Run, nsTol, allocsTol float64, allowMissing bo
 				continue
 			}
 			regressions++
+			worst.missing++
 			fmt.Fprintf(&sb, "  MISS  %-38s in baseline but not in this run (deleted a benchmark?)\n", b.Name)
 			continue
 		}
@@ -263,6 +287,9 @@ func compare(base *Baseline, run *Run, nsTol, allocsTol float64, allowMissing bo
 		var notes []string
 		if b.NsPerOp > 0 {
 			delta := cur.NsPerOp/b.NsPerOp - 1
+			if delta > worst.ns {
+				worst.ns = delta
+			}
 			if delta > nsTol {
 				status = "FAIL"
 				regressions++
@@ -283,6 +310,9 @@ func compare(base *Baseline, run *Run, nsTol, allocsTol float64, allowMissing bo
 				delta = cur.AllocsPerOp/b.AllocsPerOp - 1
 			} else if cur.AllocsPerOp > 0 {
 				delta = 1
+			}
+			if delta > worst.allocs {
+				worst.allocs = delta
 			}
 			if delta > allocsTol {
 				status = "FAIL"
@@ -305,7 +335,7 @@ func compare(base *Baseline, run *Run, nsTol, allocsTol float64, allowMissing bo
 			fmt.Fprintf(&sb, "  NEW   %-38s not in the baseline — ungated until re-baselined (-write)\n", e.Name)
 		}
 	}
-	return sb.String(), regressions
+	return sb.String(), regressions, worst
 }
 
 // renderBaseline emits the BENCH_seed.json schema for a run, custom

@@ -90,7 +90,7 @@ func TestCompare(t *testing.T) {
 		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 	)
 	// Within tolerance: +20% ns at 25% tolerance, equal allocs.
-	_, n := compare(base, runOf(
+	_, n, _ := compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 100, BPerOp: 5000},
 		Entry{Name: "BenchmarkB", NsPerOp: 900, AllocsPerOp: 90, BPerOp: 4000},
 	), 0.25, 0, false)
@@ -98,7 +98,7 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("within-tolerance run flagged %d regressions", n)
 	}
 	// ns blowup fails.
-	rep, n := compare(base, runOf(
+	rep, n, _ := compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1300, AllocsPerOp: 100, BPerOp: 5000},
 		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 	), 0.25, 0, false)
@@ -106,7 +106,7 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("ns regression not flagged (n=%d):\n%s", n, rep)
 	}
 	// Any allocs increase fails at zero tolerance...
-	_, n = compare(base, runOf(
+	_, n, _ = compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 101, BPerOp: 5000},
 		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 	), 0.25, 0, false)
@@ -114,7 +114,7 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("allocs regression not flagged: n=%d", n)
 	}
 	// ...but passes under a nonzero allocs tolerance.
-	_, n = compare(base, runOf(
+	_, n, _ = compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 101, BPerOp: 5000},
 		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 	), 0.25, 0.05, false)
@@ -122,13 +122,13 @@ func TestCompare(t *testing.T) {
 		t.Fatalf("allocs within tolerance still flagged: n=%d", n)
 	}
 	// A benchmark missing from the run is a failure unless allowed.
-	_, n = compare(base, runOf(
+	_, n, _ = compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 	), 0.25, 0, false)
 	if n != 1 {
 		t.Fatalf("missing benchmark not flagged: n=%d", n)
 	}
-	rep, n = compare(base, runOf(
+	rep, n, _ = compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 	), 0.25, 0, true)
 	if n != 0 || !strings.Contains(rep, "SKIP") {
@@ -136,7 +136,7 @@ func TestCompare(t *testing.T) {
 	}
 	// A baseline that gates allocations vs a run measured without
 	// -benchmem must fail loudly, not skip the allocation gate.
-	rep, n = compare(base, runOf(
+	rep, n, _ = compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: -1, BPerOp: -1},
 		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 	), 0.25, 0, false)
@@ -145,7 +145,7 @@ func TestCompare(t *testing.T) {
 	}
 	// New benchmarks absent from the baseline are not failures, but they
 	// must be called out as ungated.
-	rep, n = compare(base, runOf(
+	rep, n, _ = compare(base, runOf(
 		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 5000},
 		Entry{Name: "BenchmarkNew", NsPerOp: 1, AllocsPerOp: 1, BPerOp: 1},
@@ -189,8 +189,30 @@ func TestWriteRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	_, n := compare(base, run, 0, 0, false)
+	_, n, _ := compare(base, run, 0, 0, false)
 	if n != 0 {
 		t.Fatalf("identical run vs its own baseline flagged %d regressions", n)
+	}
+}
+
+// The failure path surfaces the measured margin: worst deltas track the
+// largest ns/op and allocs/op regressions across the whole run.
+func TestCompareWorstDeltas(t *testing.T) {
+	base := baselineOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 1},
+		Entry{Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, BPerOp: 1},
+	)
+	_, n, worst := compare(base, runOf(
+		Entry{Name: "BenchmarkA", NsPerOp: 1500, AllocsPerOp: 112, BPerOp: 1},
+		Entry{Name: "BenchmarkB", NsPerOp: 1100, AllocsPerOp: 101, BPerOp: 1},
+	), 0.25, 0.01, false)
+	if n != 3 { // A fails both gates, B fails allocs only
+		t.Fatalf("expected 3 regressions, got %d", n)
+	}
+	if worst.ns < 0.499 || worst.ns > 0.501 {
+		t.Fatalf("worst ns delta %.3f, want ~0.50", worst.ns)
+	}
+	if worst.allocs < 0.119 || worst.allocs > 0.121 {
+		t.Fatalf("worst allocs delta %.3f, want ~0.12", worst.allocs)
 	}
 }

@@ -1,4 +1,4 @@
-// Command benchsuite runs the paper-reproduction suite (E1..E18, see
+// Command benchsuite runs the paper-reproduction suite (E1..E19, see
 // DESIGN.md) on a parallel worker pool and renders the aggregate as the
 // Markdown recorded in EXPERIMENTS.md.
 //

@@ -15,11 +15,18 @@
 //	GET  /healthz            liveness (503 while draining)
 //	GET  /metrics            Prometheus text ops metrics
 //
+// With -cluster, electd becomes the HTTP face of a wire-level election
+// cluster: every election is dispatched to a running cmd/electnode
+// coordinator instead of the in-process engine, with the same per-trial
+// seeds — so a job's result is byte-identical wherever it ran (fault
+// planes are rejected in this mode: the wire runs perfect delivery only).
+//
 // Examples:
 //
 //	electd -addr 127.0.0.1:8080
 //	electd -addr 127.0.0.1:0 -ready-file /tmp/electd.addr   # ephemeral port
 //	electd -graphs graphs.json -workers 2 -queue 64
+//	electd -cluster 127.0.0.1:7000
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: submissions get 503,
 // in-flight jobs finish (bounded by -drain-timeout), then it exits.
@@ -38,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"wcle/internal/cluster"
 	"wcle/internal/serve"
 )
 
@@ -56,6 +64,7 @@ func run() error {
 		electWorkers = flag.Int("election-workers", 0, "per-job election shard count (0 = NumCPU)")
 		retainJobs   = flag.Int("retain-jobs", 1024, "finished jobs kept queryable; older ones are evicted (404)")
 		graphsFile   = flag.String("graphs", "", "JSON file of graphs to pre-register: {\"name\": {\"family\": ...}, ...}")
+		clusterAddr  = flag.String("cluster", "", "dispatch every election to the wire-level cluster coordinator at this address (see cmd/electnode) instead of running in-process")
 		readyFile    = flag.String("ready-file", "", "write the bound address to this file once listening (for scripts using port 0)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
 	)
@@ -63,6 +72,15 @@ func run() error {
 
 	opts := serve.Options{Workers: *workers, QueueCap: *queueCap,
 		ElectionWorkers: *electWorkers, RetainJobs: *retainJobs}
+	if *clusterAddr != "" {
+		cl, err := cluster.Dial(*clusterAddr)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		opts.Cluster = cl
+		fmt.Fprintf(os.Stderr, "electd: dispatching elections to the cluster at %s\n", *clusterAddr)
+	}
 	if *graphsFile != "" {
 		b, err := os.ReadFile(*graphsFile)
 		if err != nil {

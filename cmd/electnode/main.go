@@ -1,0 +1,202 @@
+// Command electnode is one process of a wire-level election cluster: it
+// hosts a contiguous shard of the graph's nodes and runs the registered
+// election backends over real TCP against its peer processes
+// (internal/cluster).
+//
+// Three modes, chosen by flags:
+//
+//   - coordinator (default): listen on -listen, admit -shards-1 workers,
+//     then run the election described by the job flags and print the
+//     merged outcome. With -serve it instead stays up and answers
+//     submissions (-submit clients, electd -cluster) until SIGTERM.
+//   - worker: join the coordinator at -bootstrap as shard -shard, serve
+//     jobs until the coordinator shuts the session down.
+//   - client: -submit <addr> sends the job flags to a running
+//     coordinator and prints the outcome.
+//
+// Examples:
+//
+//	electnode -listen 127.0.0.1:7000 -shards 3 -graph clique -n 48 -algo kpprt -seed 7
+//	electnode -bootstrap 127.0.0.1:7000 -shard 1 -listen 127.0.0.1:7001
+//	electnode -bootstrap 127.0.0.1:7000 -shard 2 -listen 127.0.0.1:7002
+//	electnode -listen 127.0.0.1:7000 -shards 3 -serve
+//	electnode -submit 127.0.0.1:7000 -graph rr -n 64 -d 8 -algo gilbertrs18
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"wcle"
+	"wcle/internal/algo"
+	"wcle/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "electnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "this process's listen address (port 0 picks an ephemeral port)")
+		bootstrap = flag.String("bootstrap", "", "worker mode: the coordinator's address to join")
+		shard     = flag.Int("shard", 0, "worker mode: this process's shard id (the coordinator is shard 0)")
+		shards    = flag.Int("shards", 3, "coordinator mode: total process count, coordinator included")
+		serve     = flag.Bool("serve", false, "coordinator mode: keep serving submissions instead of running one job")
+		submit    = flag.String("submit", "", "client mode: submit the job flags to a running coordinator at this address")
+		readyFile = flag.String("ready-file", "", "write the bound coordinator address to this file once listening")
+
+		family   = flag.String("graph", "clique", "graph family: clique|cycle|path|hypercube|torus|rr")
+		n        = flag.Int("n", 48, "target node count")
+		d        = flag.Int("d", 8, "degree for rr")
+		gseed    = flag.Int64("graph-seed", 1, "graph construction seed (port numbering)")
+		algoName = flag.String("algo", wcle.DefaultAlgorithm(),
+			fmt.Sprintf("election backend: %s", strings.Join(wcle.Algorithms(), "|")))
+		seed    = flag.Int64("seed", 1, "election seed")
+		horizon = flag.Int("horizon", 0, "floodmax decision round (0 = n)")
+		hops    = flag.Int("hops", 0, "kpprt referee-sampling walk length (0 = auto)")
+		resend  = flag.Int("resend", 0, "gilbertrs18 idempotent retransmissions")
+		jsonOut = flag.Bool("json", false, "print the full merged result as JSON")
+	)
+	flag.Parse()
+
+	if *bootstrap != "" && *submit != "" {
+		return fmt.Errorf("-bootstrap (worker) and -submit (client) are mutually exclusive")
+	}
+	if *algoName != "" && !algo.Known(*algoName) {
+		return fmt.Errorf("unknown algorithm %q (registered backends: %s)", *algoName, strings.Join(algo.Names(), ", "))
+	}
+	spec, err := buildJob(*family, *n, *d, *gseed, *algoName, *seed, *horizon, *hops, *resend)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *bootstrap != "":
+		return runWorker(*bootstrap, *shard, *listen)
+	case *submit != "":
+		res, err := cluster.Submit(*submit, spec)
+		if err != nil {
+			return err
+		}
+		return printResult(res, *jsonOut)
+	default:
+		return runCoordinator(*listen, *shards, *serve, *readyFile, spec, *jsonOut)
+	}
+}
+
+// buildJob assembles the JobSpec from the job flags.
+func buildJob(family string, n, d int, gseed int64, algoName string, seed int64, horizon, hops, resend int) (cluster.JobSpec, error) {
+	gs := wcle.GraphSpec{Family: family, Seed: gseed}
+	switch family {
+	case "clique", "cycle", "path":
+		gs.N = n
+	case "rr":
+		gs.N, gs.D = n, d
+	case "hypercube":
+		for 1<<gs.Dim < n {
+			gs.Dim++
+		}
+	case "torus":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		gs.Rows, gs.Cols = side, side
+	default:
+		return cluster.JobSpec{}, fmt.Errorf("unknown graph family %q", family)
+	}
+	return cluster.JobSpec{
+		Graph:     gs,
+		Algorithm: algoName,
+		Seed:      seed,
+		Horizon:   horizon,
+		Hops:      hops,
+		Resend:    resend,
+	}, nil
+}
+
+// runWorker joins and serves until the session ends.
+func runWorker(bootstrap string, shard int, listen string) error {
+	w, err := cluster.NewWorker(cluster.WorkerConfig{Bootstrap: bootstrap, Shard: shard, Listen: listen})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "electnode: shard %d listening on %s, joined %s\n", shard, w.Addr(), bootstrap)
+	done := make(chan error, 1)
+	go func() { done <- w.Run() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "electnode: shard %d shut down cleanly\n", shard)
+		}
+		return err
+	case <-sig:
+		fmt.Fprintf(os.Stderr, "electnode: shard %d interrupted\n", shard)
+		return nil
+	}
+}
+
+// runCoordinator assembles the cluster, then either serves submissions
+// (-serve) or runs the one job described by the flags.
+func runCoordinator(listen string, shards int, serve bool, readyFile string, spec cluster.JobSpec, jsonOut bool) error {
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Listen: listen, Shards: shards})
+	if err != nil {
+		return err
+	}
+	defer coord.Shutdown()
+	fmt.Fprintf(os.Stderr, "electnode: coordinator of %d shards listening on %s\n", shards, coord.Addr())
+	if readyFile != "" {
+		// Write-then-rename so pollers never read a partial address.
+		tmp := readyFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(coord.Addr()), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, readyFile); err != nil {
+			return err
+		}
+	}
+	if serve {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "electnode: coordinator shutting the session down")
+		coord.Shutdown()
+		return nil
+	}
+	res, err := coord.Elect(spec)
+	if err != nil {
+		return err
+	}
+	coord.Shutdown()
+	return printResult(res, jsonOut)
+}
+
+// printResult renders a merged result.
+func printResult(res *cluster.Result, jsonOut bool) error {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	out := res.Outcome
+	fmt.Printf("cluster: %d shards over %d nodes\n", res.Shards, res.N)
+	fmt.Printf("algorithm: %s (explicit=%v)\n", out.Algorithm, out.Explicit)
+	fmt.Printf("outcome: leaders=%v success=%v contenders=%d\n", out.Leaders, out.Success, out.Contenders)
+	fmt.Printf("leaderRound=%d totalRounds=%d\n", out.LeaderRound, out.Rounds)
+	fmt.Printf("messages=%d bits=%d deliveries=%d byKind=%v\n",
+		out.Metrics.Messages, out.Metrics.Bits, out.Metrics.Deliveries, out.Metrics.ByKind)
+	fmt.Printf("wire: frames=%d bytes=%d envelopes=%d barriers=%d\n",
+		res.Wire.Frames, res.Wire.Bytes, res.Wire.Envelopes, res.Wire.Barriers)
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"wcle"
+	"wcle/internal/algo"
 	"wcle/internal/core"
 	"wcle/internal/protocol"
 	"wcle/internal/trace"
@@ -97,6 +98,12 @@ func run() error {
 	)
 	flag.Parse()
 
+	if !algo.Known(*algoName) {
+		// Fail before any graph work, naming what would have worked: the
+		// registry knows its backends, so the error should too.
+		return fmt.Errorf("unknown algorithm %q; registered backends: %s",
+			*algoName, strings.Join(wcle.Algorithms(), ", "))
+	}
 	g, err := buildGraph(*family, *n, *d, *alpha, *seed)
 	if err != nil {
 		return err

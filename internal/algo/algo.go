@@ -33,6 +33,11 @@ type Options struct {
 	Fault sim.FaultPlane
 	// FaultObserver receives every fault event of the run.
 	FaultObserver sim.FaultObserver
+	// Remote, when non-nil, hosts this run's shard of a distributed
+	// election (sim.Config.Remote): every backend threads it into its
+	// sim configuration unchanged, which is what makes the cluster
+	// runtime backend-agnostic.
+	Remote sim.RemotePlane
 }
 
 // Outcome is the backend-independent summary every algorithm reports.

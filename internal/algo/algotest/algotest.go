@@ -3,7 +3,10 @@
 // must satisfy on a shared set of graph families (cycle, torus, expander,
 // clique). Backends run it from a normal Go test, supplying per-graph
 // configuration (poorly connected graphs legitimately need wider sampling
-// parameters); a future backend gets the whole battery for free.
+// parameters); a future backend gets the whole battery for free. The
+// battery is also delivery-plane-agnostic: ConformanceOn accepts a Runner,
+// which the cluster transport (internal/cluster) uses to run the same
+// invariants over loopback TCP.
 //
 // Invariants checked per (backend, graph):
 //
@@ -58,10 +61,29 @@ func Graphs(t *testing.T, cfgFor func(name string, g *graph.Graph) algo.Config) 
 	}
 }
 
+// Runner executes one election of the named, configured backend on a
+// conformance graph. The default target builds the backend and runs it in
+// process; alternative delivery planes (the cluster transport over
+// loopback TCP) substitute their own and get the same invariant battery.
+type Runner func(name string, cfg algo.Config, g *graph.Graph, opts algo.Options) (*algo.Outcome, error)
+
 // Conformance runs the invariant battery for one backend across the
-// standard graphs. seeds are the asserted election seeds (deterministic:
-// once green, always green).
+// standard graphs, in process. seeds are the asserted election seeds
+// (deterministic: once green, always green).
 func Conformance(t *testing.T, name string, cfgFor func(graphName string, g *graph.Graph) algo.Config, seeds []int64) {
+	t.Helper()
+	ConformanceOn(t, name, cfgFor, seeds, func(name string, cfg algo.Config, g *graph.Graph, opts algo.Options) (*algo.Outcome, error) {
+		a, err := algo.New(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return a.Run(g, opts)
+	})
+}
+
+// ConformanceOn runs the invariant battery for one backend through an
+// arbitrary delivery plane.
+func ConformanceOn(t *testing.T, name string, cfgFor func(graphName string, g *graph.Graph) algo.Config, seeds []int64, run Runner) {
 	t.Helper()
 	for _, tg := range Graphs(t, cfgFor) {
 		tg := tg
@@ -75,20 +97,20 @@ func Conformance(t *testing.T, name string, cfgFor func(graphName string, g *gra
 			}
 			for _, seed := range seeds {
 				opts := algo.Options{Seed: seed}
-				out, err := a.Run(tg.G, opts)
+				out, err := run(name, tg.Cfg, tg.G, opts)
 				if err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
 				}
 				assertOneLeader(t, seed, out)
 				assertConservation(t, seed, out)
 
-				replay, err := a.Run(tg.G, opts)
+				replay, err := run(name, tg.Cfg, tg.G, opts)
 				if err != nil {
 					t.Fatalf("seed %d replay: %v", seed, err)
 				}
 				assertSameOutcome(t, seed, "replay", out, replay)
 
-				debug, err := a.Run(tg.G, algo.Options{Seed: seed, DebugFrom: true})
+				debug, err := run(name, tg.Cfg, tg.G, algo.Options{Seed: seed, DebugFrom: true})
 				if err != nil {
 					t.Fatalf("seed %d debug: %v", seed, err)
 				}

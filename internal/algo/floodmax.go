@@ -29,9 +29,21 @@ func (a floodmax) Run(g *graph.Graph, opts Options) (*Outcome, error) {
 		Observer:      opts.Observer,
 		Fault:         opts.Fault,
 		FaultObserver: opts.FaultObserver,
+		Remote:        opts.Remote,
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Every node competes with its drawn id; a sharded run reports only
+	// the locally hosted competitors, so the cluster merge sums back to n.
+	contenders := g.N()
+	if opts.Remote != nil {
+		contenders = 0
+		for v := 0; v < g.N(); v++ {
+			if opts.Remote.Local(v) {
+				contenders++
+			}
+		}
 	}
 	out := &Outcome{
 		Algorithm: FloodMax,
@@ -40,7 +52,7 @@ func (a floodmax) Run(g *graph.Graph, opts Options) (*Outcome, error) {
 		// FloodMax is an explicit election only when every node converged
 		// to the winning id (faults can break agreement).
 		Explicit:    res.AllAgree,
-		Contenders:  g.N(), // every node competes with its drawn id
+		Contenders:  contenders,
 		LeaderRound: -1,
 		Rounds:      res.Metrics.FinalRound,
 		Metrics:     res.Metrics,

@@ -38,6 +38,7 @@ func (a gilbert) Run(g *graph.Graph, opts Options) (*Outcome, error) {
 		DebugFrom:     opts.DebugFrom,
 		Fault:         opts.Fault,
 		FaultObserver: opts.FaultObserver,
+		Remote:        opts.Remote,
 	})
 	if err != nil {
 		return nil, err

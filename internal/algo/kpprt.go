@@ -478,6 +478,7 @@ func (a sublinear) Run(g *graph.Graph, opts Options) (*Outcome, error) {
 		Observer:       opts.Observer,
 		Fault:          opts.Fault,
 		FaultObserver:  opts.FaultObserver,
+		Remote:         opts.Remote,
 	}, procs)
 	if err != nil {
 		return nil, fmt.Errorf("algo: kpprt run failed: %w", err)

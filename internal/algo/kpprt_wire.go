@@ -1,0 +1,130 @@
+package algo
+
+// Wire codecs for the kpprt backend's messages, so its elections can cross
+// shard boundaries in the cluster runtime (internal/cluster). The recorded
+// return path crosses verbatim: a reply decoded on another shard must
+// retrace exactly the ports the announcement recorded.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// Wire ids of the kpprt messages. Part of the wire format: never reuse.
+const (
+	wireKAnnounce = 5
+	wireKReply    = 6
+)
+
+func init() {
+	wire.Register(wireKAnnounce, wire.MsgCodec{
+		Kind: kindAnnounce,
+		Append: func(buf []byte, m sim.Message) ([]byte, error) {
+			a, ok := m.(*kAnnounce)
+			if !ok {
+				return buf, fmt.Errorf("wire: kpprt announce codec got %T", m)
+			}
+			buf = binary.AppendUvarint(buf, uint64(a.id))
+			buf = binary.AppendUvarint(buf, uint64(a.rounds))
+			buf = binary.AppendUvarint(buf, uint64(a.bits))
+			return appendPath(buf, a.path), nil
+		},
+		Decode: func(b []byte) (sim.Message, error) {
+			id, b, err := wire.ReadUvarint(b)
+			if err != nil {
+				return nil, err
+			}
+			rounds, b, err := wire.ReadUvarint(b)
+			if err != nil {
+				return nil, err
+			}
+			bits, b, err := wire.ReadBits(b)
+			if err != nil {
+				return nil, err
+			}
+			path, b, err := decodePath(b)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes in kpprt announce", wire.ErrCorrupt, len(b))
+			}
+			return &kAnnounce{id: protocol.ID(id), rounds: int(rounds), path: path, bits: bits}, nil
+		},
+	})
+	wire.Register(wireKReply, wire.MsgCodec{
+		Kind: kindReply,
+		Append: func(buf []byte, m sim.Message) ([]byte, error) {
+			r, ok := m.(*kReply)
+			if !ok {
+				return buf, fmt.Errorf("wire: kpprt reply codec got %T", m)
+			}
+			win := byte(0)
+			if r.win {
+				win = 1
+			}
+			buf = append(buf, win)
+			buf = binary.AppendUvarint(buf, uint64(r.bits))
+			return appendPath(buf, r.path), nil
+		},
+		Decode: func(b []byte) (sim.Message, error) {
+			if len(b) == 0 {
+				return nil, fmt.Errorf("%w: kpprt reply truncated at verdict", wire.ErrCorrupt)
+			}
+			win := b[0]
+			b = b[1:]
+			if win > 1 {
+				return nil, fmt.Errorf("%w: kpprt verdict byte %d", wire.ErrCorrupt, win)
+			}
+			bits, b, err := wire.ReadBits(b)
+			if err != nil {
+				return nil, err
+			}
+			path, b, err := decodePath(b)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes in kpprt reply", wire.ErrCorrupt, len(b))
+			}
+			return &kReply{win: win == 1, path: path, bits: bits}, nil
+		},
+	})
+}
+
+// appendPath encodes a return path, count-prefixed.
+func appendPath(buf []byte, path []int32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(path)))
+	for _, p := range path {
+		buf = binary.AppendUvarint(buf, uint64(uint32(p)))
+	}
+	return buf
+}
+
+// decodePath parses a return path. Count zero yields nil, matching a
+// freshly launched walk.
+func decodePath(b []byte) ([]int32, []byte, error) {
+	n, b, err := wire.ReadCount(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	path := make([]int32, n)
+	for i := range path {
+		var v uint64
+		if v, b, err = wire.ReadUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		if v > 1<<31-1 {
+			return nil, nil, fmt.Errorf("%w: path port %d overflows int32", wire.ErrCorrupt, v)
+		}
+		path[i] = int32(v)
+	}
+	return path, b, nil
+}

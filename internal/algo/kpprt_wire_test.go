@@ -1,0 +1,56 @@
+package algo
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// TestKPPRTWireRoundTrip: randomized round-trip of the kpprt announcement
+// and reply, including the recorded return path and the bit accounting.
+func TestKPPRTWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	randPath := func() []int32 {
+		k := rng.Intn(6)
+		if k == 0 {
+			return nil
+		}
+		p := make([]int32, k)
+		for i := range p {
+			p[i] = int32(rng.Intn(1 << 10))
+		}
+		return p
+	}
+	check := func(m sim.Message) {
+		t.Helper()
+		buf, err := wire.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.DecodeMessage(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip: got %#v, want %#v", got, m)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := wire.DecodeMessage(buf[:cut]); err == nil {
+				t.Fatalf("truncation to %d/%d decoded cleanly", cut, len(buf))
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		check(&kAnnounce{
+			id:     protocol.RandomID(rng.Uint64, 512),
+			rounds: rng.Intn(64),
+			path:   randPath(),
+			bits:   rng.Intn(4096),
+		})
+		check(&kReply{win: rng.Intn(2) == 0, path: randPath(), bits: rng.Intn(4096)})
+	}
+}

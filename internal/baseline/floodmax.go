@@ -81,8 +81,13 @@ type FloodMaxResult struct {
 	Leaders []int
 	// LeaderID is the elected id (the global maximum).
 	LeaderID protocol.ID
-	// AllAgree reports whether every node's maxSeen converged to LeaderID.
+	// AllAgree reports whether every node's maxSeen converged to AgreeID.
 	AllAgree bool
+	// AgreeID is the value the agreement check compared against: the
+	// global maximum id in process, the largest locally observed flood
+	// value on a shard. The cluster merge requires every shard's AgreeID
+	// to match — local agreement on different values is not agreement.
+	AgreeID protocol.ID
 	// Horizon is the resolved decision round.
 	Horizon int
 	Metrics sim.Metrics
@@ -113,6 +118,9 @@ type Config struct {
 	Fault sim.FaultPlane
 	// FaultObserver receives every fault event of the run.
 	FaultObserver sim.FaultObserver
+	// Remote, when non-nil, hosts this run's shard of a distributed
+	// election (sim.Config.Remote; see internal/cluster).
+	Remote sim.RemotePlane
 }
 
 // Run executes FloodMax on g under the full delivery-plane option set.
@@ -147,11 +155,13 @@ func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
 		Observer:       cfg.Observer,
 		Fault:          cfg.Fault,
 		FaultObserver:  cfg.FaultObserver,
+		Remote:         cfg.Remote,
 	}, procs)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: floodmax failed: %w", err)
 	}
 	res := &FloodMaxResult{Metrics: metrics, AllAgree: true, Horizon: horizon}
+	sharded := cfg.Remote != nil
 	var max protocol.ID
 	for _, nd := range nodes {
 		if nd.id > max {
@@ -159,11 +169,30 @@ func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
 		}
 	}
 	res.LeaderID = max
+	// The agreement target: the global maximum id in process, the largest
+	// locally observed flood value on a shard (the global maximum lives on
+	// another shard, but every hosted node converges to the same value).
+	agree := max
+	if sharded {
+		agree = 0
+		for _, nd := range nodes {
+			if nd.id != 0 && nd.maxSeen > agree {
+				agree = nd.maxSeen
+			}
+		}
+	}
+	res.AgreeID = agree
 	for v, nd := range nodes {
+		if sharded && nd.id == 0 {
+			// A node another shard hosts: never stepped here, so its
+			// state says nothing. The shard-local result covers only
+			// local nodes; the cluster merge reassembles the whole.
+			continue
+		}
 		if nd.leader {
 			res.Leaders = append(res.Leaders, v)
 		}
-		if nd.maxSeen != max {
+		if nd.maxSeen != agree {
 			res.AllAgree = false
 		}
 	}

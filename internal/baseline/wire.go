@@ -1,0 +1,46 @@
+package baseline
+
+// Wire codec for the FloodMax id message, so floodmax elections can cross
+// shard boundaries in the cluster runtime (internal/cluster).
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// wireFloodMax is the floodmax message's wire id. Part of the wire format:
+// never reuse.
+const wireFloodMax = 4
+
+func init() {
+	wire.Register(wireFloodMax, wire.MsgCodec{
+		Kind: "floodmax",
+		Append: func(buf []byte, m sim.Message) ([]byte, error) {
+			im, ok := m.(*idMsg)
+			if !ok {
+				return buf, fmt.Errorf("wire: floodmax codec got %T", m)
+			}
+			buf = binary.AppendUvarint(buf, uint64(im.id))
+			buf = binary.AppendUvarint(buf, uint64(im.bits))
+			return buf, nil
+		},
+		Decode: func(b []byte) (sim.Message, error) {
+			id, b, err := wire.ReadUvarint(b)
+			if err != nil {
+				return nil, err
+			}
+			bits, b, err := wire.ReadBits(b)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes in floodmax message", wire.ErrCorrupt, len(b))
+			}
+			return &idMsg{id: protocol.ID(id), bits: bits}, nil
+		},
+	})
+}

@@ -1,0 +1,35 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcle/internal/protocol"
+	"wcle/internal/wire"
+)
+
+// TestFloodMaxWireRoundTrip: randomized round-trip of the floodmax id
+// message, including its bit accounting.
+func TestFloodMaxWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		m := &idMsg{id: protocol.RandomID(rng.Uint64, 1024), bits: rng.Intn(4096)}
+		buf, err := wire.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.DecodeMessage(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip: got %#v, want %#v", got, m)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := wire.DecodeMessage(buf[:cut]); err == nil {
+				t.Fatalf("truncation to %d/%d decoded cleanly", cut, len(buf))
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+// Client side: submit elections to a running cluster's coordinator over
+// TCP. cmd/electnode -submit, electd's cluster mode, and the wcle facade's
+// ElectCluster all go through here.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wcle/internal/algo"
+	"wcle/internal/serve"
+)
+
+// Client is one connection to a coordinator, good for any number of
+// sequential submissions. Safe for concurrent use; submissions serialize
+// on the connection (the coordinator serializes jobs anyway).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// Dial connects to a coordinator.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing coordinator %s: %w", addr, err)
+	}
+	return &Client{conn: conn, w: bufio.NewWriter(conn)}, nil
+}
+
+// Elect submits one election and blocks until the merged result.
+func (c *Client) Elect(spec JobSpec) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeJSONFrame(c.w, frameSubmit, spec); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	f, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: awaiting outcome: %w", err)
+	}
+	if f.typ != frameOutcome {
+		return nil, fmt.Errorf("cluster: expected outcome, got %s", frameName(f.typ))
+	}
+	var out outcomeMsg
+	if err := decodeJSON(f, &out); err != nil {
+		return nil, err
+	}
+	if out.Err != "" {
+		return nil, fmt.Errorf("cluster: %s", out.Err)
+	}
+	if out.Result == nil {
+		return nil, fmt.Errorf("cluster: coordinator answered with neither result nor error")
+	}
+	return out.Result, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// RunElection implements electd's serve.ClusterElector: one election on
+// the cluster, returning the merged backend-independent outcome.
+func (c *Client) RunElection(spec serve.GraphSpec, algorithm string, seed int64, resend, assumedN int) (*algo.Outcome, error) {
+	res, err := c.Elect(JobSpec{
+		Graph:     spec,
+		Algorithm: algorithm,
+		Seed:      seed,
+		Resend:    resend,
+		AssumedN:  assumedN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &res.Outcome, nil
+}
+
+// Submit is the one-shot convenience: dial, elect, close.
+func Submit(addr string, spec JobSpec) (*Result, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Elect(spec)
+}
+
+// Local is an in-process cluster on loopback TCP: a coordinator plus
+// shards-1 worker goroutines, each speaking the real wire protocol.
+// Tests, experiments (E19), and examples use it to get wire-level
+// elections without spawning processes.
+type Local struct {
+	Coord   *Coordinator
+	workers []*Worker
+	done    chan error
+}
+
+// StartLocal assembles a shards-process-shaped cluster inside this
+// process, on 127.0.0.1 ephemeral ports.
+func StartLocal(shards int) (*Local, error) {
+	coord, err := NewCoordinator(CoordinatorConfig{Listen: "127.0.0.1:0", Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	l := &Local{Coord: coord, done: make(chan error, shards)}
+	for i := 1; i < shards; i++ {
+		w, err := NewWorker(WorkerConfig{Bootstrap: coord.Addr(), Shard: i, Listen: "127.0.0.1:0"})
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		l.workers = append(l.workers, w)
+		go func() { l.done <- w.Run() }()
+	}
+	return l, nil
+}
+
+// Elect runs one election on the local cluster.
+func (l *Local) Elect(spec JobSpec) (*Result, error) { return l.Coord.Elect(spec) }
+
+// Close shuts the cluster down and waits for the workers to exit.
+func (l *Local) Close() error {
+	l.Coord.Shutdown()
+	var firstErr error
+	for range l.workers {
+		select {
+		case err := <-l.done:
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-time.After(10 * time.Second):
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: worker did not exit within 10s of shutdown")
+			}
+		}
+	}
+	return firstErr
+}

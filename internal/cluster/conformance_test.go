@@ -1,0 +1,117 @@
+package cluster
+
+// The cluster transport as an algotest conformance target: the whole
+// cross-backend invariant battery (one-leader, replay determinism,
+// DebugFrom anonymity, message conservation) runs over loopback TCP, on a
+// 3-shard cluster, for every registered backend. Excluded from -short:
+// each assertion is a full wire-level election.
+
+import (
+	"reflect"
+	"testing"
+
+	"wcle/internal/algo"
+	"wcle/internal/algo/algotest"
+	"wcle/internal/core"
+	"wcle/internal/graph"
+	"wcle/internal/serve"
+)
+
+// explicitSpec converts a built conformance graph into an explicit-edge
+// GraphSpec. The cluster rebuilds the graph from the edge list with the
+// spec's seed, deterministically — all shards and all replays see the
+// identical port numbering, which is what the conformance invariants
+// quantify over.
+func explicitSpec(g *graph.Graph) serve.GraphSpec {
+	edges := make([][2]int, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{e.U, e.V})
+	}
+	return serve.GraphSpec{Family: "explicit", N: g.N(), Edges: edges, Seed: 1}
+}
+
+// clusterRunner adapts a Local cluster to the algotest Runner contract,
+// mapping the conformance-relevant backend knobs onto the JobSpec.
+func clusterRunner(local *Local) algotest.Runner {
+	return func(name string, cfg algo.Config, g *graph.Graph, opts algo.Options) (*algo.Outcome, error) {
+		spec := JobSpec{
+			Graph:     explicitSpec(g),
+			Algorithm: name,
+			Seed:      opts.Seed,
+			DebugFrom: opts.DebugFrom,
+			MaxRounds: opts.MaxRounds,
+			Resend:    cfg.Core.Resend,
+			AssumedN:  cfg.Core.AssumedN,
+			Horizon:   cfg.Horizon,
+			Hops:      cfg.Sublinear.Hops,
+			Window:    cfg.Sublinear.Window,
+		}
+		if !reflect.DeepEqual(cfg.Core, core.Config{}) {
+			spec.C1 = cfg.Core.C1
+			spec.C2 = cfg.Core.C2
+			spec.MaxWalkLen = cfg.Core.MaxWalkLen
+		}
+		res, err := local.Elect(spec)
+		if err != nil {
+			return nil, err
+		}
+		return &res.Outcome, nil
+	}
+}
+
+func startConformanceCluster(t *testing.T) *Local {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("runs full elections over loopback TCP; skipped in -short mode")
+	}
+	local, err := StartLocal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := local.Close(); err != nil {
+			t.Errorf("cluster shutdown: %v", err)
+		}
+	})
+	return local
+}
+
+// Per-graph configurations mirror the in-process conformance suite
+// (internal/algo/conformance_test.go): regime knobs for poorly connected
+// graphs, not special cases.
+
+func TestClusterConformanceGilbertRS18(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ConformanceOn(t, algo.GilbertRS18, func(name string, g *graph.Graph) algo.Config {
+		cfg := core.DefaultConfig()
+		switch name {
+		case "cycle12":
+			cfg.C1 = 3
+			cfg.MaxWalkLen = 1024
+		case "torus4x4":
+			cfg.MaxWalkLen = 1024
+		}
+		return algo.Config{Core: cfg}
+	}, []int64{0, 1}, clusterRunner(local))
+}
+
+func TestClusterConformanceFloodMax(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ConformanceOn(t, algo.FloodMax, func(name string, g *graph.Graph) algo.Config {
+		return algo.Config{}
+	}, []int64{0, 1}, clusterRunner(local))
+}
+
+func TestClusterConformanceKPPRT(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ConformanceOn(t, algo.KPPRT, func(name string, g *graph.Graph) algo.Config {
+		var sub algo.SublinearConfig
+		switch name {
+		case "cycle12":
+			sub.Hops, sub.Window = 300, 2000
+		case "torus4x4":
+			sub.Hops = 100
+		}
+		return algo.Config{Sublinear: sub}
+	}, []int64{0, 1}, clusterRunner(local))
+}

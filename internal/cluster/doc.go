@@ -1,0 +1,39 @@
+// Package cluster is the wire-level runtime: it runs the registered
+// election backends over real TCP between electnode processes, one process
+// per shard of the graph.
+//
+// Every process hosts a contiguous slice of the graph's nodes and runs the
+// ordinary sim engine over the full graph structure (built deterministically
+// from the job's GraphSpec), stepping only its own nodes. Edges whose
+// endpoints live in the same shard short-circuit through the in-memory
+// transport; cross-shard edges travel as length-prefixed binary envelopes
+// (internal/wire) over one TCP connection per process pair. A
+// coordinator-led round barrier preserves the synchronous-round semantics:
+// after each stepped round every shard flushes its cross-shard traffic to
+// every peer, reports its earliest pending event round to the coordinator,
+// and adopts the agreed global minimum — so the cluster skips idle rounds
+// exactly like the single-process scheduler, and a run's outcome is
+// byte-identical to the in-process sim for the same seed (the keystone
+// invariant, enforced by TestClusterMatchesInProcessSim).
+//
+// Topology and session flow:
+//
+//   - shard 0 is the coordinator: it listens, admits the other shards
+//     (hello → peer directory → pairwise dials → up), and owns job
+//     control (start/result) plus the barrier's advance decision;
+//   - workers join via the coordinator's bootstrap address, listen for
+//     their higher-numbered peers, and dial their lower-numbered ones;
+//   - clients (cmd/electnode -submit, electd's cluster mode, the wcle
+//     facade's ElectCluster) dial the coordinator and submit JobSpecs;
+//     the coordinator fans the job out, runs its own shard, merges the
+//     per-shard partial outcomes, and answers.
+//
+// The barrier handshake is deliberately split into a peer-to-peer flush
+// (data frames carry an epoch, so every shard can verify it is in the same
+// iteration) and a coordinator round-trip (ready/advance): decentralizing
+// the advance decision later only means replacing the second half.
+//
+// Fault planes and message budgets are rejected on cluster runs: both
+// consume streams ordered by the global send sequence, which a sharded run
+// does not reproduce (see sim.RemotePlane).
+package cluster

@@ -1,0 +1,259 @@
+package cluster
+
+// Job layer: what one election looks like on the wire (JobSpec), how one
+// shard executes its slice of it (runShard), and how the coordinator folds
+// the per-shard partial outcomes back into one algo.Outcome (merge).
+
+import (
+	"fmt"
+	"sort"
+
+	"wcle/internal/algo"
+	"wcle/internal/baseline"
+	"wcle/internal/core"
+	"wcle/internal/protocol"
+	"wcle/internal/serve"
+	"wcle/internal/sim"
+)
+
+// JobSpec describes one election for the cluster to run. Every shard
+// rebuilds the graph from the spec (deterministic in the spec), so only
+// parameters cross the wire, never adjacency.
+type JobSpec struct {
+	// Graph is the election's graph (family + parameters or an explicit
+	// edge list; see serve.GraphSpec).
+	Graph serve.GraphSpec `json:"graph"`
+	// Algorithm names the election backend ("" = the registry default).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed drives all randomness of the run deterministically: the same
+	// seed elects the same leader as the in-process sim.
+	Seed int64 `json:"seed"`
+	// Resend, AssumedN, C1, C2 and MaxWalkLen parameterize the
+	// gilbertrs18 backend (core.Config fields of the same names; zero
+	// keeps the default).
+	Resend     int     `json:"resend,omitempty"`
+	AssumedN   int     `json:"assumed_n,omitempty"`
+	C1         float64 `json:"c1,omitempty"`
+	C2         float64 `json:"c2,omitempty"`
+	MaxWalkLen int     `json:"max_walk_len,omitempty"`
+	// Horizon parameterizes floodmax; Hops and Window parameterize kpprt.
+	Horizon int `json:"horizon,omitempty"`
+	Hops    int `json:"hops,omitempty"`
+	Window  int `json:"window,omitempty"`
+	// MaxRounds overrides the backend's round cap (0 = backend default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// DebugFrom stamps sender indices on delivered envelopes (debugging
+	// only; outcomes must not depend on it).
+	DebugFrom bool `json:"debug_from,omitempty"`
+}
+
+// backend builds the configured algorithm instance for the spec.
+func (s JobSpec) backend() (algo.Algorithm, error) {
+	cfg := core.DefaultConfig()
+	cfg.Resend = s.Resend
+	cfg.AssumedN = s.AssumedN
+	if s.C1 > 0 {
+		cfg.C1 = s.C1
+	}
+	if s.C2 > 0 {
+		cfg.C2 = s.C2
+	}
+	if s.MaxWalkLen > 0 {
+		cfg.MaxWalkLen = s.MaxWalkLen
+	}
+	acfg := algo.Config{Core: cfg, Horizon: s.Horizon}
+	acfg.Sublinear.Hops = s.Hops
+	acfg.Sublinear.Window = s.Window
+	return algo.New(s.Algorithm, acfg)
+}
+
+// Result is a merged cluster election outcome.
+type Result struct {
+	// Outcome is the backend-independent summary, field-compatible with
+	// an in-process run of the same (graph, algorithm, seed): identical
+	// leaders, leader ids, contenders, rounds, and summed message/bit/
+	// delivery accounting. Metrics.BusyRounds is the maximum over shards
+	// (each shard only observes its own busy rounds); Detail is nil (the
+	// backends' native results live on the shards).
+	Outcome algo.Outcome `json:"outcome"`
+	// PerNodeMessages[v] counts the sends of node v, assembled from the
+	// owning shards — the per-node accounting the determinism contract
+	// is stated in terms of.
+	PerNodeMessages []int64 `json:"per_node_messages"`
+	// Wire is the summed wire traffic of all shards.
+	Wire WireStats `json:"wire"`
+	// Shards is the cluster size; N the graph size.
+	Shards int `json:"shards"`
+	N      int `json:"n"`
+}
+
+// partialResult is one shard's contribution, as it crosses the wire.
+type partialResult struct {
+	Shard int    `json:"shard"`
+	JobID int64  `json:"job_id"`
+	Err   string `json:"err,omitempty"`
+
+	Algorithm string `json:"algorithm,omitempty"`
+	Explicit  bool   `json:"explicit,omitempty"`
+	// AgreeID is floodmax's shard-local agreement value (0 for other
+	// backends): the merge requires every shard to have agreed on the
+	// same value, or the election is not explicit.
+	AgreeID     uint64      `json:"agree_id,omitempty"`
+	Leaders     []int       `json:"leaders,omitempty"`
+	LeaderIDs   []uint64    `json:"leader_ids,omitempty"`
+	Contenders  int         `json:"contenders"`
+	LeaderRound int         `json:"leader_round"`
+	Rounds      int         `json:"rounds"`
+	Metrics     sim.Metrics `json:"metrics"`
+
+	// Lo is the shard's first node; NodeMessages[i] counts the sends of
+	// node Lo+i.
+	Lo           int     `json:"lo"`
+	NodeMessages []int64 `json:"node_messages"`
+
+	Wire WireStats `json:"wire"`
+}
+
+// nodeCounter tallies per-node sends through the observer tap.
+type nodeCounter struct {
+	counts []int64
+}
+
+func (c *nodeCounter) OnSend(round, from, fromPort, to, toPort int, m sim.Message) {
+	c.counts[from]++
+}
+
+// runShard executes one shard's slice of a job. It always returns a
+// partialResult; failures ride in its Err field so the coordinator can
+// merge errors like outcomes. links is indexed by shard id (nil at own).
+func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec) partialResult {
+	pr := partialResult{Shard: shard, JobID: jobID, LeaderRound: -1}
+	g, err := spec.Graph.Build()
+	if err != nil {
+		pr.Err = err.Error()
+		return pr
+	}
+	if g.N() < shards {
+		pr.Err = fmt.Sprintf("cluster: %d-node graph cannot be split across %d shards", g.N(), shards)
+		return pr
+	}
+	a, err := spec.backend()
+	if err != nil {
+		pr.Err = err.Error()
+		return pr
+	}
+	pl := newPlane(links, shard, shards, g.N())
+	counter := &nodeCounter{counts: make([]int64, g.N())}
+	out, err := a.Run(g, algo.Options{
+		Seed:      spec.Seed,
+		MaxRounds: spec.MaxRounds,
+		DebugFrom: spec.DebugFrom,
+		Observer:  counter,
+		Remote:    pl,
+	})
+	pr.Wire = pl.stats
+	lo, hi := shardLo(g.N(), shards, shard), shardLo(g.N(), shards, shard+1)
+	pr.Lo = lo
+	pr.NodeMessages = counter.counts[lo:hi]
+	if err != nil {
+		// The run died mid-barrier (a step error, a broken link, the
+		// round cap): peers may be blocked on our next frame, so the
+		// session is broken — say so on every link before reporting.
+		_ = pl.abort(err)
+		pr.Err = err.Error()
+		return pr
+	}
+	pr.Algorithm = out.Algorithm
+	pr.Explicit = out.Explicit
+	if fm, ok := out.Detail.(*baseline.FloodMaxResult); ok {
+		pr.AgreeID = uint64(fm.AgreeID)
+	}
+	pr.Leaders = out.Leaders
+	for _, id := range out.LeaderIDs {
+		pr.LeaderIDs = append(pr.LeaderIDs, uint64(id))
+	}
+	pr.Contenders = out.Contenders
+	pr.LeaderRound = out.LeaderRound
+	pr.Rounds = out.Rounds
+	pr.Metrics = out.Metrics
+	return pr
+}
+
+// merge folds the per-shard partials into one Result. Shards are expected
+// in shard order (the coordinator collects them that way); leaders stay
+// sorted because shards own contiguous ascending node ranges.
+func merge(n, shards int, parts []partialResult) (*Result, error) {
+	var firstErr error
+	for _, p := range parts {
+		if p.Err != "" && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: shard %d: %s", p.Shard, p.Err)
+		}
+	}
+	res := &Result{Shards: shards, N: n, PerNodeMessages: make([]int64, n)}
+	out := &res.Outcome
+	out.LeaderRound = -1
+	out.Explicit = true
+	out.Metrics.ByKind = make(map[string]int64)
+	var agreeID uint64
+	for _, p := range parts {
+		res.Wire.add(p.Wire)
+		for i, c := range p.NodeMessages {
+			if v := p.Lo + i; v < n {
+				res.PerNodeMessages[v] = c
+			}
+		}
+		if p.Err != "" {
+			continue
+		}
+		if out.Algorithm == "" {
+			out.Algorithm = p.Algorithm
+		}
+		out.Leaders = append(out.Leaders, p.Leaders...)
+		for _, id := range p.LeaderIDs {
+			out.LeaderIDs = append(out.LeaderIDs, protocol.ID(id))
+		}
+		out.Contenders += p.Contenders
+		out.Explicit = out.Explicit && p.Explicit
+		if p.AgreeID != 0 {
+			// Shards must have agreed on the same value: per-shard
+			// agreement on different flood maxima (a horizon too short
+			// for global convergence) is not an explicit election.
+			if agreeID != 0 && p.AgreeID != agreeID {
+				out.Explicit = false
+			}
+			agreeID = p.AgreeID
+		}
+		if p.LeaderRound >= 0 && (out.LeaderRound < 0 || p.LeaderRound < out.LeaderRound) {
+			out.LeaderRound = p.LeaderRound
+		}
+		if p.Rounds > out.Rounds {
+			out.Rounds = p.Rounds
+		}
+		m := p.Metrics
+		out.Metrics.Messages += m.Messages
+		out.Metrics.Bits += m.Bits
+		out.Metrics.Dropped += m.Dropped
+		out.Metrics.FaultDrops += m.FaultDrops
+		out.Metrics.Delayed += m.Delayed
+		out.Metrics.Deliveries += m.Deliveries
+		if m.BusyRounds > out.Metrics.BusyRounds {
+			out.Metrics.BusyRounds = m.BusyRounds
+		}
+		if m.FinalRound > out.Metrics.FinalRound {
+			out.Metrics.FinalRound = m.FinalRound
+		}
+		for k, v := range m.ByKind {
+			out.Metrics.ByKind[k] += v
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if !sort.IntsAreSorted(out.Leaders) {
+		// Shards report in order and own ascending ranges; unsorted
+		// leaders mean a shard lied about its range.
+		return nil, fmt.Errorf("cluster: merged leader list %v is not sorted", out.Leaders)
+	}
+	out.Success = len(out.Leaders) == 1
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package cluster
+
+// Link layer: one TCP connection per process pair, all per-edge traffic
+// between the pair multiplexed onto it. A dedicated reader goroutine
+// drains the connection into an unbounded in-memory queue, so a shard can
+// finish writing its whole round to every peer before reading anything —
+// without the classic both-sides-blocked-writing deadlock that bounded
+// socket buffers would otherwise produce on message-heavy rounds.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// defaultFrameTimeout bounds how long a link waits for the next frame
+// before declaring the peer hung. Elections block on barrier frames for
+// at most one round of peer compute, so minutes of silence mean a dead
+// peer, not a slow one.
+const defaultFrameTimeout = 2 * time.Minute
+
+// frameQueue is the unbounded receive queue of one link.
+type frameQueue struct {
+	mu     sync.Mutex
+	frames []frame
+	err    error
+	notify chan struct{}
+}
+
+func newFrameQueue() *frameQueue {
+	return &frameQueue{notify: make(chan struct{}, 1)}
+}
+
+func (q *frameQueue) push(f frame) {
+	q.mu.Lock()
+	q.frames = append(q.frames, f)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *frameQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// next pops the oldest frame, blocking up to timeout (forever when
+// timeout <= 0). Buffered frames are drained before a connection error is
+// reported.
+func (q *frameQueue) next(timeout time.Duration) (frame, error) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		q.mu.Lock()
+		if len(q.frames) > 0 {
+			f := q.frames[0]
+			q.frames[0] = frame{}
+			q.frames = q.frames[1:]
+			q.mu.Unlock()
+			return f, nil
+		}
+		err := q.err
+		q.mu.Unlock()
+		if err != nil {
+			return frame{}, err
+		}
+		select {
+		case <-q.notify:
+		case <-deadline:
+			return frame{}, fmt.Errorf("cluster: no frame within %v (peer hung or dead)", timeout)
+		}
+	}
+}
+
+// link is one established peer connection.
+type link struct {
+	peer int    // the peer's shard id
+	addr string // the peer's announced listen address (join links only)
+	conn net.Conn
+	w    *bufio.Writer
+	q    *frameQueue
+
+	timeout time.Duration
+}
+
+// newLink wraps an established connection and starts its reader.
+func newLink(peer int, conn net.Conn) *link {
+	l := &link{
+		peer:    peer,
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 64<<10),
+		q:       newFrameQueue(),
+		timeout: defaultFrameTimeout,
+	}
+	go l.readLoop()
+	return l
+}
+
+func (l *link) readLoop() {
+	for {
+		f, err := readFrame(l.conn)
+		if err != nil {
+			l.q.fail(fmt.Errorf("cluster: link to shard %d: %w", l.peer, err))
+			return
+		}
+		l.q.push(f)
+	}
+}
+
+// write buffers one frame; call flush to put it on the wire.
+func (l *link) write(typ byte, payload []byte) error {
+	if err := writeFrame(l.w, typ, payload); err != nil {
+		return fmt.Errorf("cluster: writing %s to shard %d: %w", frameName(typ), l.peer, err)
+	}
+	return nil
+}
+
+// writeJSON buffers one JSON control frame.
+func (l *link) writeJSON(typ byte, v interface{}) error {
+	if err := writeJSONFrame(l.w, typ, v); err != nil {
+		return fmt.Errorf("cluster: writing %s to shard %d: %w", frameName(typ), l.peer, err)
+	}
+	return nil
+}
+
+func (l *link) flush() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: flushing to shard %d: %w", l.peer, err)
+	}
+	return nil
+}
+
+// next returns the oldest unread frame from this peer. The timeout is
+// calibrated for mid-job waits, where a peer is at most one round of
+// compute away: minutes of silence mean a dead peer.
+func (l *link) next() (frame, error) { return l.q.next(l.timeout) }
+
+// nextWait returns the oldest unread frame, waiting indefinitely. For the
+// phases where silence is normal: a worker idling between jobs, a shard
+// waiting out a slow human-paced cluster assembly. Connection errors
+// still end the wait.
+func (l *link) nextWait() (frame, error) { return l.q.next(0) }
+
+// expectJSON reads the next frame, requires the given type, and decodes
+// its JSON payload into v. An abort frame is surfaced as the peer's error.
+func (l *link) expectJSON(typ byte, v interface{}) error {
+	f, err := l.next()
+	if err != nil {
+		return err
+	}
+	if f.typ == frameAbort && typ != frameAbort {
+		var a abortMsg
+		_ = decodeJSON(f, &a)
+		return fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg)
+	}
+	if f.typ != typ {
+		return fmt.Errorf("cluster: expected %s from shard %d, got %s", frameName(typ), l.peer, frameName(f.typ))
+	}
+	return decodeJSON(f, v)
+}
+
+func (l *link) close() {
+	_ = l.w.Flush()
+	_ = l.conn.Close()
+}

@@ -1,0 +1,375 @@
+package cluster
+
+// The shard plane: internal/sim's RemotePlane implemented over the link
+// layer. One instance lives for one election on one shard.
+//
+// Per barrier iteration (one global event round), each shard:
+//
+//  1. writes one data frame to every peer — the epoch, the round, and
+//     every envelope queued for that peer this round — and only then
+//  2. reads the matching data frame from every peer, injecting its
+//     envelopes into the local transport;
+//  3. reports its earliest pending event round to the coordinator
+//     (ready) and adopts the broadcast global minimum (advance).
+//
+// Write-all-then-read-all is deadlock-free because every link's reader
+// goroutine keeps draining the connection into an unbounded queue: a
+// peer's pending writes can always make progress even while that peer is
+// itself mid-write.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// WireStats counts what one election put on the wire. Per-shard stats
+// count this shard's sends; the merged Result sums them, so the totals
+// are the whole cluster's traffic (every frame is counted once, by its
+// sender).
+type WireStats struct {
+	// Frames and Bytes count every frame this shard sent, barrier
+	// control included. Bytes includes the 5-byte frame headers.
+	Frames int64 `json:"frames"`
+	Bytes  int64 `json:"bytes"`
+	// Envelopes counts cross-shard protocol messages (the wire-level
+	// realization of the paper's message complexity).
+	Envelopes int64 `json:"envelopes"`
+	// Barriers counts round-barrier iterations (identical on every
+	// shard of a run).
+	Barriers int64 `json:"barriers"`
+}
+
+func (s *WireStats) add(o WireStats) {
+	s.Frames += o.Frames
+	s.Bytes += o.Bytes
+	s.Envelopes += o.Envelopes
+	s.Barriers += o.Barriers
+}
+
+// countFrame accounts one sent frame of the given payload length.
+func (s *WireStats) countFrame(payloadLen int) {
+	s.Frames++
+	s.Bytes += int64(payloadLen) + 5 // length prefix + type byte
+}
+
+// shardLo returns the first node of a shard under the contiguous balanced
+// partition: shard i of k owns [i*n/k, (i+1)*n/k).
+func shardLo(n, shards, shard int) int { return shard * n / shards }
+
+// ownerOf returns the shard hosting node v.
+func ownerOf(n, shards, v int) int {
+	// Start from the inverse map and correct for integer rounding.
+	s := v * shards / n
+	for s+1 < shards && shardLo(n, shards, s+1) <= v {
+		s++
+	}
+	for s > 0 && shardLo(n, shards, s) > v {
+		s--
+	}
+	return s
+}
+
+// dataChunkBytes bounds one data frame's envelope payload: a
+// message-heavy round (floodmax on a large clique can queue tens of
+// millions of bytes for one peer) crosses as a sequence of chunked
+// frames, each far below the frame layer's 64MB cap. A variable so tests
+// can force multi-chunk rounds on small elections.
+var dataChunkBytes = 4 << 20
+
+// chunk is one data frame's worth of encoded envelopes.
+type chunk struct {
+	buf []byte
+	cnt int
+}
+
+// plane is the per-election RemotePlane of one shard.
+type plane struct {
+	shard, shards int
+	n             int
+	links         []*link // by shard id; links[shard] == nil
+
+	epoch uint64
+	out   [][]chunk // per-peer encoded envelopes, pending this round
+	buf   []byte    // reusable data-frame assembly buffer
+
+	stats   WireStats
+	aborted bool
+}
+
+func newPlane(links []*link, shard, shards, n int) *plane {
+	return &plane{
+		shard:  shard,
+		shards: shards,
+		n:      n,
+		links:  links,
+		out:    make([][]chunk, shards),
+	}
+}
+
+var _ sim.RemotePlane = (*plane)(nil)
+
+// Local reports whether this shard hosts node v.
+func (p *plane) Local(v int) bool {
+	return v >= shardLo(p.n, p.shards, p.shard) && v < shardLo(p.n, p.shards, p.shard+1)
+}
+
+// Send queues one cross-shard envelope for the owner of `to`; it goes on
+// the wire at the end-of-round Flush.
+func (p *plane) Send(round, due, to int, env sim.Envelope) error {
+	owner := ownerOf(p.n, p.shards, to)
+	if owner == p.shard {
+		return fmt.Errorf("cluster: remote send to node %d, which shard %d hosts itself", to, p.shard)
+	}
+	chunks := p.out[owner]
+	if len(chunks) == 0 || len(chunks[len(chunks)-1].buf) >= dataChunkBytes {
+		chunks = append(chunks, chunk{})
+	}
+	c := &chunks[len(chunks)-1]
+	buf, err := wire.AppendEnvelope(c.buf, wire.Envelope{
+		Due: due, To: to, Port: env.Port, From: env.From, Msg: env.Payload,
+	})
+	if err != nil {
+		return err
+	}
+	c.buf = buf
+	c.cnt++
+	p.out[owner] = chunks
+	p.stats.Envelopes++
+	return nil
+}
+
+// Flush exchanges the round's cross-shard traffic with every peer. A
+// peer's traffic crosses as one or more chunked data frames (the last one
+// flagged final), so no single round can outgrow the frame cap.
+func (p *plane) Flush(round int, inject func(due, to int, env sim.Envelope) error) error {
+	p.epoch++
+	p.stats.Barriers++
+	for peer, l := range p.links {
+		if l == nil {
+			continue
+		}
+		chunks := p.out[peer]
+		if len(chunks) == 0 {
+			chunks = append(chunks, chunk{}) // the empty flush marker
+		}
+		for ci := range chunks {
+			final := byte(0)
+			if ci == len(chunks)-1 {
+				final = 1
+			}
+			p.buf = binary.AppendUvarint(p.buf[:0], p.epoch)
+			p.buf = binary.AppendUvarint(p.buf, uint64(round))
+			p.buf = append(p.buf, final)
+			p.buf = binary.AppendUvarint(p.buf, uint64(chunks[ci].cnt))
+			p.buf = append(p.buf, chunks[ci].buf...)
+			if err := l.write(frameData, p.buf); err != nil {
+				return p.abort(err)
+			}
+			p.stats.countFrame(len(p.buf))
+		}
+		if err := l.flush(); err != nil {
+			return p.abort(err)
+		}
+		// Keep the first chunk's buffer for reuse; drop the rest.
+		chunks[0].buf = chunks[0].buf[:0]
+		chunks[0].cnt = 0
+		p.out[peer] = chunks[:1]
+	}
+	for _, l := range p.links {
+		if l == nil {
+			continue
+		}
+		if err := p.recvData(l, round, inject); err != nil {
+			return p.abort(err)
+		}
+	}
+	return nil
+}
+
+// recvData consumes one peer's data frames for the current epoch, up to
+// and including the final chunk.
+func (p *plane) recvData(l *link, round int, inject func(due, to int, env sim.Envelope) error) error {
+	for {
+		f, err := l.next()
+		if err != nil {
+			return err
+		}
+		switch f.typ {
+		case frameData:
+		case frameAbort:
+			var a abortMsg
+			_ = decodeJSON(f, &a)
+			return fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg)
+		default:
+			return fmt.Errorf("cluster: expected data from shard %d, got %s", l.peer, frameName(f.typ))
+		}
+		b := f.payload
+		epoch, b, err := wire.ReadUvarint(b)
+		if err != nil {
+			return err
+		}
+		if epoch != p.epoch {
+			return fmt.Errorf("cluster: shard %d at barrier epoch %d, expected %d", l.peer, epoch, p.epoch)
+		}
+		r, b, err := wire.ReadUvarint(b)
+		if err != nil {
+			return err
+		}
+		if int(r) != round {
+			return fmt.Errorf("cluster: shard %d flushed round %d, expected %d", l.peer, r, round)
+		}
+		if len(b) == 0 {
+			return fmt.Errorf("cluster: data frame from shard %d truncated at final flag", l.peer)
+		}
+		final := b[0]
+		b = b[1:]
+		if final > 1 {
+			return fmt.Errorf("cluster: bad final flag %d from shard %d", final, l.peer)
+		}
+		cnt, b, err := wire.ReadCount(b)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < cnt; i++ {
+			e, rest, err := wire.DecodeEnvelope(b)
+			if err != nil {
+				return fmt.Errorf("cluster: envelope %d/%d from shard %d: %w", i+1, cnt, l.peer, err)
+			}
+			b = rest
+			if err := inject(e.Due, e.To, sim.Envelope{Port: e.Port, From: e.From, Payload: e.Msg}); err != nil {
+				return err
+			}
+		}
+		if len(b) != 0 {
+			return fmt.Errorf("cluster: %d trailing bytes in data frame from shard %d", len(b), l.peer)
+		}
+		if final == 1 {
+			return nil
+		}
+	}
+}
+
+// Advance reports this shard's next event round and adopts the global one.
+func (p *plane) Advance(round, localNext int) (int, error) {
+	if p.shard == 0 {
+		return p.advanceCoordinator(localNext)
+	}
+	p.buf = binary.AppendUvarint(p.buf[:0], p.epoch)
+	p.buf = binary.AppendVarint(p.buf, int64(localNext))
+	l := p.links[0]
+	if err := l.write(frameReady, p.buf); err != nil {
+		return 0, p.abort(err)
+	}
+	if err := l.flush(); err != nil {
+		return 0, p.abort(err)
+	}
+	p.stats.countFrame(len(p.buf))
+	f, err := l.next()
+	if err != nil {
+		return 0, p.abort(err)
+	}
+	switch f.typ {
+	case frameAdvance:
+	case frameAbort:
+		var a abortMsg
+		_ = decodeJSON(f, &a)
+		return 0, p.abort(fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg))
+	default:
+		return 0, p.abort(fmt.Errorf("cluster: expected advance, got %s", frameName(f.typ)))
+	}
+	epoch, next, err := decodeEpochNext(f.payload)
+	if err != nil {
+		return 0, p.abort(err)
+	}
+	if epoch != p.epoch {
+		return 0, p.abort(fmt.Errorf("cluster: advance for epoch %d, expected %d", epoch, p.epoch))
+	}
+	return next, nil
+}
+
+// advanceCoordinator collects every worker's ready, decides the global
+// minimum next event round, and broadcasts it.
+func (p *plane) advanceCoordinator(localNext int) (int, error) {
+	global := localNext
+	for _, l := range p.links {
+		if l == nil {
+			continue
+		}
+		f, err := l.next()
+		if err != nil {
+			return 0, p.abort(err)
+		}
+		switch f.typ {
+		case frameReady:
+		case frameAbort:
+			var a abortMsg
+			_ = decodeJSON(f, &a)
+			return 0, p.abort(fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg))
+		default:
+			return 0, p.abort(fmt.Errorf("cluster: expected ready from shard %d, got %s", l.peer, frameName(f.typ)))
+		}
+		epoch, theirs, err := decodeEpochNext(f.payload)
+		if err != nil {
+			return 0, p.abort(err)
+		}
+		if epoch != p.epoch {
+			return 0, p.abort(fmt.Errorf("cluster: shard %d ready for epoch %d, expected %d", l.peer, epoch, p.epoch))
+		}
+		if theirs >= 0 && (global < 0 || theirs < global) {
+			global = theirs
+		}
+	}
+	for _, l := range p.links {
+		if l == nil {
+			continue
+		}
+		p.buf = binary.AppendUvarint(p.buf[:0], p.epoch)
+		p.buf = binary.AppendVarint(p.buf, int64(global))
+		if err := l.write(frameAdvance, p.buf); err != nil {
+			return 0, p.abort(err)
+		}
+		if err := l.flush(); err != nil {
+			return 0, p.abort(err)
+		}
+		p.stats.countFrame(len(p.buf))
+	}
+	return global, nil
+}
+
+// decodeEpochNext parses a ready/advance payload.
+func decodeEpochNext(b []byte) (uint64, int, error) {
+	epoch, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	next, b, err := wire.ReadVarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(b) != 0 {
+		return 0, 0, fmt.Errorf("cluster: %d trailing bytes in barrier frame", len(b))
+	}
+	if next < -1 || next > int64(int(^uint(0)>>1)) {
+		return 0, 0, fmt.Errorf("cluster: barrier next round %d out of range", next)
+	}
+	return epoch, int(next), nil
+}
+
+// abort marks the session broken, tells every peer, and returns err.
+func (p *plane) abort(err error) error {
+	if p.aborted {
+		return err
+	}
+	p.aborted = true
+	for _, l := range p.links {
+		if l == nil {
+			continue
+		}
+		_ = l.writeJSON(frameAbort, abortMsg{Shard: p.shard, Msg: err.Error()})
+		_ = l.flush()
+	}
+	return err
+}

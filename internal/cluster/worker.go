@@ -1,0 +1,202 @@
+package cluster
+
+// A worker: one non-coordinator shard process. It joins through the
+// coordinator's bootstrap address, wires up its pairwise peer links, and
+// then runs jobs until told to shut down.
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// WorkerConfig parameterizes NewWorker.
+type WorkerConfig struct {
+	// Bootstrap is the coordinator's address.
+	Bootstrap string
+	// Shard is this process's shard id (1 <= Shard < cluster size; the
+	// coordinator is shard 0).
+	Shard int
+	// Listen is this worker's own listen address, for higher-numbered
+	// shards to dial (port 0 picks an ephemeral port).
+	Listen string
+	// DialTimeout bounds each connection attempt (0 = 10s).
+	DialTimeout time.Duration
+}
+
+// Worker is one joined shard process.
+type Worker struct {
+	cfg   WorkerConfig
+	ln    net.Listener
+	link0 *link
+}
+
+// NewWorker binds the worker's listener and joins the cluster through the
+// bootstrap address. The returned worker holds a live connection to the
+// coordinator; Run drives it.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Shard < 1 {
+		return nil, fmt.Errorf("cluster: worker shard id must be >= 1, got %d (shard 0 is the coordinator)", cfg.Shard)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Bootstrap, cfg.DialTimeout)
+	if err != nil {
+		_ = ln.Close()
+		return nil, fmt.Errorf("cluster: joining %s: %w", cfg.Bootstrap, err)
+	}
+	if err := writeJSONFrame(conn, frameHello, helloMsg{Proto: proto, Shard: cfg.Shard, Addr: advertiseAddr(ln, cfg.Listen)}); err != nil {
+		_ = conn.Close()
+		_ = ln.Close()
+		return nil, err
+	}
+	return &Worker{cfg: cfg, ln: ln, link0: newLink(0, conn)}, nil
+}
+
+// advertiseAddr is the address peers should dial: the listener's bound
+// address, which resolves the ephemeral port of a ":0" listen spec.
+func advertiseAddr(ln net.Listener, spec string) string {
+	addr := ln.Addr().String()
+	// A wildcard listen ("[::]:7001") is undialable as written; keep the
+	// port but let peers use the bootstrap-visible host from the spec if
+	// it named one.
+	if host, _, err := net.SplitHostPort(spec); err == nil && host != "" {
+		if _, port, err := net.SplitHostPort(addr); err == nil {
+			return net.JoinHostPort(host, port)
+		}
+	}
+	return addr
+}
+
+// Addr returns the worker's bound listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Run completes the pairwise link setup and serves jobs until the
+// coordinator shuts the session down (nil) or the session breaks (error).
+func (w *Worker) Run() error {
+	links, err := w.setup()
+	defer func() {
+		for _, l := range links {
+			if l != nil {
+				l.close()
+			}
+		}
+		if w.link0 != nil && links == nil {
+			w.link0.close()
+		}
+		_ = w.ln.Close()
+	}()
+	if err != nil {
+		return err
+	}
+	shards := len(links)
+	for {
+		// Idle between jobs is normal (a -serve cluster may not see a
+		// submission for hours); only a dead connection ends the wait.
+		f, err := w.link0.nextWait()
+		if err != nil {
+			return err
+		}
+		switch f.typ {
+		case frameStart:
+			var st startMsg
+			if err := decodeJSON(f, &st); err != nil {
+				return err
+			}
+			pr := runShard(links, w.cfg.Shard, shards, st.JobID, st.Spec)
+			if err := w.link0.writeJSON(frameResult, pr); err != nil {
+				return err
+			}
+			if err := w.link0.flush(); err != nil {
+				return err
+			}
+			if pr.Err != "" {
+				return fmt.Errorf("cluster: job %d failed on shard %d: %s", st.JobID, w.cfg.Shard, pr.Err)
+			}
+		case frameShutdown:
+			return nil
+		case frameAbort:
+			var a abortMsg
+			_ = decodeJSON(f, &a)
+			return fmt.Errorf("cluster: shard %d aborted the session: %s", a.Shard, a.Msg)
+		default:
+			return fmt.Errorf("cluster: worker expected start or shutdown, got %s", frameName(f.typ))
+		}
+	}
+}
+
+// setup consumes the peer directory and establishes the pairwise links:
+// dial every lower-numbered worker, accept every higher-numbered one.
+func (w *Worker) setup() ([]*link, error) {
+	// The directory arrives only once every shard has joined — and a
+	// human starting workers by hand may take minutes between them.
+	f, err := w.link0.nextWait()
+	if err != nil {
+		return nil, err
+	}
+	if f.typ != framePeers {
+		return nil, fmt.Errorf("cluster: expected peers from the coordinator, got %s", frameName(f.typ))
+	}
+	var peers peersMsg
+	if err := decodeJSON(f, &peers); err != nil {
+		return nil, err
+	}
+	shards := len(peers.Addrs)
+	if w.cfg.Shard >= shards {
+		return nil, fmt.Errorf("cluster: shard id %d outside the %d-shard directory", w.cfg.Shard, shards)
+	}
+	links := make([]*link, shards)
+	links[0] = w.link0
+	for p := 1; p < w.cfg.Shard; p++ {
+		conn, err := net.DialTimeout("tcp", peers.Addrs[p], w.cfg.DialTimeout)
+		if err != nil {
+			return links, fmt.Errorf("cluster: dialing shard %d at %s: %w", p, peers.Addrs[p], err)
+		}
+		if err := writeJSONFrame(conn, frameHello, helloMsg{Proto: proto, Shard: w.cfg.Shard}); err != nil {
+			_ = conn.Close()
+			return links, err
+		}
+		links[p] = newLink(p, conn)
+	}
+	for need := shards - 1 - w.cfg.Shard; need > 0; need-- {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return links, err
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		f, err := readFrame(conn)
+		if err != nil {
+			_ = conn.Close()
+			return links, err
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		var h helloMsg
+		if f.typ != frameHello {
+			_ = conn.Close()
+			return links, fmt.Errorf("cluster: shard %d expected a peer hello, got %s", w.cfg.Shard, frameName(f.typ))
+		}
+		if err := decodeJSON(f, &h); err != nil {
+			_ = conn.Close()
+			return links, err
+		}
+		if h.Proto != proto || h.Shard <= w.cfg.Shard || h.Shard >= shards || links[h.Shard] != nil {
+			_ = conn.Close()
+			return links, fmt.Errorf("cluster: bad peer hello from shard %d (proto %d)", h.Shard, h.Proto)
+		}
+		links[h.Shard] = newLink(h.Shard, conn)
+	}
+	// All pairwise links are up; no one dials this listener anymore.
+	_ = w.ln.Close()
+	if err := w.link0.writeJSON(frameUp, upMsg{Shard: w.cfg.Shard}); err != nil {
+		return links, err
+	}
+	if err := w.link0.flush(); err != nil {
+		return links, err
+	}
+	return links, nil
+}

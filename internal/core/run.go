@@ -36,6 +36,9 @@ type RunOptions struct {
 	// (sim.Config.DebugFrom). Debugging only: the model is anonymous, and
 	// the algotest conformance suite asserts runs are unchanged by it.
 	DebugFrom bool
+	// Remote, when non-nil, hosts this run's shard of a distributed
+	// election (sim.Config.Remote; see internal/cluster).
+	Remote sim.RemotePlane
 }
 
 // Result summarizes one election run.
@@ -118,6 +121,7 @@ func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
 		Fault:          opts.Fault,
 		Observer:       opts.Observer,
 		FaultObserver:  opts.FaultObserver,
+		Remote:         opts.Remote,
 	}
 	metrics, err := sim.Run(simCfg, procs)
 	if err != nil {

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
@@ -84,9 +83,7 @@ func UnitKey(dataID, pointKey string, trial int) string {
 // layer that fans work out (the harness here, the electd scheduler in
 // internal/serve) goes through it so identical keys replay identically.
 func SeedForKey(master int64, key string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return sim.DeriveSeed(master, h.Sum64())
+	return sim.SeedForKey(master, key)
 }
 
 // trialSeed is the harness-internal alias of SeedForKey.

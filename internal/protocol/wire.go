@@ -1,0 +1,207 @@
+package protocol
+
+// Wire codecs for the paper's protocol messages, so gilbertrs18 elections
+// can cross shard boundaries in the cluster runtime (internal/cluster).
+// The bit-size field is carried explicitly: the receiving shard must
+// account the exact size the sending codec computed, whatever sizing mode
+// the run used.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// Wire ids of the protocol messages. Part of the wire format: never reuse.
+const (
+	wireToken = 1
+	wireUp    = 2
+	wireDown  = 3
+)
+
+func init() {
+	wire.Register(wireToken, wire.MsgCodec{
+		Kind:   KindToken,
+		Append: appendToken,
+		Decode: decodeToken,
+	})
+	wire.Register(wireUp, wire.MsgCodec{
+		Kind:   KindUp,
+		Append: appendUp,
+		Decode: decodeUp,
+	})
+	wire.Register(wireDown, wire.MsgCodec{
+		Kind:   KindDown,
+		Append: appendDown,
+		Decode: decodeDown,
+	})
+}
+
+func appendToken(buf []byte, m sim.Message) ([]byte, error) {
+	t, ok := m.(*TokenMsg)
+	if !ok {
+		return buf, fmt.Errorf("wire: token codec got %T", m)
+	}
+	buf = binary.AppendUvarint(buf, uint64(t.Origin))
+	buf = binary.AppendUvarint(buf, uint64(t.Phase))
+	buf = binary.AppendUvarint(buf, uint64(t.Remaining))
+	buf = binary.AppendUvarint(buf, uint64(t.Count))
+	buf = binary.AppendUvarint(buf, uint64(t.Win))
+	buf = binary.AppendUvarint(buf, uint64(t.bits))
+	return buf, nil
+}
+
+func decodeToken(b []byte) (sim.Message, error) {
+	var f [5]uint64
+	var err error
+	for i := range f {
+		if f[i], b, err = wire.ReadUvarint(b); err != nil {
+			return nil, err
+		}
+	}
+	bits, b, err := wire.ReadBits(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in token", wire.ErrCorrupt, len(b))
+	}
+	return &TokenMsg{Origin: ID(f[0]), Phase: int(f[1]), Remaining: int(f[2]),
+		Count: int(f[3]), Win: ID(f[4]), bits: bits}, nil
+}
+
+func appendUp(buf []byte, m sim.Message) ([]byte, error) {
+	u, ok := m.(*UpMsg)
+	if !ok {
+		return buf, fmt.Errorf("wire: up codec got %T", m)
+	}
+	buf = binary.AppendUvarint(buf, uint64(u.Origin))
+	buf = binary.AppendUvarint(buf, uint64(u.Phase))
+	buf = append(buf, byte(u.Stage))
+	buf = binary.AppendVarint(buf, int64(u.DDelta))
+	buf = binary.AppendVarint(buf, int64(u.PDelta))
+	buf = binary.AppendUvarint(buf, uint64(u.Win))
+	buf = binary.AppendUvarint(buf, uint64(u.bits))
+	buf = appendIDs(buf, u.IDs)
+	return buf, nil
+}
+
+func decodeUp(b []byte) (sim.Message, error) {
+	origin, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	phase, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: up message truncated at stage", wire.ErrCorrupt)
+	}
+	stage := UpStage(b[0])
+	b = b[1:]
+	dDelta, b, err := wire.ReadVarint(b)
+	if err != nil {
+		return nil, err
+	}
+	pDelta, b, err := wire.ReadVarint(b)
+	if err != nil {
+		return nil, err
+	}
+	win, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	bits, b, err := wire.ReadBits(b)
+	if err != nil {
+		return nil, err
+	}
+	ids, b, err := decodeIDs(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in up message", wire.ErrCorrupt, len(b))
+	}
+	return &UpMsg{Origin: ID(origin), Phase: int(phase), Stage: stage, IDs: ids,
+		DDelta: int(dDelta), PDelta: int(pDelta), Win: ID(win), bits: bits}, nil
+}
+
+func appendDown(buf []byte, m sim.Message) ([]byte, error) {
+	d, ok := m.(*DownMsg)
+	if !ok {
+		return buf, fmt.Errorf("wire: down codec got %T", m)
+	}
+	buf = binary.AppendUvarint(buf, uint64(d.Origin))
+	buf = binary.AppendUvarint(buf, uint64(d.Phase))
+	buf = append(buf, byte(d.Op))
+	buf = binary.AppendUvarint(buf, uint64(d.Win))
+	buf = binary.AppendUvarint(buf, uint64(d.bits))
+	buf = appendIDs(buf, d.IDs)
+	return buf, nil
+}
+
+func decodeDown(b []byte) (sim.Message, error) {
+	origin, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	phase, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: down message truncated at op", wire.ErrCorrupt)
+	}
+	op := DownOp(b[0])
+	b = b[1:]
+	win, b, err := wire.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	bits, b, err := wire.ReadBits(b)
+	if err != nil {
+		return nil, err
+	}
+	ids, b, err := decodeIDs(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in down message", wire.ErrCorrupt, len(b))
+	}
+	return &DownMsg{Origin: ID(origin), Phase: int(phase), Op: op, IDs: ids,
+		Win: ID(win), bits: bits}, nil
+}
+
+// appendIDs encodes an id slice, count-prefixed. A nil slice and an empty
+// one encode identically; decode returns nil for count zero, matching how
+// the constructors leave absent id sets nil.
+func appendIDs(buf []byte, ids []ID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	return buf
+}
+
+func decodeIDs(b []byte) ([]ID, []byte, error) {
+	n, b, err := wire.ReadCount(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	ids := make([]ID, n)
+	for i := range ids {
+		var v uint64
+		if v, b, err = wire.ReadUvarint(b); err != nil {
+			return nil, nil, err
+		}
+		ids[i] = ID(v)
+	}
+	return ids, b, nil
+}

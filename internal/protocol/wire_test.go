@@ -1,0 +1,99 @@
+package protocol
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// roundTrip encodes one message and decodes it back.
+func roundTrip(t *testing.T, m sim.Message) sim.Message {
+	t.Helper()
+	buf, err := wire.AppendMessage(nil, m)
+	if err != nil {
+		t.Fatalf("encoding %#v: %v", m, err)
+	}
+	got, err := wire.DecodeMessage(buf)
+	if err != nil {
+		t.Fatalf("decoding %#v: %v", m, err)
+	}
+	return got
+}
+
+// TestWireRoundTripProperty: randomized round-trip over every protocol
+// message kind. Equality is structural, including the unexported bit
+// accounting: the receiving shard must account exactly what the sender
+// paid.
+func TestWireRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c, err := NewCodec(512, ModeCongest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randID := func() ID { return RandomID(rng.Uint64, 512) }
+	randIDs := func() []ID {
+		k := rng.Intn(c.MaxIDs + 1)
+		if k == 0 {
+			return nil
+		}
+		ids := make([]ID, k)
+		for i := range ids {
+			ids[i] = randID()
+		}
+		return ids
+	}
+	for i := 0; i < 500; i++ {
+		tok := c.Token(randID(), rng.Intn(40), rng.Intn(1<<16), rng.Intn(1<<20))
+		tok.Win = ID(rng.Intn(3)) * randID() // sometimes zero
+		if got := roundTrip(t, tok); !reflect.DeepEqual(got, tok) {
+			t.Fatalf("token round trip:\n got %#v\nwant %#v", got, tok)
+		}
+
+		up, err := c.Up(randID(), rng.Intn(40), UpStage(1+rng.Intn(3)), randIDs(),
+			rng.Intn(2001)-1000, rng.Intn(2001)-1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		up.Win = ID(rng.Intn(3)) * randID()
+		if got := roundTrip(t, up); !reflect.DeepEqual(got, up) {
+			t.Fatalf("up round trip:\n got %#v\nwant %#v", got, up)
+		}
+
+		down, err := c.Down(randID(), rng.Intn(40), DownOp(1+rng.Intn(3)), randIDs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		down.Win = ID(rng.Intn(3)) * randID()
+		if got := roundTrip(t, down); !reflect.DeepEqual(got, down) {
+			t.Fatalf("down round trip:\n got %#v\nwant %#v", got, down)
+		}
+	}
+}
+
+// TestWireDecodeRejectsTruncation: every prefix of a valid encoding fails
+// loudly instead of decoding to something else.
+func TestWireDecodeRejectsTruncation(t *testing.T) {
+	c, err := NewCodec(128, ModeCongest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := c.Up(42, 3, UpX1, []ID{7}, -2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := wire.AppendMessage(nil, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := wire.DecodeMessage(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded cleanly", cut, len(buf))
+		}
+	}
+	if _, err := wire.DecodeMessage(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+}

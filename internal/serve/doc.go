@@ -19,7 +19,7 @@
 //     enqueues a job of points (graph x trials x algorithm x fault plane
 //     x resend); each point runs as one algo.RunMany batch of its chosen
 //     backend across the MultiRunner worker pool with seeds derived from
-//     the job's master seed via experiments.SeedForKey, so a job's
+//     the job's master seed via the sim.SeedForKey contract, so a job's
 //     "result" object is a deterministic, byte-identical function of
 //     (registered graphs, request). A full queue rejects with 429
 //     (backpressure); wall-clock observations are fenced into a separate

@@ -23,6 +23,9 @@ type Options struct {
 	// Graphs pre-registers named graphs at construction (e.g. from a
 	// daemon's -graphs file); construction fails if any spec is invalid.
 	Graphs map[string]GraphSpec
+	// Cluster, when non-nil, dispatches every election to a wire-level
+	// cluster instead of the in-process engine (electd -cluster).
+	Cluster ClusterElector
 	// testBeforeRun is the scheduler's test hook (see SchedulerOptions).
 	testBeforeRun func(*Job)
 }
@@ -53,6 +56,7 @@ func NewServer(opts Options) (*Server, error) {
 			QueueCap:        opts.QueueCap,
 			ElectionWorkers: opts.ElectionWorkers,
 			RetainJobs:      opts.RetainJobs,
+			Cluster:         opts.Cluster,
 			testBeforeRun:   opts.testBeforeRun,
 		}),
 		Met: met,

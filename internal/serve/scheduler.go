@@ -11,7 +11,6 @@ import (
 
 	"wcle/internal/algo"
 	"wcle/internal/core"
-	"wcle/internal/experiments"
 	"wcle/internal/sim"
 	"wcle/internal/stats"
 )
@@ -31,6 +30,15 @@ var (
 	// ErrDraining means the scheduler no longer accepts work (503).
 	ErrDraining = errors.New("serve: scheduler is draining")
 )
+
+// ClusterElector dispatches one election to a wire-level cluster instead
+// of the in-process engine. internal/cluster's Client implements it;
+// electd's -cluster flag plugs it in. The determinism contract is the
+// same either way: identical (graph spec, algorithm, seed) means an
+// identical outcome, so a job's result does not depend on where it ran.
+type ClusterElector interface {
+	RunElection(spec GraphSpec, algorithm string, seed int64, resend, assumedN int) (*algo.Outcome, error)
+}
 
 // Job is one submitted election batch moving through the scheduler.
 type Job struct {
@@ -90,6 +98,10 @@ type Scheduler struct {
 	// (0 = runtime.NumCPU()).
 	electionWorkers int
 
+	// cluster, when non-nil, dispatches every election to a wire-level
+	// cluster instead of running in process.
+	cluster ClusterElector
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	finished []string // finished job ids, oldest first, for bounded retention
@@ -119,6 +131,10 @@ type SchedulerOptions struct {
 	// endpoint returns 404 — without a bound a long-running daemon's job
 	// map would grow until OOM.
 	RetainJobs int
+	// Cluster, when non-nil, dispatches every election to a wire-level
+	// cluster. Fault planes are rejected at submission in cluster mode
+	// (the cluster runs the perfect delivery plane only).
+	Cluster ClusterElector
 	// testBeforeRun, when non-nil, runs on the worker goroutine before a
 	// job executes; tests use it to hold workers busy deterministically.
 	// Construction-time only, so workers never race a later mutation.
@@ -143,6 +159,7 @@ func NewScheduler(reg *Registry, met *Metrics, opts SchedulerOptions) *Scheduler
 		reg:             reg,
 		met:             met,
 		electionWorkers: opts.ElectionWorkers,
+		cluster:         opts.Cluster,
 		jobs:            make(map[string]*Job),
 		retain:          retain,
 		queue:           make(chan *Job, queueCap),
@@ -165,6 +182,13 @@ func NewScheduler(reg *Registry, met *Metrics, opts SchedulerOptions) *Scheduler
 func (s *Scheduler) Submit(req SubmitRequest) (*Job, error) {
 	if err := req.Validate(s.reg); err != nil {
 		return nil, err
+	}
+	if s.cluster != nil {
+		for i, p := range req.Points {
+			if !p.Fault.IsZero() {
+				return nil, fmt.Errorf("serve: point %d: fault planes are not supported in cluster mode (the wire runs the perfect delivery plane)", i)
+			}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -302,11 +326,20 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 			// this is unreachable unless the request mutated.
 			return nil, fmt.Errorf("serve: point %d: unknown graph %q", i, p.Graph)
 		}
-		baseSeed := experiments.SeedForKey(req.Seed, fmt.Sprintf("electd|%d|%s", i, p.Key()))
+		baseSeed := sim.SeedForKey(req.Seed, fmt.Sprintf("electd|%d|%s", i, p.Key()))
+		algName := algo.Resolve(p.Algorithm)
+		if s.cluster != nil {
+			pr, err := s.runPointCluster(i, p, algName, baseSeed, reg)
+			if err != nil {
+				return nil, err
+			}
+			s.attachProfile(&pr, p.Graph)
+			out.Points = append(out.Points, pr)
+			continue
+		}
 		cfg := core.DefaultConfig()
 		cfg.Resend = p.Resend
 		cfg.AssumedN = p.AssumedN
-		algName := algo.Resolve(p.Algorithm)
 		backend, err := algo.New(algName, algo.Config{Core: cfg})
 		if err != nil {
 			// Validated at submission; the registry never unregisters.
@@ -344,14 +377,65 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 			Contenders:   batch.Contenders,
 			Summaries:    trialSummaries(batch),
 		}
-		if prof, err := s.reg.Profile(p.Graph); err != nil {
-			pr.SpectralError = err.Error()
-		} else {
-			pr.Spectral = prof
-		}
+		s.attachProfile(&pr, p.Graph)
 		out.Points = append(out.Points, pr)
 	}
 	return out, nil
+}
+
+// attachProfile adds the registry's cached spectral profile to a point
+// result (or the cached error).
+func (s *Scheduler) attachProfile(pr *PointResult, graph string) {
+	if prof, err := s.reg.Profile(graph); err != nil {
+		pr.SpectralError = err.Error()
+	} else {
+		pr.Spectral = prof
+	}
+}
+
+// runPointCluster executes one point's trials on the wire-level cluster,
+// one election per trial, with the exact per-trial seeds the in-process
+// path derives — so a job's result is identical wherever it ran.
+func (s *Scheduler) runPointCluster(i int, p PointSpec, algName string, baseSeed int64, reg *Registered) (PointResult, error) {
+	pr := PointResult{
+		Graph:     p.Graph,
+		Algorithm: algName,
+		Trials:    p.Trials,
+		Seed:      baseSeed,
+	}
+	rounds := make([]int32, p.Trials)
+	msgs := make([]int64, p.Trials)
+	contenders := make([]int32, p.Trials)
+	for t := 0; t < p.Trials; t++ {
+		out, err := s.cluster.RunElection(reg.Spec, algName, sim.DeriveSeed(baseSeed, uint64(t)), p.Resend, p.AssumedN)
+		if err != nil {
+			return pr, fmt.Errorf("serve: point %d trial %d on the cluster: %w", i, t, err)
+		}
+		switch len(out.Leaders) {
+		case 0:
+			pr.Zero++
+		case 1:
+			pr.One++
+		default:
+			pr.Multi++
+		}
+		pr.Messages += out.Metrics.Messages
+		pr.Bits += out.Metrics.Bits
+		pr.Rounds += int64(out.Rounds)
+		pr.Contenders += out.Contenders
+		rounds[t] = int32(out.Rounds)
+		msgs[t] = out.Metrics.Messages
+		contenders[t] = int32(out.Contenders)
+	}
+	pr.UniqueLeader = pr.One == pr.Trials
+	pr.Summaries = trialSummaries(&algo.BatchResult{
+		TrialRounds:     rounds,
+		TrialMessages:   msgs,
+		TrialContenders: contenders,
+	})
+	s.met.ElectionsServed.Add(int64(p.Trials))
+	s.met.AddAlgoElections(algName, int64(p.Trials))
+	return pr, nil
 }
 
 // trialSummaries aggregates the per-trial vectors of a collected batch.

@@ -1,6 +1,9 @@
 package sim
 
-import "math/rand"
+import (
+	"hash/fnv"
+	"math/rand"
+)
 
 // Rand is the per-node randomness source handed to processes. It aliases
 // math/rand.Rand; every node gets an independent deterministic stream
@@ -20,4 +23,16 @@ func DeriveSeed(master int64, idx uint64) int64 {
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
 	return int64(z)
+}
+
+// SeedForKey derives the deterministic seed of one unit of keyed work (a
+// trial, a setup, a service job point): the key's FNV-1a hash indexes a
+// DeriveSeed stream of the master seed. Every layer that derives seeds
+// from stable string keys (the experiment harness's trials, electd's job
+// points) goes through this one function so identical keys replay
+// identically everywhere.
+func SeedForKey(master int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return DeriveSeed(master, h.Sum64())
 }

@@ -1,0 +1,115 @@
+package sim
+
+// This file is the distribution extension point of the delivery plane: a
+// RemotePlane splits one synchronous-round simulation across processes.
+// Each process runs an ordinary Runner over the full graph but hosts only
+// a shard of its nodes; the plane carries cross-shard sends and realizes
+// the round barrier. internal/cluster implements it over TCP.
+//
+// The contract that keeps a sharded run byte-identical to a single-process
+// one: every shard steps the same global sequence of event rounds (the
+// barrier agrees on min-next-event across shards, preserving the skip-idle
+// -rounds optimization), a node's inbox holds the same port-sorted
+// envelopes wherever its neighbors live, and all per-node randomness
+// derives from (seed, node index) — so hosting a node on another process
+// moves work, never outcomes.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RemotePlane hosts a shard of a distributed run. Implementations carry
+// envelopes between shards and drive the synchronous-round barrier. All
+// methods are called from the Runner's goroutine only.
+type RemotePlane interface {
+	// Local reports whether this shard hosts node v. The Runner steps
+	// (and wakes) only local nodes; sends to non-local destinations go
+	// through Send.
+	Local(v int) bool
+
+	// Send ships one accepted send to the shard hosting `to`, for
+	// delivery at round `due`. Called during the current round's
+	// dispatch, before Flush(round).
+	Send(round, due, to int, env Envelope) error
+
+	// Flush completes the current round's cross-shard exchange: it must
+	// deliver every envelope any peer sent this round (invoking inject
+	// for each) before returning. The first call of a run happens at the
+	// initial round before anything is stepped and exchanges no
+	// envelopes; it still participates so every shard runs the same
+	// barrier sequence.
+	Flush(round int, inject func(due, to int, env Envelope) error) error
+
+	// Advance reports this shard's earliest pending event round
+	// (-1 = locally quiescent) and blocks until the cluster agrees on
+	// the global next round. It returns -1 when every shard is
+	// quiescent: the run is over.
+	Advance(round, localNext int) (int, error)
+}
+
+// errRemote wraps configuration errors of remote runs.
+var errRemote = errors.New("sim: remote plane")
+
+// validateRemote rejects configurations the distributed engine cannot
+// honor deterministically: the fault plane and the message budget both
+// consume global streams (one random fate per send, one counter per send)
+// whose order a sharded run cannot reproduce.
+func validateRemote(cfg Config) error {
+	if cfg.Fault != nil {
+		if _, perfect := cfg.Fault.(Perfect); !perfect {
+			return fmt.Errorf("%w: fault planes are not supported on a sharded run (the adversary's random stream is ordered by the global send sequence)", errRemote)
+		}
+	}
+	if cfg.MessageBudget > 0 {
+		return fmt.Errorf("%w: MessageBudget is not supported on a sharded run (the budget counter is ordered by the global send sequence)", errRemote)
+	}
+	return nil
+}
+
+// inject delivers one envelope received from a peer shard into the local
+// transport.
+func (r *Runner) inject(due, to int, env Envelope) error {
+	if !r.cfg.Remote.Local(to) {
+		return fmt.Errorf("%w: received an envelope for node %d, which this shard does not host", errRemote, to)
+	}
+	if due <= r.round {
+		return fmt.Errorf("%w: received an envelope due at round %d while at round %d", errRemote, due, r.round)
+	}
+	r.tr.send(r.round, due, to, env)
+	return nil
+}
+
+// runRemote is the distributed Run loop: one barrier iteration per global
+// event round. Its structure — flush, report local next event, adopt the
+// global one, step — is identical on every shard, so the barrier sequence
+// is too.
+func (r *Runner) runRemote() error {
+	plane := r.cfg.Remote
+	for {
+		if err := plane.Flush(r.round, r.inject); err != nil {
+			return err
+		}
+		localNext := -1
+		if !r.Quiet() {
+			localNext = r.nextEventRound()
+		}
+		next, err := plane.Advance(r.round, localNext)
+		if err != nil {
+			return err
+		}
+		if next < 0 {
+			return nil
+		}
+		if next < r.round || (localNext >= 0 && next > localNext) {
+			return fmt.Errorf("%w: barrier advanced to round %d (at %d, local next %d)", errRemote, next, r.round, localNext)
+		}
+		if next > r.cfg.MaxRounds {
+			return fmt.Errorf("%w (%d), %d messages so far", ErrMaxRounds, r.cfg.MaxRounds, r.metrics.Messages)
+		}
+		r.round = next
+		if err := r.stepRound(); err != nil {
+			return err
+		}
+	}
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// delivery (and skips the per-send fault calls entirely).
 	Fault FaultPlane
 
+	// Remote, when non-nil, makes this Runner host one shard of a
+	// distributed run (see remote.go): only nodes the plane reports as
+	// Local are woken and stepped, cross-shard sends travel through the
+	// plane, and round advancement goes through its barrier. Fault
+	// planes and message budgets are rejected on sharded runs.
+	Remote RemotePlane
+
 	// Observer, when non-nil, is invoked for every accepted send.
 	Observer Observer
 
@@ -241,6 +248,11 @@ func NewRunner(cfg Config, procs []Process) (*Runner, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
+	if cfg.Remote != nil {
+		if err := validateRemote(cfg); err != nil {
+			return nil, err
+		}
+	}
 	r := &Runner{
 		cfg:     cfg,
 		g:       cfg.Graph,
@@ -269,8 +281,13 @@ func NewRunner(cfg Config, procs []Process) (*Runner, error) {
 	return r, nil
 }
 
-// Wake schedules node to step at the given round (must be >= current round).
+// Wake schedules node to step at the given round (must be >= current
+// round). On a sharded run, wakes for nodes this shard does not host are
+// ignored: their hosting shard schedules them.
 func (r *Runner) Wake(node, round int) {
+	if r.cfg.Remote != nil && !r.cfg.Remote.Local(node) {
+		return
+	}
 	if round < r.round {
 		round = r.round
 	}
@@ -301,8 +318,13 @@ func (r *Runner) Metrics() Metrics {
 func (r *Runner) Quiet() bool { return !r.tr.pending() && !r.sched.pending() }
 
 // Run advances rounds until quiescence (no pending messages, no pending
-// wakes) or until MaxRounds, whichever comes first.
+// wakes) or until MaxRounds, whichever comes first. On a sharded run,
+// quiescence is global: the run ends when every shard's barrier agrees
+// nothing is pending anywhere.
 func (r *Runner) Run() error {
+	if r.cfg.Remote != nil {
+		return r.runRemote()
+	}
 	for !r.Quiet() {
 		next := r.nextEventRound()
 		if next > r.cfg.MaxRounds {
@@ -415,7 +437,9 @@ func (r *Runner) stepRound() error {
 		}
 		ctx.wakes = ctx.wakes[:0]
 	}
-	return nil
+	// A remote send may have failed during dispatch (stepErr is also how
+	// the plane surfaces a broken connection mid-round).
+	return r.stepErr
 }
 
 func (r *Runner) stepNode(v int) {
@@ -529,7 +553,14 @@ func (r *Runner) dispatch(from, fromPort int, payload Message) {
 	if r.cfg.DebugFrom {
 		sender = from
 	}
-	r.tr.send(r.round, due, to, Envelope{Port: toPort, From: sender, Payload: payload})
+	env := Envelope{Port: toPort, From: sender, Payload: payload}
+	if r.cfg.Remote != nil && !r.cfg.Remote.Local(to) {
+		if err := r.cfg.Remote.Send(r.round, due, to, env); err != nil && r.stepErr == nil {
+			r.stepErr = fmt.Errorf("sim: remote send from node %d at round %d: %w", from, r.round, err)
+		}
+		return
+	}
+	r.tr.send(r.round, due, to, env)
 }
 
 // Run is the one-shot convenience wrapper: wake every node at round 0 and

@@ -1,0 +1,59 @@
+package wire_test
+
+import (
+	"testing"
+
+	"wcle/internal/protocol"
+	"wcle/internal/wire"
+)
+
+// FuzzWireDecode: the decoders are total functions. Whatever bytes arrive
+// on a cluster connection, decoding returns a message or an error — never
+// a panic, never an allocation the input did not pay for.
+func FuzzWireDecode(f *testing.F) {
+	c, err := protocol.NewCodec(128, protocol.ModeCongest)
+	if err != nil {
+		f.Fatal(err)
+	}
+	up, err := c.Up(42, 3, protocol.UpX1, []protocol.ID{7}, -2, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	down, err := c.Down(41, 2, protocol.DownFinal, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, m := range []interface {
+		Bits() int
+		Kind() string
+	}{c.Token(9, 1, 30, 4), up, down} {
+		env, err := wire.AppendEnvelope(nil, wire.Envelope{Due: 7, To: 3, Port: 1, From: -1, Msg: m})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(env)
+		msg, err := wire.AppendMessage(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(msg)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Both entry points a peer's bytes reach: envelope framing (the
+		// data-frame path) and bare messages.
+		if e, rest, err := wire.DecodeEnvelope(data); err == nil {
+			if e.Msg == nil {
+				t.Fatal("decoded envelope with nil message")
+			}
+			_ = e.Msg.Bits()
+			_ = e.Msg.Kind()
+			_ = rest
+		}
+		if m, err := wire.DecodeMessage(data); err == nil {
+			_ = m.Bits()
+			_ = m.Kind()
+		}
+	})
+}

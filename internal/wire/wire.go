@@ -1,0 +1,242 @@
+// Package wire is the binary codec layer of the cluster runtime: it turns
+// sim messages and delivery envelopes into length-prefixed frames that
+// cross real TCP connections between electnode processes (internal/cluster)
+// and back, byte-for-byte deterministically.
+//
+// The codec is a registry: every concrete sim.Message type that may cross a
+// shard boundary registers a MsgCodec under a one-byte wire id, keyed by
+// the message's Kind() string on the encode side. The protocol package
+// registers the paper's token/up/down messages, the baseline package its
+// FloodMax id message, and the algo package the kpprt announcement/reply —
+// so a new backend makes itself cluster-capable by registering its message
+// types here, with no change to the transport.
+//
+// Decoders are total functions: arbitrary bytes must decode to an error,
+// never a panic or an unbounded allocation (FuzzWireDecode holds them to
+// it). Every variable-length field is length-prefixed and validated
+// against the remaining input before allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"wcle/internal/sim"
+)
+
+// ErrCorrupt is wrapped by every decode failure.
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// maxBits caps the decoded size claim of a single message: a message
+// pretending to be larger than any CONGEST cap we would ever configure is
+// corrupt, not big.
+const maxBits = 1 << 30
+
+// MsgCodec encodes and decodes one concrete sim.Message type.
+type MsgCodec struct {
+	// Kind is the message type's Kind() string, the encode-side key.
+	Kind string
+	// Append encodes m's payload (without the wire id) onto buf. It may
+	// assume m is the registered concrete type.
+	Append func(buf []byte, m sim.Message) ([]byte, error)
+	// Decode parses one payload, consuming it entirely (trailing bytes
+	// are corruption). It must be total: malformed input returns an
+	// error, never panics.
+	Decode func(payload []byte) (sim.Message, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	byID     [256]*MsgCodec
+	idByKind = map[string]byte{}
+)
+
+// Register binds a wire id to a message codec. Ids are part of the wire
+// format: once assigned, an id must keep its meaning across versions.
+// Double registration of an id or a kind panics (a build-time bug).
+func Register(id byte, c MsgCodec) {
+	if c.Kind == "" || c.Append == nil || c.Decode == nil {
+		panic("wire: Register needs a kind, an appender, and a decoder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if byID[id] != nil {
+		panic(fmt.Sprintf("wire: id %d registered twice (%q, %q)", id, byID[id].Kind, c.Kind))
+	}
+	if _, dup := idByKind[c.Kind]; dup {
+		panic(fmt.Sprintf("wire: kind %q registered twice", c.Kind))
+	}
+	cc := c
+	byID[id] = &cc
+	idByKind[c.Kind] = id
+}
+
+// Kinds lists the registered message kinds, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(idByKind))
+	for k := range idByKind {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppendMessage encodes m (wire id + payload) onto buf. Message types that
+// never registered a codec cannot cross a shard boundary — the error names
+// the kind so the fix (a wire registration) is obvious.
+func AppendMessage(buf []byte, m sim.Message) ([]byte, error) {
+	regMu.RLock()
+	id, ok := idByKind[m.Kind()]
+	var c *MsgCodec
+	if ok {
+		c = byID[id]
+	}
+	regMu.RUnlock()
+	if c == nil {
+		return buf, fmt.Errorf("wire: message kind %q has no registered codec (register it in wire to make the backend cluster-capable)", m.Kind())
+	}
+	buf = append(buf, id)
+	return c.Append(buf, m)
+}
+
+// DecodeMessage parses one encoded message (wire id + payload). The whole
+// input must be consumed: codecs reject trailing bytes.
+func DecodeMessage(b []byte) (sim.Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty message", ErrCorrupt)
+	}
+	id := b[0]
+	regMu.RLock()
+	c := byID[id]
+	regMu.RUnlock()
+	if c == nil {
+		return nil, fmt.Errorf("%w: unknown message id %d", ErrCorrupt, id)
+	}
+	return c.Decode(b[1:])
+}
+
+// Envelope is one delivery crossing a shard boundary: the flattened form
+// of a sim.Envelope plus its routing (destination node and due round).
+type Envelope struct {
+	Due  int
+	To   int
+	Port int
+	From int // -1 unless the run stamps sender indices (sim.Config.DebugFrom)
+	Msg  sim.Message
+}
+
+// AppendEnvelope encodes one envelope onto buf.
+func AppendEnvelope(buf []byte, e Envelope) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(e.Due))
+	buf = binary.AppendUvarint(buf, uint64(e.To))
+	buf = binary.AppendUvarint(buf, uint64(e.Port))
+	buf = binary.AppendVarint(buf, int64(e.From))
+	inner, err := AppendMessage(nil, e.Msg)
+	if err != nil {
+		return buf, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(inner)))
+	return append(buf, inner...), nil
+}
+
+// DecodeEnvelope parses one envelope and returns it plus the remaining
+// input.
+func DecodeEnvelope(b []byte) (Envelope, []byte, error) {
+	var e Envelope
+	due, b, err := ReadUvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	to, b, err := ReadUvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	port, b, err := ReadUvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	from, b, err := ReadVarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if due > uint64(maxInt) || to > uint64(maxInt) || port > uint64(maxInt) {
+		return e, nil, fmt.Errorf("%w: envelope field overflows int", ErrCorrupt)
+	}
+	if from < -1 || from > int64(maxInt) {
+		return e, nil, fmt.Errorf("%w: envelope sender %d out of range", ErrCorrupt, from)
+	}
+	inner, b, err := ReadBytes(b)
+	if err != nil {
+		return e, nil, err
+	}
+	m, err := DecodeMessage(inner)
+	if err != nil {
+		return e, nil, err
+	}
+	e = Envelope{Due: int(due), To: int(to), Port: int(port), From: int(from), Msg: m}
+	return e, b, nil
+}
+
+// ReadUvarint decodes a uvarint from the front of b.
+func ReadUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, b[n:], nil
+}
+
+// ReadVarint decodes a zigzag varint from the front of b.
+func ReadVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	return v, b[n:], nil
+}
+
+// ReadBytes decodes a length-prefixed byte slice from the front of b. The
+// claimed length is validated against the remaining input before any
+// allocation, so corrupt input cannot demand memory it did not pay for.
+func ReadBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("%w: %d-byte field in %d-byte input", ErrCorrupt, n, len(b))
+	}
+	return b[:n], b[n:], nil
+}
+
+// ReadBits decodes a message's bit-size field, bounding the claim.
+func ReadBits(b []byte) (int, []byte, error) {
+	v, rest, err := ReadUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > maxBits {
+		return 0, nil, fmt.Errorf("%w: message claims %d bits", ErrCorrupt, v)
+	}
+	return int(v), rest, nil
+}
+
+// ReadCount decodes a length-prefix for a sequence whose elements take at
+// least one byte each, so the count is validated against the remaining
+// input before the caller allocates.
+func ReadCount(b []byte) (int, []byte, error) {
+	v, rest, err := ReadUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("%w: %d elements in %d-byte input", ErrCorrupt, v, len(rest))
+	}
+	return int(v), rest, nil
+}

@@ -1,0 +1,77 @@
+package wire_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	_ "wcle/internal/algo" // registers every backend's message codecs
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// TestAllBackendKindsRegistered pins the codec registry to the message
+// kinds the shipped backends can put on an edge: a backend whose messages
+// cannot cross a shard boundary is not cluster-capable.
+func TestAllBackendKindsRegistered(t *testing.T) {
+	want := []string{
+		protocol.KindToken, protocol.KindUp, protocol.KindDown, // gilbertrs18
+		"floodmax",                      // floodmax
+		"kpprt-announce", "kpprt-reply", // kpprt
+	}
+	kinds := strings.Join(wire.Kinds(), ",")
+	for _, k := range want {
+		if !strings.Contains(kinds, k) {
+			t.Errorf("kind %q has no registered codec (registered: %s)", k, kinds)
+		}
+	}
+}
+
+// TestEnvelopeRoundTrip covers the envelope framing around a message.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	c, err := protocol.NewCodec(64, protocol.ModeCongest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []int{-1, 0, 17} {
+		e := wire.Envelope{Due: 12345, To: 63, Port: 5, From: from, Msg: c.Token(9, 2, 30, 4)}
+		buf, err := wire.AppendEnvelope(nil, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rest, err := wire.DecodeEnvelope(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d leftover bytes", len(rest))
+		}
+		if got.Due != e.Due || got.To != e.To || got.Port != e.Port || got.From != e.From {
+			t.Fatalf("envelope fields: got %+v, want %+v", got, e)
+		}
+		if !reflect.DeepEqual(got.Msg, e.Msg) {
+			t.Fatalf("payload: got %#v, want %#v", got.Msg, e.Msg)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := wire.DecodeEnvelope(buf[:cut]); err == nil {
+				t.Fatalf("truncation to %d/%d decoded cleanly", cut, len(buf))
+			}
+		}
+	}
+}
+
+// TestUnregisteredKind: a message type without a codec fails encode with a
+// message naming the kind.
+func TestUnregisteredKind(t *testing.T) {
+	if _, err := wire.AppendMessage(nil, strangeMsg{}); err == nil || !strings.Contains(err.Error(), "strange") {
+		t.Fatalf("expected an error naming the kind, got %v", err)
+	}
+}
+
+type strangeMsg struct{}
+
+func (strangeMsg) Bits() int    { return 1 }
+func (strangeMsg) Kind() string { return "strange" }
+
+var _ sim.Message = strangeMsg{}

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# cluster_local.sh — bring up an N-process election cluster on localhost
+# and run one wire-level election per registered backend.
+#
+# Usage: scripts/cluster_local.sh [shards] [n] [graph]
+#   shards  process count (default 3: one coordinator + two workers)
+#   n       graph size (default 48)
+#   graph   graph family (default clique)
+#
+# The script builds cmd/electnode, starts the coordinator in -serve mode
+# on an ephemeral port, joins shards-1 workers, submits one election per
+# backend (gilbertrs18, floodmax, kpprt), asserts exactly one leader per
+# election, and checks every process exits cleanly on shutdown. This is
+# also the CI cluster smoke job.
+set -euo pipefail
+
+SHARDS="${1:-3}"
+N="${2:-48}"
+GRAPH="${3:-clique}"
+SEED="${CLUSTER_SEED:-7}"
+
+workdir="$(mktemp -d)"
+bin="$workdir/electnode"
+ready="$workdir/coordinator.addr"
+worker_pids=()
+coord_pid=""
+
+cleanup() {
+    # Best-effort teardown for early exits; the happy path has already
+    # waited for everything.
+    [ -n "$coord_pid" ] && kill "$coord_pid" 2>/dev/null || true
+    for pid in "${worker_pids[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "cluster_local: building electnode..."
+go build -o "$bin" ./cmd/electnode
+
+echo "cluster_local: starting coordinator (-serve, $SHARDS shards)..."
+"$bin" -listen 127.0.0.1:0 -shards "$SHARDS" -serve -ready-file "$ready" \
+    2>"$workdir/coordinator.log" &
+coord_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$ready" ] && break
+    sleep 0.1
+done
+[ -s "$ready" ] || { echo "cluster_local: coordinator never wrote $ready" >&2; exit 1; }
+addr="$(cat "$ready")"
+echo "cluster_local: coordinator on $addr"
+
+for shard in $(seq 1 $((SHARDS - 1))); do
+    "$bin" -bootstrap "$addr" -shard "$shard" -listen 127.0.0.1:0 \
+        2>"$workdir/worker$shard.log" &
+    worker_pids+=($!)
+    echo "cluster_local: worker shard $shard started (pid ${worker_pids[-1]})"
+done
+
+fail=0
+for backend in gilbertrs18 floodmax kpprt; do
+    echo "cluster_local: electing with $backend on $GRAPH n=$N seed=$SEED..."
+    out="$("$bin" -submit "$addr" -graph "$GRAPH" -n "$N" -algo "$backend" -seed "$SEED")" || {
+        echo "cluster_local: FAIL: $backend submission errored" >&2
+        fail=1
+        continue
+    }
+    # "outcome: leaders=[27] success=true ..." — exactly one leader index.
+    leaders_list="$(printf '%s\n' "$out" | sed -n 's/^outcome: leaders=\[\([0-9 ]*\)\].*/\1/p')"
+    leaders="$(printf '%s' "$leaders_list" | wc -w)"
+    envelopes="$(printf '%s\n' "$out" | sed -n 's/^wire: .*envelopes=\([0-9]*\).*/\1/p')"
+    if [ "$leaders" != "1" ] || ! printf '%s\n' "$out" | grep -q 'success=true'; then
+        echo "cluster_local: FAIL: $backend elected $leaders leader(s)" >&2
+        printf '%s\n' "$out" >&2
+        fail=1
+    elif [ -z "$envelopes" ] || [ "$envelopes" -eq 0 ]; then
+        echo "cluster_local: FAIL: $backend sent no envelopes over the wire" >&2
+        printf '%s\n' "$out" >&2
+        fail=1
+    else
+        echo "cluster_local: OK: $backend elected exactly one leader ($envelopes envelopes on the wire)"
+    fi
+done
+
+echo "cluster_local: shutting down (SIGTERM to coordinator)..."
+kill -TERM "$coord_pid"
+if ! wait "$coord_pid"; then
+    echo "cluster_local: FAIL: coordinator exited non-zero" >&2
+    cat "$workdir/coordinator.log" >&2
+    fail=1
+fi
+coord_pid=""
+for i in "${!worker_pids[@]}"; do
+    if ! wait "${worker_pids[$i]}"; then
+        echo "cluster_local: FAIL: worker $((i + 1)) exited non-zero" >&2
+        cat "$workdir/worker$((i + 1)).log" >&2
+        fail=1
+    fi
+done
+worker_pids=()
+
+if [ "$fail" -ne 0 ]; then
+    echo "cluster_local: FAILED" >&2
+    exit 1
+fi
+echo "cluster_local: all backends elected one leader; clean shutdown. PASS"

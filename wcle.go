@@ -6,6 +6,7 @@ import (
 	"wcle/internal/algo"
 	"wcle/internal/baseline"
 	"wcle/internal/broadcast"
+	"wcle/internal/cluster"
 	"wcle/internal/core"
 	"wcle/internal/experiments"
 	"wcle/internal/graph"
@@ -77,6 +78,17 @@ type (
 	// GraphSpec names a graph family + parameters (or an explicit edge
 	// list) for the service layer's registry.
 	GraphSpec = serve.GraphSpec
+	// ClusterJob describes one election for the wire-level cluster
+	// runtime (internal/cluster): a graph spec, a backend, a seed, and
+	// the backend's regime knobs.
+	ClusterJob = cluster.JobSpec
+	// ClusterResult is a merged cluster election outcome: the
+	// backend-independent summary plus per-node send counts and
+	// bytes-on-the-wire accounting.
+	ClusterResult = cluster.Result
+	// LocalCluster is an in-process cluster on loopback TCP — real wire
+	// protocol, no separate processes (tests, experiments, examples).
+	LocalCluster = cluster.Local
 	// FaultSpec is the wire form of a delivery-plane adversary.
 	FaultSpec = serve.FaultSpec
 	// GraphRegistry stores named graphs with memoized spectral profiles
@@ -180,6 +192,19 @@ func ElectManyWith(algorithm string, g *Graph, cfg AlgorithmConfig, opts Algorit
 	}
 	return algo.RunMany(g, a, opts)
 }
+
+// ElectCluster runs one election on a running wire-level cluster: it
+// submits the job to the coordinator at the given address (see
+// cmd/electnode) and blocks until the merged result. The determinism
+// contract carries over the wire: the same ClusterJob elects the same
+// leader with the same per-node message counts as the in-process sim.
+func ElectCluster(coordinator string, job ClusterJob) (*ClusterResult, error) {
+	return cluster.Submit(coordinator, job)
+}
+
+// StartLocalCluster assembles a shards-process-shaped cluster inside this
+// process on loopback TCP. Close it when done.
+func StartLocalCluster(shards int) (*LocalCluster, error) { return cluster.StartLocal(shards) }
 
 // FloodMax runs the Omega(m)-message flooding baseline (explicit election).
 // horizon 0 means n rounds. ElectWith("floodmax", ...) is the registry
