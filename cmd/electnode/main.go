@@ -8,11 +8,19 @@
 //   - coordinator (default): listen on -listen, admit -shards-1 workers,
 //     then run the election described by the job flags and print the
 //     merged outcome. With -serve it instead stays up and answers
-//     submissions (-submit clients, electd -cluster) until SIGTERM.
+//     submissions (-submit clients, electd -cluster) until SIGTERM. With
+//     -supervise it runs the job as a leased election — workers
+//     heartbeat, a crashed shard triggers an automatic re-election over
+//     the survivors, and a restarted shard rejoins at the next epoch.
 //   - worker: join the coordinator at -bootstrap as shard -shard, serve
 //     jobs until the coordinator shuts the session down.
 //   - client: -submit <addr> sends the job flags to a running
 //     coordinator and prints the outcome.
+//
+// The fault flags (-drop, -delay-max, -crash-frac/-crash-round,
+// -partition-*) attach a delivery-plane adversary to the job. Every
+// plane they can express is shard-safe, so a faulty cluster run stays
+// byte-identical to the in-process sim at the same seed.
 //
 // Examples:
 //
@@ -20,7 +28,8 @@
 //	electnode -bootstrap 127.0.0.1:7000 -shard 1 -listen 127.0.0.1:7001
 //	electnode -bootstrap 127.0.0.1:7000 -shard 2 -listen 127.0.0.1:7002
 //	electnode -listen 127.0.0.1:7000 -shards 3 -serve
-//	electnode -submit 127.0.0.1:7000 -graph rr -n 64 -d 8 -algo gilbertrs18
+//	electnode -submit 127.0.0.1:7000 -graph rr -n 64 -d 8 -algo gilbertrs18 -drop 0.05
+//	electnode -listen 127.0.0.1:7000 -shards 3 -supervise -graph clique -n 48 -algo kpprt
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"wcle"
 	"wcle/internal/algo"
@@ -65,6 +75,16 @@ func run() error {
 		hops    = flag.Int("hops", 0, "kpprt referee-sampling walk length (0 = auto)")
 		resend  = flag.Int("resend", 0, "gilbertrs18 idempotent retransmissions")
 		jsonOut = flag.Bool("json", false, "print the full merged result as JSON")
+
+		drop          = flag.Float64("drop", 0, "fault plane: drop each send with this probability [0,1)")
+		delayMax      = flag.Int("delay-max", 0, "fault plane: delay each send by uniform [0,max] extra rounds")
+		crashFrac     = flag.Float64("crash-frac", 0, "fault plane: crash this fraction of nodes [0,1)")
+		crashRound    = flag.Int("crash-round", 0, "fault plane: the round the sampled nodes crash at")
+		partitionFrac = flag.Float64("partition-frac", 0, "fault plane: cut off a sampled minority of this fraction [0,1)")
+		partitionFrom = flag.Int("partition-from", 0, "fault plane: first round of the partition")
+		partitionTo   = flag.Int("partition-to", 0, "fault plane: first round after the heal (<= from never heals)")
+
+		supervise = flag.Bool("supervise", false, "coordinator mode: supervise the job flags as a leased election — heartbeats, crash detection, automatic re-election — until SIGTERM")
 	)
 	flag.Parse()
 
@@ -78,6 +98,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	spec.Fault = wcle.FaultSpec{
+		Drop: *drop, DelayMax: *delayMax,
+		CrashFrac: *crashFrac, CrashRound: *crashRound,
+		PartitionFrac: *partitionFrac, PartitionFrom: *partitionFrom, PartitionTo: *partitionTo,
+	}
+	if err := spec.Fault.Validate(); err != nil {
+		return err
+	}
 
 	switch {
 	case *bootstrap != "":
@@ -89,7 +117,7 @@ func run() error {
 		}
 		return printResult(res, *jsonOut)
 	default:
-		return runCoordinator(*listen, *shards, *serve, *readyFile, spec, *jsonOut)
+		return runCoordinator(*listen, *shards, *serve, *supervise, *readyFile, spec, *jsonOut)
 	}
 }
 
@@ -147,9 +175,10 @@ func runWorker(bootstrap string, shard int, listen string) error {
 	}
 }
 
-// runCoordinator assembles the cluster, then either serves submissions
-// (-serve) or runs the one job described by the flags.
-func runCoordinator(listen string, shards int, serve bool, readyFile string, spec cluster.JobSpec, jsonOut bool) error {
+// runCoordinator assembles the cluster, then serves submissions (-serve),
+// supervises a leased election (-supervise), or runs the one job described
+// by the flags.
+func runCoordinator(listen string, shards int, serve, supervise bool, readyFile string, spec cluster.JobSpec, jsonOut bool) error {
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Listen: listen, Shards: shards})
 	if err != nil {
 		return err
@@ -166,6 +195,9 @@ func runCoordinator(listen string, shards int, serve bool, readyFile string, spe
 			return err
 		}
 	}
+	if supervise {
+		return runSupervised(coord, spec)
+	}
 	if serve {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -180,6 +212,46 @@ func runCoordinator(listen string, shards int, serve bool, readyFile string, spe
 	}
 	coord.Shutdown()
 	return printResult(res, jsonOut)
+}
+
+// runSupervised runs the job under supervision: elect, lease, monitor,
+// re-elect on crashes and rejoins, printing one line per event, until
+// SIGTERM stops the supervision cleanly.
+func runSupervised(coord *cluster.Coordinator, spec cluster.JobSpec) error {
+	sup, err := coord.Supervise(cluster.SuperviseConfig{
+		Spec: spec,
+		OnEvent: func(ev cluster.Event) {
+			switch ev.Kind {
+			case cluster.EventLease:
+				fmt.Printf("lease: epoch=%d leader=%d shard=%d\n", ev.Epoch, ev.Leader, ev.LeaderShard)
+			case cluster.EventDeath:
+				fmt.Printf("death: epoch=%d shard=%d err=%v\n", ev.Epoch, ev.Shard, ev.Err)
+			case cluster.EventRejoin:
+				fmt.Printf("rejoin: epoch=%d shard=%d\n", ev.Epoch, ev.Shard)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "electnode: stopping the supervision")
+			sup.Stop()
+		case <-done:
+		}
+	}()
+	reigns, err := sup.Wait()
+	close(done)
+	for _, r := range reigns {
+		fmt.Printf("reign: epoch=%d leader=%d shard=%d members=%d elect=%s recover=%s\n",
+			r.Epoch, r.Leader, r.LeaderShard, len(r.Result.PerNodeMessages), r.ElectWall.Round(time.Millisecond), r.RecoverWall.Round(time.Millisecond))
+	}
+	return err
 }
 
 // printResult renders a merged result.

@@ -59,3 +59,28 @@ func TestConformanceKPPRT(t *testing.T) {
 		return algo.Config{Sublinear: sub}
 	}, []int64{0, 1, 2})
 }
+
+// The fault battery: the same backends under delivery-plane adversaries
+// (drop, delay, crash, partition, composed). Elections may fail under
+// faults; what must hold is determinism, anonymity, and the accounting
+// identity (sends = deliveries + fault drops). The well-connected graphs
+// need no regime knobs.
+
+func defaultCfg(name string, g *graph.Graph) algo.Config { return algo.Config{} }
+
+func TestFaultConformanceGilbertRS18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full elections under five adversaries; skipped in -short mode")
+	}
+	algotest.FaultConformance(t, algo.GilbertRS18, func(name string, g *graph.Graph) algo.Config {
+		return algo.Config{Core: core.DefaultConfig()}
+	}, []int64{0, 1, 2})
+}
+
+func TestFaultConformanceFloodMax(t *testing.T) {
+	algotest.FaultConformance(t, algo.FloodMax, defaultCfg, []int64{0, 1, 2})
+}
+
+func TestFaultConformanceKPPRT(t *testing.T) {
+	algotest.FaultConformance(t, algo.KPPRT, defaultCfg, []int64{0, 1, 2})
+}

@@ -71,14 +71,17 @@ func (c *Client) Close() error {
 }
 
 // RunElection implements electd's serve.ClusterElector: one election on
-// the cluster, returning the merged backend-independent outcome.
-func (c *Client) RunElection(spec serve.GraphSpec, algorithm string, seed int64, resend, assumedN int) (*algo.Outcome, error) {
+// the cluster, returning the merged backend-independent outcome. The
+// fault spec rides along — every plane it can express is shard-safe, so
+// the outcome stays seed-deterministic on the wire.
+func (c *Client) RunElection(spec serve.GraphSpec, algorithm string, seed int64, resend, assumedN int, fault serve.FaultSpec) (*algo.Outcome, error) {
 	res, err := c.Elect(JobSpec{
 		Graph:     spec,
 		Algorithm: algorithm,
 		Seed:      seed,
 		Resend:    resend,
 		AssumedN:  assumedN,
+		Fault:     fault,
 	})
 	if err != nil {
 		return nil, err
@@ -98,12 +101,20 @@ func Submit(addr string, spec JobSpec) (*Result, error) {
 
 // Local is an in-process cluster on loopback TCP: a coordinator plus
 // shards-1 worker goroutines, each speaking the real wire protocol.
-// Tests, experiments (E19), and examples use it to get wire-level
-// elections without spawning processes.
+// Tests, experiments (E19, E20), and examples use it to get wire-level
+// elections — and process-shaped crashes via Kill/Restart — without
+// spawning processes.
 type Local struct {
-	Coord   *Coordinator
-	workers []*Worker
-	done    chan error
+	Coord *Coordinator
+
+	mu      sync.Mutex
+	workers map[int]*localWorker
+}
+
+// localWorker is one worker goroutine standing in for a shard process.
+type localWorker struct {
+	w    *Worker
+	done chan error
 }
 
 // StartLocal assembles a shards-process-shaped cluster inside this
@@ -113,29 +124,80 @@ func StartLocal(shards int) (*Local, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Local{Coord: coord, done: make(chan error, shards)}
+	l := &Local{Coord: coord, workers: map[int]*localWorker{}}
 	for i := 1; i < shards; i++ {
-		w, err := NewWorker(WorkerConfig{Bootstrap: coord.Addr(), Shard: i, Listen: "127.0.0.1:0"})
-		if err != nil {
+		if err := l.startWorker(i); err != nil {
 			l.Close()
 			return nil, err
 		}
-		l.workers = append(l.workers, w)
-		go func() { l.done <- w.Run() }()
 	}
 	return l, nil
+}
+
+func (l *Local) startWorker(shard int) error {
+	w, err := NewWorker(WorkerConfig{Bootstrap: l.Coord.Addr(), Shard: shard, Listen: "127.0.0.1:0"})
+	if err != nil {
+		return err
+	}
+	lw := &localWorker{w: w, done: make(chan error, 1)}
+	l.mu.Lock()
+	l.workers[shard] = lw
+	l.mu.Unlock()
+	go func() { lw.done <- w.Run() }()
+	return nil
 }
 
 // Elect runs one election on the local cluster.
 func (l *Local) Elect(spec JobSpec) (*Result, error) { return l.Coord.Elect(spec) }
 
+// Kill crashes one worker shard the way a dying process would: every
+// connection and its listener close abruptly, mid-frame if one is in
+// flight. It waits for the worker goroutine to exit. For fault tests;
+// only meaningful under supervision (an unsupervised session breaks).
+func (l *Local) Kill(shard int) error {
+	l.mu.Lock()
+	lw := l.workers[shard]
+	delete(l.workers, shard)
+	l.mu.Unlock()
+	if lw == nil {
+		return fmt.Errorf("cluster: no running worker for shard %d", shard)
+	}
+	lw.w.Kill()
+	select {
+	case <-lw.done:
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("cluster: shard %d did not exit within 30s of Kill", shard)
+	}
+}
+
+// Restart brings a killed shard back: a fresh worker joins through the
+// bootstrap address and rejoins the supervised session at the next epoch
+// boundary.
+func (l *Local) Restart(shard int) error {
+	l.mu.Lock()
+	running := l.workers[shard] != nil
+	l.mu.Unlock()
+	if running {
+		return fmt.Errorf("cluster: shard %d is still running", shard)
+	}
+	return l.startWorker(shard)
+}
+
 // Close shuts the cluster down and waits for the workers to exit.
 func (l *Local) Close() error {
 	l.Coord.Shutdown()
+	l.mu.Lock()
+	workers := make([]*localWorker, 0, len(l.workers))
+	for _, lw := range l.workers {
+		workers = append(workers, lw)
+	}
+	l.workers = map[int]*localWorker{}
+	l.mu.Unlock()
 	var firstErr error
-	for range l.workers {
+	for _, lw := range workers {
 		select {
-		case err := <-l.done:
+		case err := <-lw.done:
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}

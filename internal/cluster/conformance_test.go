@@ -30,27 +30,45 @@ func explicitSpec(g *graph.Graph) serve.GraphSpec {
 	return serve.GraphSpec{Family: "explicit", N: g.N(), Edges: edges, Seed: 1}
 }
 
-// clusterRunner adapts a Local cluster to the algotest Runner contract,
-// mapping the conformance-relevant backend knobs onto the JobSpec.
+// clusterSpec maps the conformance-relevant backend knobs onto a JobSpec.
+func clusterSpec(name string, cfg algo.Config, g *graph.Graph, opts algo.Options) JobSpec {
+	spec := JobSpec{
+		Graph:     explicitSpec(g),
+		Algorithm: name,
+		Seed:      opts.Seed,
+		DebugFrom: opts.DebugFrom,
+		MaxRounds: opts.MaxRounds,
+		Resend:    cfg.Core.Resend,
+		AssumedN:  cfg.Core.AssumedN,
+		Horizon:   cfg.Horizon,
+		Hops:      cfg.Sublinear.Hops,
+		Window:    cfg.Sublinear.Window,
+	}
+	if !reflect.DeepEqual(cfg.Core, core.Config{}) {
+		spec.C1 = cfg.Core.C1
+		spec.C2 = cfg.Core.C2
+		spec.MaxWalkLen = cfg.Core.MaxWalkLen
+	}
+	return spec
+}
+
+// clusterRunner adapts a Local cluster to the algotest Runner contract.
 func clusterRunner(local *Local) algotest.Runner {
 	return func(name string, cfg algo.Config, g *graph.Graph, opts algo.Options) (*algo.Outcome, error) {
-		spec := JobSpec{
-			Graph:     explicitSpec(g),
-			Algorithm: name,
-			Seed:      opts.Seed,
-			DebugFrom: opts.DebugFrom,
-			MaxRounds: opts.MaxRounds,
-			Resend:    cfg.Core.Resend,
-			AssumedN:  cfg.Core.AssumedN,
-			Horizon:   cfg.Horizon,
-			Hops:      cfg.Sublinear.Hops,
-			Window:    cfg.Sublinear.Window,
+		res, err := local.Elect(clusterSpec(name, cfg, g, opts))
+		if err != nil {
+			return nil, err
 		}
-		if !reflect.DeepEqual(cfg.Core, core.Config{}) {
-			spec.C1 = cfg.Core.C1
-			spec.C2 = cfg.Core.C2
-			spec.MaxWalkLen = cfg.Core.MaxWalkLen
-		}
+		return &res.Outcome, nil
+	}
+}
+
+// clusterFaultRunner is the FaultRunner analogue: the adversary ships in
+// the JobSpec and every shard rebuilds it locally, sender-keyed.
+func clusterFaultRunner(local *Local) algotest.FaultRunner {
+	return func(name string, cfg algo.Config, g *graph.Graph, opts algo.Options, fault serve.FaultSpec) (*algo.Outcome, error) {
+		spec := clusterSpec(name, cfg, g, opts)
+		spec.Fault = fault
 		res, err := local.Elect(spec)
 		if err != nil {
 			return nil, err
@@ -114,4 +132,43 @@ func TestClusterConformanceKPPRT(t *testing.T) {
 		}
 		return algo.Config{Sublinear: sub}
 	}, []int64{0, 1}, clusterRunner(local))
+}
+
+// The fault-parity suite is the keystone contract extended to faulty
+// runs: for every battery adversary, a cluster election over real TCP
+// must be byte-identical — leaders, rounds, message counts, and the
+// adversary's own drop/delay counters — to the in-process sim at the
+// same seed. Shard-safe sender-keyed fault randomness is what makes
+// this hold; these tests are the CI enforcement of that design.
+
+func faultCfg(name string, g *graph.Graph) algo.Config { return algo.Config{} }
+
+// explicitFaultRunner is the parity reference: the in-process sim over
+// the same explicit-edge rebuild the cluster performs, so both sides see
+// the identical port numbering.
+func explicitFaultRunner(name string, cfg algo.Config, g *graph.Graph, opts algo.Options, fault serve.FaultSpec) (*algo.Outcome, error) {
+	ge, err := explicitSpec(g).Build()
+	if err != nil {
+		return nil, err
+	}
+	return algotest.InProcessFaultRunner(name, cfg, ge, opts, fault)
+}
+
+func TestClusterFaultParityGilbertRS18(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.FaultParityOn(t, algo.GilbertRS18, func(name string, g *graph.Graph) algo.Config {
+		return algo.Config{Core: core.DefaultConfig()}
+	}, []int64{1}, explicitFaultRunner, clusterFaultRunner(local))
+}
+
+func TestClusterFaultParityFloodMax(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.FaultParityOn(t, algo.FloodMax, faultCfg, []int64{1},
+		explicitFaultRunner, clusterFaultRunner(local))
+}
+
+func TestClusterFaultParityKPPRT(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.FaultParityOn(t, algo.KPPRT, faultCfg, []int64{1},
+		explicitFaultRunner, clusterFaultRunner(local))
 }

@@ -42,9 +42,23 @@ type Coordinator struct {
 
 	jobMu  sync.Mutex
 	jobID  int64
-	broken error // a failed job breaks the session for good
+	broken error // a failed job breaks the session — unless a supervisor recovers it
+
+	// supervising marks the session as owned by a Supervision: ad-hoc
+	// Elect calls are refused (their frames would interleave with lease
+	// traffic) and crashed shards may rejoin through rejoinCh.
+	supervising bool
+	rejoinCh    chan rejoinReq
 
 	shutdownOnce sync.Once
+}
+
+// rejoinReq is one crashed shard announcing itself back to an active
+// supervision.
+type rejoinReq struct {
+	shard int
+	addr  string
+	link  *link
 }
 
 // NewCoordinator binds the bootstrap listener and starts admitting
@@ -62,10 +76,11 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:   cfg,
-		ln:    ln,
-		links: make([]*link, cfg.Shards),
-		ready: make(chan struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		links:    make([]*link, cfg.Shards),
+		ready:    make(chan struct{}),
+		rejoinCh: make(chan rejoinReq, cfg.Shards),
 	}
 	if cfg.Shards == 1 {
 		c.closeReady() // a single-shard cluster is trivially assembled
@@ -118,10 +133,25 @@ func (c *Coordinator) admitWorker(conn net.Conn, f frame) {
 	}
 	c.mu.Lock()
 	if c.joined == c.cfg.Shards-1 || c.setupErr != nil {
-		// A stray join after the cluster assembled (an operator
-		// re-running a worker, a port probe) or after setup already
-		// failed: refuse the connection, never re-judge the session.
+		// The cluster already assembled. Under supervision a crashed
+		// shard may rejoin: park the connection for the supervisor, which
+		// folds it in at the next epoch boundary. Anything else (an
+		// operator re-running a worker, a port probe) is refused — and
+		// setup failures are never re-judged.
+		supervising := c.supervising && c.setupErr == nil
+		dead := h.Shard >= 1 && h.Shard < c.cfg.Shards &&
+			(c.links[h.Shard] == nil || c.links[h.Shard].failed() != nil)
 		c.mu.Unlock()
+		if supervising && dead && h.Proto == proto && h.Addr != "" {
+			l := newLink(h.Shard, conn)
+			l.addr = h.Addr
+			select {
+			case c.rejoinCh <- rejoinReq{shard: h.Shard, addr: h.Addr, link: l}:
+			default:
+				l.close() // rejoin queue full: try again later
+			}
+			return
+		}
 		_ = conn.Close()
 		return
 	}
@@ -231,8 +261,20 @@ func (c *Coordinator) serveClient(conn net.Conn, first frame) {
 
 // Elect runs one election across the cluster and returns the merged
 // result. Jobs are serialized: the barrier owns every link while a job
-// runs. The same seed elects the same leader as the in-process sim.
+// runs. The same seed elects the same leader as the in-process sim —
+// fault planes included, since every FaultSpec plane is shard-safe.
 func (c *Coordinator) Elect(spec JobSpec) (*Result, error) {
+	c.mu.Lock()
+	supervising := c.supervising
+	c.mu.Unlock()
+	if supervising {
+		return nil, fmt.Errorf("cluster: session is under supervision; ad-hoc elections would interleave with lease traffic")
+	}
+	return c.elect(spec)
+}
+
+// elect is the supervisor-accessible election path (no supervising gate).
+func (c *Coordinator) elect(spec JobSpec) (*Result, error) {
 	select {
 	case <-c.ready:
 	case <-time.After(c.cfg.ReadyTimeout):
@@ -263,17 +305,33 @@ func (c *Coordinator) Elect(spec JobSpec) (*Result, error) {
 	if spec.Algorithm != "" && !algo.Known(spec.Algorithm) {
 		return nil, fmt.Errorf("cluster: unknown algorithm %q (known: %v)", spec.Algorithm, algo.Names())
 	}
-	g, err := spec.Graph.Build()
+	if err := spec.Fault.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	g0, err := spec.Graph.Build()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: graph spec: %w", err)
 	}
-	if g.N() < c.cfg.Shards {
-		return nil, fmt.Errorf("cluster: %d-node graph cannot be split across %d shards", g.N(), c.cfg.Shards)
+	if g0.N() < c.cfg.Shards {
+		return nil, fmt.Errorf("cluster: %d-node graph cannot be split across %d shards", g0.N(), c.cfg.Shards)
+	}
+	g, owner, err := spec.owners(g0, c.cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	live := liveShards(owner, c.cfg.Shards)
+	for shard := 1; shard < c.cfg.Shards; shard++ {
+		if live[shard] && links[shard] == nil {
+			return nil, fmt.Errorf("cluster: job needs shard %d, which is not part of the session", shard)
+		}
 	}
 
 	c.jobID++
 	start := startMsg{JobID: c.jobID, Spec: spec}
 	for shard := 1; shard < c.cfg.Shards; shard++ {
+		if !live[shard] {
+			continue
+		}
 		l := links[shard]
 		if err := l.writeJSON(frameStart, start); err != nil {
 			c.broken = err
@@ -288,6 +346,9 @@ func (c *Coordinator) Elect(spec JobSpec) (*Result, error) {
 	parts := make([]partialResult, 0, c.cfg.Shards)
 	parts = append(parts, runShard(links, 0, c.cfg.Shards, c.jobID, spec))
 	for shard := 1; shard < c.cfg.Shards; shard++ {
+		if !live[shard] {
+			continue
+		}
 		pr, err := collectResult(links[shard], c.jobID)
 		if err != nil {
 			c.broken = err
@@ -298,7 +359,8 @@ func (c *Coordinator) Elect(spec JobSpec) (*Result, error) {
 	res, err := merge(g.N(), c.cfg.Shards, parts)
 	if err != nil {
 		// A failed job leaves barrier state (aborts, half-flushed
-		// rounds) on the links; nothing after it can trust them.
+		// rounds) on the links; nothing after it can trust them — until a
+		// supervisor quiesces the session into a new epoch.
 		c.broken = err
 		return nil, err
 	}
@@ -323,8 +385,9 @@ func collectResult(l *link, jobID int64) (partialResult, error) {
 				return partialResult{}, fmt.Errorf("cluster: shard %d answered job %d, expected %d", l.peer, pr.JobID, jobID)
 			}
 			return pr, nil
-		case frameData, frameReady, frameAbort:
-			// Leftovers of a broken barrier; the result frame follows.
+		case frameData, frameReady, frameAbort, frameHeart:
+			// Leftovers of a broken barrier (or a straggling heartbeat);
+			// the result frame follows.
 		default:
 			return partialResult{}, fmt.Errorf("cluster: expected result from shard %d, got %s", l.peer, frameName(f.typ))
 		}

@@ -33,7 +33,20 @@
 // iteration) and a coordinator round-trip (ready/advance): decentralizing
 // the advance decision later only means replacing the second half.
 //
-// Fault planes and message budgets are rejected on cluster runs: both
-// consume streams ordered by the global send sequence, which a sharded run
-// does not reproduce (see sim.RemotePlane).
+// Fault planes ride along on cluster runs: every plane the wire spec can
+// express (drop, delay, crash, partition, and their compositions) keys
+// its randomness per sending node, so each shard reproduces exactly the
+// fate stream of the senders it hosts and a faulty cluster run stays
+// byte-identical to the in-process sim at the same seed (the fault-parity
+// suite in conformance_test.go enforces this per backend). Message
+// budgets remain rejected: a budget consumes one stream ordered by the
+// global send sequence, which a sharded run does not reproduce (see
+// sim.RemotePlane and sim.ShardAware).
+//
+// Sessions can also run supervised (Coordinator.Supervise): the election
+// winner holds a lease, workers heartbeat, and the supervisor answers
+// shard death — detected through connection errors or heartbeat silence —
+// with an epoch bump, a marker-exchange quiesce of the survivors, and a
+// re-election over the induced survivor subgraph. Crashed shards that
+// dial back in are folded in the same way. See supervisor.go.
 package cluster

@@ -29,6 +29,10 @@ const (
 	frameData     = 0x10 // binary: epoch, round, count, envelopes
 	frameReady    = 0x11 // binary: epoch, varint localNext
 	frameAdvance  = 0x12 // binary: epoch, varint globalNext
+	frameLease    = 0x13 // binary wire.Lease: coordinator → worker, leader elected, start heartbeating
+	frameHeart    = 0x14 // binary wire.Heartbeat: worker → coordinator, periodic under a lease
+	frameEpoch    = 0x15 // binary wire.EpochChange: coordinator → worker (membership change) and worker ↔ worker (link drain marker)
+	frameEpochAck = 0x16 // binary: uvarint epoch; worker → coordinator, quiesced and drained
 )
 
 // maxFrame bounds a frame's declared size so a corrupt or hostile length
@@ -52,9 +56,12 @@ type helloMsg struct {
 }
 
 // peersMsg is the coordinator's shard directory: Addrs[i] is shard i's
-// listen address.
+// listen address. Live[i], when present, reports whether shard i is
+// currently part of the session (nil means everyone is; a rejoining
+// worker only wires up to live peers).
 type peersMsg struct {
 	Addrs []string `json:"addrs"`
+	Live  []bool   `json:"live,omitempty"`
 }
 
 // upMsg signals a worker finished its pairwise link setup.
@@ -159,6 +166,14 @@ func frameName(typ byte) string {
 		return "ready"
 	case frameAdvance:
 		return "advance"
+	case frameLease:
+		return "lease"
+	case frameHeart:
+		return "heart"
+	case frameEpoch:
+		return "epoch"
+	case frameEpochAck:
+		return "epoch-ack"
 	default:
 		return fmt.Sprintf("0x%02x", typ)
 	}

@@ -11,6 +11,7 @@ import (
 	"wcle/internal/algo"
 	"wcle/internal/baseline"
 	"wcle/internal/core"
+	"wcle/internal/graph"
 	"wcle/internal/protocol"
 	"wcle/internal/serve"
 	"wcle/internal/sim"
@@ -42,9 +43,52 @@ type JobSpec struct {
 	Window  int `json:"window,omitempty"`
 	// MaxRounds overrides the backend's round cap (0 = backend default).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Fault is the delivery-plane adversary applied to the run. Every
+	// plane the spec can express is shard-safe (sender-keyed randomness),
+	// so a faulty cluster run stays byte-identical to the in-process sim
+	// at the same seed.
+	Fault serve.FaultSpec `json:"fault,omitempty"`
+	// Members, when non-empty, restricts the election to the induced
+	// subgraph over these original node indices (strictly ascending),
+	// renumbered 0..len(Members)-1. Node i is hosted by the shard that
+	// owned Members[i] in the full graph; shards left with no members sit
+	// the job out. This is how re-elections run after a shard dies: the
+	// survivors elect over what remains.
+	Members []int `json:"members,omitempty"`
 	// DebugFrom stamps sender indices on delivered envelopes (debugging
 	// only; outcomes must not depend on it).
 	DebugFrom bool `json:"debug_from,omitempty"`
+}
+
+// owners resolves the spec's node->shard table and the election graph.
+// With no member list this is the full graph under the contiguous
+// balanced assignment; with one, the induced subgraph with each member
+// kept on its original owner.
+func (s JobSpec) owners(g0 *graph.Graph, shards int) (*graph.Graph, []int, error) {
+	if len(s.Members) == 0 {
+		return g0, contiguousOwners(g0.N(), shards), nil
+	}
+	g, err := graph.Induced(g0, s.Members)
+	if err != nil {
+		return nil, nil, err
+	}
+	owner := make([]int, len(s.Members))
+	for i, m := range s.Members {
+		owner[i] = ownerOf(g0.N(), shards, m)
+	}
+	return g, owner, nil
+}
+
+// liveShards reports which shards host at least one node of the job.
+// Shard 0 is always live: it is the job's barrier coordinator even when
+// it hosts nothing.
+func liveShards(owner []int, shards int) []bool {
+	live := make([]bool, shards)
+	live[0] = true
+	for _, s := range owner {
+		live[s] = true
+	}
+	return live
 }
 
 // backend builds the configured algorithm instance for the spec.
@@ -128,13 +172,18 @@ func (c *nodeCounter) OnSend(round, from, fromPort, to, toPort int, m sim.Messag
 // merge errors like outcomes. links is indexed by shard id (nil at own).
 func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec) partialResult {
 	pr := partialResult{Shard: shard, JobID: jobID, LeaderRound: -1}
-	g, err := spec.Graph.Build()
+	g0, err := spec.Graph.Build()
 	if err != nil {
 		pr.Err = err.Error()
 		return pr
 	}
-	if g.N() < shards {
-		pr.Err = fmt.Sprintf("cluster: %d-node graph cannot be split across %d shards", g.N(), shards)
+	if g0.N() < shards {
+		pr.Err = fmt.Sprintf("cluster: %d-node graph cannot be split across %d shards", g0.N(), shards)
+		return pr
+	}
+	g, owner, err := spec.owners(g0, shards)
+	if err != nil {
+		pr.Err = err.Error()
 		return pr
 	}
 	a, err := spec.backend()
@@ -142,17 +191,39 @@ func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec) parti
 		pr.Err = err.Error()
 		return pr
 	}
-	pl := newPlane(links, shard, shards, g.N())
+	// Shards with no members sit the job out: their links carry no data
+	// frames this job, so mask them off the barrier.
+	live := liveShards(owner, shards)
+	jobLinks := make([]*link, len(links))
+	for s, l := range links {
+		if s < len(live) && live[s] {
+			jobLinks[s] = l
+		}
+	}
+	pl := newPlane(jobLinks, shard, shards, owner)
 	counter := &nodeCounter{counts: make([]int64, g.N())}
 	out, err := a.Run(g, algo.Options{
 		Seed:      spec.Seed,
 		MaxRounds: spec.MaxRounds,
 		DebugFrom: spec.DebugFrom,
+		Fault:     spec.Fault.Plane(),
 		Observer:  counter,
 		Remote:    pl,
 	})
 	pr.Wire = pl.stats
-	lo, hi := shardLo(g.N(), shards, shard), shardLo(g.N(), shards, shard+1)
+	// A shard's nodes stay contiguous after induced renumbering (members
+	// are ascending and original ranges are contiguous), so Lo + a slice
+	// still describes them.
+	lo, hi := 0, 0
+	for v, s := range owner {
+		if s != shard {
+			continue
+		}
+		if hi == 0 {
+			lo = v
+		}
+		hi = v + 1
+	}
 	pr.Lo = lo
 	pr.NodeMessages = counter.counts[lo:hi]
 	if err != nil {

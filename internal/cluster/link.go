@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -21,11 +22,16 @@ import (
 // peer, not a slow one.
 const defaultFrameTimeout = 2 * time.Minute
 
+// errInterrupted reports that a blocking queue read was interrupted by
+// interrupt() rather than ended by a frame or a connection error.
+var errInterrupted = errors.New("cluster: queue read interrupted")
+
 // frameQueue is the unbounded receive queue of one link.
 type frameQueue struct {
 	mu     sync.Mutex
 	frames []frame
 	err    error
+	intr   bool
 	notify chan struct{}
 }
 
@@ -36,6 +42,40 @@ func newFrameQueue() *frameQueue {
 func (q *frameQueue) push(f frame) {
 	q.mu.Lock()
 	q.frames = append(q.frames, f)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pushFront returns a frame to the head of the queue, for consumers that
+// popped a frame addressed to a later protocol phase (a plane reading an
+// epoch marker mid-job leaves it for the epoch-change handler).
+func (q *frameQueue) pushFront(f frame) {
+	q.mu.Lock()
+	q.frames = append([]frame{f}, q.frames...)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// clearInterrupt discards a pending interrupt that no reader consumed (a
+// monitor that had already exited when it was interrupted).
+func (q *frameQueue) clearInterrupt() {
+	q.mu.Lock()
+	q.intr = false
+	q.mu.Unlock()
+}
+
+// interrupt makes the queue's current (or next) blocking read return
+// errInterrupted without consuming any frame. One-shot: the flag clears
+// on delivery.
+func (q *frameQueue) interrupt() {
+	q.mu.Lock()
+	q.intr = true
 	q.mu.Unlock()
 	select {
 	case q.notify <- struct{}{}:
@@ -67,6 +107,14 @@ func (q *frameQueue) next(timeout time.Duration) (frame, error) {
 	}
 	for {
 		q.mu.Lock()
+		if q.intr {
+			// Interruption outranks buffered frames: the interrupter wants
+			// the reader gone now, with the queue's contents intact for
+			// the next consumer.
+			q.intr = false
+			q.mu.Unlock()
+			return frame{}, errInterrupted
+		}
 		if len(q.frames) > 0 {
 			f := q.frames[0]
 			q.frames[0] = frame{}
@@ -92,6 +140,7 @@ type link struct {
 	peer int    // the peer's shard id
 	addr string // the peer's announced listen address (join links only)
 	conn net.Conn
+	wmu  sync.Mutex // serializes writers (a heartbeater vs. the main loop)
 	w    *bufio.Writer
 	q    *frameQueue
 
@@ -122,8 +171,12 @@ func (l *link) readLoop() {
 	}
 }
 
-// write buffers one frame; call flush to put it on the wire.
+// write buffers one frame; call flush to put it on the wire. Writes are
+// mutex-serialized per call: concurrent writers (a heartbeater next to
+// the main loop) interleave whole frames, never corrupt one.
 func (l *link) write(typ byte, payload []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
 	if err := writeFrame(l.w, typ, payload); err != nil {
 		return fmt.Errorf("cluster: writing %s to shard %d: %w", frameName(typ), l.peer, err)
 	}
@@ -132,6 +185,8 @@ func (l *link) write(typ byte, payload []byte) error {
 
 // writeJSON buffers one JSON control frame.
 func (l *link) writeJSON(typ byte, v interface{}) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
 	if err := writeJSONFrame(l.w, typ, v); err != nil {
 		return fmt.Errorf("cluster: writing %s to shard %d: %w", frameName(typ), l.peer, err)
 	}
@@ -139,10 +194,36 @@ func (l *link) writeJSON(typ byte, v interface{}) error {
 }
 
 func (l *link) flush() error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("cluster: flushing to shard %d: %w", l.peer, err)
 	}
 	return nil
+}
+
+// writeFlush puts one frame on the wire atomically with respect to other
+// writers: the frame cannot be separated from its flush by an interleaved
+// write.
+func (l *link) writeFlush(typ byte, payload []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := writeFrame(l.w, typ, payload); err != nil {
+		return fmt.Errorf("cluster: writing %s to shard %d: %w", frameName(typ), l.peer, err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: flushing to shard %d: %w", l.peer, err)
+	}
+	return nil
+}
+
+// failed reports the link's connection error, if its reader has died.
+// Unlike next, it does not drain buffered frames first: a broken link is
+// broken even with frames still queued.
+func (l *link) failed() error {
+	l.q.mu.Lock()
+	defer l.q.mu.Unlock()
+	return l.q.err
 }
 
 // next returns the oldest unread frame from this peer. The timeout is
@@ -175,6 +256,8 @@ func (l *link) expectJSON(typ byte, v interface{}) error {
 }
 
 func (l *link) close() {
+	l.wmu.Lock()
 	_ = l.w.Flush()
+	l.wmu.Unlock()
 	_ = l.conn.Close()
 }

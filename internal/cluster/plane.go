@@ -88,7 +88,7 @@ type chunk struct {
 // plane is the per-election RemotePlane of one shard.
 type plane struct {
 	shard, shards int
-	n             int
+	owner         []int   // node index -> hosting shard id
 	links         []*link // by shard id; links[shard] == nil
 
 	epoch uint64
@@ -99,27 +99,40 @@ type plane struct {
 	aborted bool
 }
 
-func newPlane(links []*link, shard, shards, n int) *plane {
+// newPlane builds the shard plane for a graph whose node i is hosted by
+// shard owner[i]. contiguousOwners builds the full-membership default;
+// re-elections after membership loss pass the survivors' owner table.
+func newPlane(links []*link, shard, shards int, owner []int) *plane {
 	return &plane{
 		shard:  shard,
 		shards: shards,
-		n:      n,
+		owner:  owner,
 		links:  links,
 		out:    make([][]chunk, shards),
 	}
+}
+
+// contiguousOwners is the default node->shard assignment: shard i of k
+// owns the contiguous balanced range [i*n/k, (i+1)*n/k).
+func contiguousOwners(n, shards int) []int {
+	owner := make([]int, n)
+	for v := range owner {
+		owner[v] = ownerOf(n, shards, v)
+	}
+	return owner
 }
 
 var _ sim.RemotePlane = (*plane)(nil)
 
 // Local reports whether this shard hosts node v.
 func (p *plane) Local(v int) bool {
-	return v >= shardLo(p.n, p.shards, p.shard) && v < shardLo(p.n, p.shards, p.shard+1)
+	return v >= 0 && v < len(p.owner) && p.owner[v] == p.shard
 }
 
 // Send queues one cross-shard envelope for the owner of `to`; it goes on
 // the wire at the end-of-round Flush.
 func (p *plane) Send(round, due, to int, env sim.Envelope) error {
-	owner := ownerOf(p.n, p.shards, to)
+	owner := p.owner[to]
 	if owner == p.shard {
 		return fmt.Errorf("cluster: remote send to node %d, which shard %d hosts itself", to, p.shard)
 	}
@@ -203,6 +216,11 @@ func (p *plane) recvData(l *link, round int, inject func(due, to int, env sim.En
 			var a abortMsg
 			_ = decodeJSON(f, &a)
 			return fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg)
+		case frameEpoch, frameEpochAck:
+			// A supervisor is tearing this job down. The frame belongs to
+			// the epoch-change handler, not the barrier: put it back and die.
+			l.q.pushFront(f)
+			return fmt.Errorf("cluster: epoch change interrupted the job (frame from shard %d)", l.peer)
 		default:
 			return fmt.Errorf("cluster: expected data from shard %d, got %s", l.peer, frameName(f.typ))
 		}
@@ -277,6 +295,9 @@ func (p *plane) Advance(round, localNext int) (int, error) {
 		var a abortMsg
 		_ = decodeJSON(f, &a)
 		return 0, p.abort(fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg))
+	case frameEpoch, frameEpochAck:
+		l.q.pushFront(f)
+		return 0, p.abort(fmt.Errorf("cluster: epoch change interrupted the job"))
 	default:
 		return 0, p.abort(fmt.Errorf("cluster: expected advance, got %s", frameName(f.typ)))
 	}

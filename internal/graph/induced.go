@@ -1,0 +1,39 @@
+package graph
+
+import "fmt"
+
+// Induced builds the subgraph of g induced by the given node set,
+// renumbered 0..len(members)-1 in member order. Members must be strictly
+// ascending, in range, and non-empty — induced node i is original node
+// members[i], so a sorted member list keeps relabeled indices order-
+// compatible with the originals. Ports follow g's edge order
+// deterministically (nil-rng Build), so every caller that induces the
+// same member set over the same graph gets an identical graph — the
+// property cluster re-elections after membership loss rely on.
+func Induced(g *Graph, members []int) (*Graph, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("graph: induced subgraph of %q over zero members", g.Name())
+	}
+	idx := make(map[int]int, len(members))
+	for i, v := range members {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("graph: induced member %d out of range [0,%d)", v, g.N())
+		}
+		if i > 0 && v <= members[i-1] {
+			return nil, fmt.Errorf("graph: induced members must be strictly ascending, got %d after %d", v, members[i-1])
+		}
+		idx[v] = i
+	}
+	b := NewBuilder(len(members))
+	for _, e := range g.Edges() {
+		u, okU := idx[e.U]
+		v, okV := idx[e.V]
+		if !okU || !okV {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(fmt.Sprintf("%s/induced%d", g.Name(), len(members)), nil)
+}

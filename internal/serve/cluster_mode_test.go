@@ -7,7 +7,6 @@ package serve_test
 
 import (
 	"encoding/json"
-	"strings"
 	"testing"
 	"time"
 
@@ -76,9 +75,12 @@ func TestClusterModeMatchesInProcess(t *testing.T) {
 	}
 }
 
-func TestClusterModeRejectsFaults(t *testing.T) {
+// TestClusterModeFaultsMatchInProcess: fault planes ride along on
+// cluster dispatch (they are shard-safe), so a faulty job's result is
+// byte-identical to the in-process engine too.
+func TestClusterModeFaultsMatchInProcess(t *testing.T) {
 	if testing.Short() {
-		t.Skip("dials a loopback cluster; skipped in -short mode")
+		t.Skip("runs faulty elections over loopback TCP; skipped in -short mode")
 	}
 	local, err := cluster.StartLocal(2)
 	if err != nil {
@@ -90,17 +92,27 @@ func TestClusterModeRejectsFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	srv, err := serve.NewServer(serve.Options{
-		Graphs:  map[string]serve.GraphSpec{"g": {Family: "clique", N: 8, Seed: 1}},
-		Cluster: client,
-	})
+
+	graphs := map[string]serve.GraphSpec{"g": {Family: "clique", N: 16, Seed: 1}}
+	inproc, err := serve.NewServer(serve.Options{Graphs: graphs})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = srv.Sched.Submit(serve.SubmitRequest{Seed: 1, Points: []serve.PointSpec{
-		{Graph: "g", Trials: 1, Fault: serve.FaultSpec{Drop: 0.1}},
-	}})
-	if err == nil || !strings.Contains(err.Error(), "cluster") {
-		t.Fatalf("faulty submission in cluster mode should be rejected with a cluster-naming error, got %v", err)
+	clustered, err := serve.NewServer(serve.Options{Graphs: graphs, Cluster: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := serve.SubmitRequest{Seed: 7, Points: []serve.PointSpec{
+		{Graph: "g", Trials: 2, Resend: 2, Fault: serve.FaultSpec{Drop: 0.05, DelayMax: 2}},
+		{Graph: "g", Trials: 2, Algorithm: "kpprt", Fault: serve.FaultSpec{CrashFrac: 0.2, CrashRound: 2}},
+	}}
+	want := runJob(t, inproc, req)
+	got := runJob(t, clustered, req)
+
+	wantJSON, _ := json.Marshal(want.Result)
+	gotJSON, _ := json.Marshal(got.Result)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("faulty cluster-mode job diverged from in-process:\n in-process: %s\n cluster:    %s", wantJSON, gotJSON)
 	}
 }

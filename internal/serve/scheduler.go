@@ -34,10 +34,12 @@ var (
 // ClusterElector dispatches one election to a wire-level cluster instead
 // of the in-process engine. internal/cluster's Client implements it;
 // electd's -cluster flag plugs it in. The determinism contract is the
-// same either way: identical (graph spec, algorithm, seed) means an
-// identical outcome, so a job's result does not depend on where it ran.
+// same either way: identical (graph spec, algorithm, seed, fault) means
+// an identical outcome, so a job's result does not depend on where it
+// ran — fault planes included, since every FaultSpec plane is
+// shard-safe.
 type ClusterElector interface {
-	RunElection(spec GraphSpec, algorithm string, seed int64, resend, assumedN int) (*algo.Outcome, error)
+	RunElection(spec GraphSpec, algorithm string, seed int64, resend, assumedN int, fault FaultSpec) (*algo.Outcome, error)
 }
 
 // Job is one submitted election batch moving through the scheduler.
@@ -132,8 +134,8 @@ type SchedulerOptions struct {
 	// map would grow until OOM.
 	RetainJobs int
 	// Cluster, when non-nil, dispatches every election to a wire-level
-	// cluster. Fault planes are rejected at submission in cluster mode
-	// (the cluster runs the perfect delivery plane only).
+	// cluster. Fault planes ride along: every FaultSpec plane is
+	// shard-safe, so faulty cluster runs stay seed-deterministic.
 	Cluster ClusterElector
 	// testBeforeRun, when non-nil, runs on the worker goroutine before a
 	// job executes; tests use it to hold workers busy deterministically.
@@ -182,13 +184,6 @@ func NewScheduler(reg *Registry, met *Metrics, opts SchedulerOptions) *Scheduler
 func (s *Scheduler) Submit(req SubmitRequest) (*Job, error) {
 	if err := req.Validate(s.reg); err != nil {
 		return nil, err
-	}
-	if s.cluster != nil {
-		for i, p := range req.Points {
-			if !p.Fault.IsZero() {
-				return nil, fmt.Errorf("serve: point %d: fault planes are not supported in cluster mode (the wire runs the perfect delivery plane)", i)
-			}
-		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -407,7 +402,7 @@ func (s *Scheduler) runPointCluster(i int, p PointSpec, algName string, baseSeed
 	msgs := make([]int64, p.Trials)
 	contenders := make([]int32, p.Trials)
 	for t := 0; t < p.Trials; t++ {
-		out, err := s.cluster.RunElection(reg.Spec, algName, sim.DeriveSeed(baseSeed, uint64(t)), p.Resend, p.AssumedN)
+		out, err := s.cluster.RunElection(reg.Spec, algName, sim.DeriveSeed(baseSeed, uint64(t)), p.Resend, p.AssumedN, p.Fault)
 		if err != nil {
 			return pr, fmt.Errorf("serve: point %d trial %d on the cluster: %w", i, t, err)
 		}
@@ -422,6 +417,7 @@ func (s *Scheduler) runPointCluster(i int, p PointSpec, algName string, baseSeed
 		pr.Messages += out.Metrics.Messages
 		pr.Bits += out.Metrics.Bits
 		pr.Rounds += int64(out.Rounds)
+		pr.FaultDrops += out.Metrics.FaultDrops
 		pr.Contenders += out.Contenders
 		rounds[t] = int32(out.Rounds)
 		msgs[t] = out.Metrics.Messages

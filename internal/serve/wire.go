@@ -141,11 +141,17 @@ type FaultSpec struct {
 	// round 1, the E15 convention: crashed from the start).
 	CrashFrac  float64 `json:"crash_frac,omitempty"`
 	CrashRound int     `json:"crash_round,omitempty"`
+	// PartitionFrac cuts a sampled node fraction off from the rest during
+	// rounds [PartitionFrom, PartitionTo); PartitionTo <= PartitionFrom
+	// means the cut never heals (see sim.Partition).
+	PartitionFrac float64 `json:"partition_frac,omitempty"`
+	PartitionFrom int     `json:"partition_from,omitempty"`
+	PartitionTo   int     `json:"partition_to,omitempty"`
 }
 
 // IsZero reports perfect delivery.
 func (f FaultSpec) IsZero() bool {
-	return f.Drop == 0 && f.DelayMax == 0 && f.CrashFrac == 0
+	return f.Drop == 0 && f.DelayMax == 0 && f.CrashFrac == 0 && f.PartitionFrac == 0
 }
 
 // Validate rejects nonsense before a job is queued.
@@ -161,6 +167,12 @@ func (f FaultSpec) Validate() error {
 	}
 	if f.CrashRound < 0 {
 		return fmt.Errorf("serve: fault crash_round %d negative", f.CrashRound)
+	}
+	if f.PartitionFrac < 0 || f.PartitionFrac >= 1 {
+		return fmt.Errorf("serve: fault partition_frac %v out of [0,1)", f.PartitionFrac)
+	}
+	if f.PartitionFrom < 0 || f.PartitionTo < 0 {
+		return fmt.Errorf("serve: fault partition rounds [%d,%d) negative", f.PartitionFrom, f.PartitionTo)
 	}
 	return nil
 }
@@ -181,6 +193,9 @@ func (f FaultSpec) Plane() sim.FaultPlane {
 			round = 1
 		}
 		planes = append(planes, &sim.CrashSample{Frac: f.CrashFrac, Round: round})
+	}
+	if f.PartitionFrac > 0 {
+		planes = append(planes, &sim.Partition{Frac: f.PartitionFrac, From: f.PartitionFrom, To: f.PartitionTo})
 	}
 	return sim.Compose(planes...)
 }

@@ -21,6 +21,7 @@ var faultCases = []struct {
 	{"delay", func() FaultPlane { return &Delay{Max: 3} }},
 	{"crash", func() FaultPlane { return &Crash{At: map[int]int{1: 4, 5: 0}} }},
 	{"crash-sample", func() FaultPlane { return &CrashSample{Frac: 0.25, Round: 3} }},
+	{"partition", func() FaultPlane { return &Partition{Frac: 0.3, From: 1, To: 5} }},
 	{"composite", func() FaultPlane { return Compose(&Drop{P: 0.1}, &Delay{Max: 2}) }},
 }
 
@@ -309,6 +310,109 @@ func TestRoundHeap(t *testing.T) {
 		t.Fatal("heap order wrong after reuse")
 	}
 }
+
+// A partition that holds forever stops the flood at the cut; the same
+// partition healing at round To lets it through afterwards, losing nothing
+// once healed.
+func TestPartitionBlocksThenHeals(t *testing.T) {
+	g, err := graph.Clique(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never heals (To <= From): minority nodes stay uninformed.
+	procs := floodProcs(g.N())
+	p := &Partition{Frac: 0.25, From: 0}
+	if _, err := Run(Config{Graph: g, Seed: 11, Fault: p}, procs); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.minority) != 4 {
+		t.Fatalf("minority size = %d, want 4", len(p.minority))
+	}
+	_, srcMinority := p.minority[0]
+	informed := 0
+	for v, pr := range procs {
+		if pr.(*floodProc).seen {
+			informed++
+			if _, min := p.minority[v]; min != srcMinority {
+				t.Fatalf("node %d informed across an unhealed cut", v)
+			}
+		}
+	}
+	if srcMinority && informed != 4 || !srcMinority && informed != 12 {
+		t.Fatalf("informed = %d with source on minority=%v", informed, srcMinority)
+	}
+	// Heals after round 0: the flood is single-shot, so the heal must
+	// come before the informed side forwards. Everyone ends up informed
+	// and only the partitioned round drops anything.
+	procs = floodProcs(g.N())
+	m, err := Run(Config{Graph: g, Seed: 11, Fault: &Partition{Frac: 0.25, From: 0, To: 1}}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, pr := range procs {
+		if !pr.(*floodProc).seen {
+			t.Fatalf("node %d never informed after heal", v)
+		}
+	}
+	if m.FaultDrops == 0 {
+		t.Fatal("the partition window dropped nothing (suspicious)")
+	}
+}
+
+// A sender's fate stream must depend only on (seed, sender): consulting
+// Drop for interleaved senders yields the same answers as consulting it
+// for each sender alone. This is the invariant that makes the plane
+// shard-safe — a shard hosting only some senders replays their fates.
+func TestFaultFatesKeyedPerSender(t *testing.T) {
+	g, err := graph.Clique(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consult := func(senders []int) map[int][]bool {
+		d := &Drop{P: 0.5}
+		d.Reset(42, g)
+		got := make(map[int][]bool)
+		for _, from := range senders {
+			_, ok := d.Fate(0, from, 0)
+			got[from] = append(got[from], ok)
+		}
+		return got
+	}
+	interleaved := consult([]int{0, 1, 0, 2, 1, 0, 2, 1, 0})
+	for from, want := range map[int]int{0: 4, 1: 3, 2: 2} {
+		solo := consult([]int{from, from, from, from})
+		if fmt.Sprint(interleaved[from]) != fmt.Sprint(solo[from][:want]) {
+			t.Fatalf("sender %d's fates depend on interleaving: %v vs %v",
+				from, interleaved[from], solo[from][:want])
+		}
+	}
+}
+
+// The remote gate admits exactly the shard-safe planes and still rejects
+// message budgets.
+func TestValidateRemoteShardSafety(t *testing.T) {
+	for _, fc := range faultCases {
+		if err := validateRemote(Config{Fault: fc.mk()}); err != nil {
+			t.Errorf("shard-safe plane %s rejected: %v", fc.name, err)
+		}
+	}
+	if err := validateRemote(Config{Fault: unsafePlane{}}); err == nil {
+		t.Error("plane without ShardAware must be rejected on sharded runs")
+	}
+	if err := validateRemote(Config{Fault: Compose(&Drop{P: 0.1}, unsafePlane{})}); err == nil {
+		t.Error("composition containing an unsafe member must be rejected")
+	}
+	if err := validateRemote(Config{MessageBudget: 10}); err == nil {
+		t.Error("message budgets must stay rejected on sharded runs")
+	}
+}
+
+// unsafePlane implements FaultPlane without declaring shard safety.
+type unsafePlane struct{}
+
+func (unsafePlane) Reset(int64, *graph.Graph)      {}
+func (unsafePlane) Fate(int, int, int) (int, bool) { return 0, true }
+func (unsafePlane) Crashed(int, int) bool          { return false }
 
 // Out-of-range crash fractions clamp instead of panicking.
 func TestCrashSampleFracClamped(t *testing.T) {

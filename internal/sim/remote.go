@@ -52,14 +52,17 @@ type RemotePlane interface {
 var errRemote = errors.New("sim: remote plane")
 
 // validateRemote rejects configurations the distributed engine cannot
-// honor deterministically: the fault plane and the message budget both
-// consume global streams (one random fate per send, one counter per send)
-// whose order a sharded run cannot reproduce.
+// honor deterministically. Fault planes are admitted when they declare
+// themselves shard-safe (see ShardAware): the built-in adversaries key
+// their randomness per sender and decide crashes as pure functions of the
+// Reset seed, so each shard reproduces exactly the fate sequence of the
+// in-process run for the nodes it hosts. A plane without that declaration
+// may consume one global stream ordered by the interleaved send sequence,
+// which a sharded run cannot reproduce — rejected. The message budget is
+// a single global counter ordered the same way, so it stays rejected.
 func validateRemote(cfg Config) error {
-	if cfg.Fault != nil {
-		if _, perfect := cfg.Fault.(Perfect); !perfect {
-			return fmt.Errorf("%w: fault planes are not supported on a sharded run (the adversary's random stream is ordered by the global send sequence)", errRemote)
-		}
+	if cfg.Fault != nil && !shardSafe(cfg.Fault) {
+		return fmt.Errorf("%w: fault plane %T is not shard-safe (its random stream is ordered by the global send sequence; see sim.ShardAware)", errRemote, cfg.Fault)
 	}
 	if cfg.MessageBudget > 0 {
 		return fmt.Errorf("%w: MessageBudget is not supported on a sharded run (the budget counter is ordered by the global send sequence)", errRemote)

@@ -109,7 +109,8 @@ type Config struct {
 	// distributed run (see remote.go): only nodes the plane reports as
 	// Local are woken and stepped, cross-shard sends travel through the
 	// plane, and round advancement goes through its barrier. Fault
-	// planes and message budgets are rejected on sharded runs.
+	// planes must be shard-safe (see ShardAware); message budgets are
+	// rejected on sharded runs.
 	Remote RemotePlane
 
 	// Observer, when non-nil, is invoked for every accepted send.

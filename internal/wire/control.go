@@ -1,0 +1,174 @@
+package wire
+
+// Supervision control payloads: the lease/heartbeat/epoch-change frames of
+// the cluster's failure-detection protocol. Like every codec in this
+// package, the decoders are total — arbitrary bytes decode to an error,
+// never a panic or an unbounded allocation — and valid values round-trip
+// byte-for-byte (FuzzWireDecode and the conformance tests hold them to it).
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// maxShards bounds the shard ids a control frame may claim. The cluster
+// runtime tops out far below this; a larger claim is corruption.
+const maxShards = 1 << 20
+
+// Lease is the coordinator's announcement of a completed election: leader
+// node `Leader` (an index into the current membership) hosted by shard
+// `LeaderShard` reigns for epoch `Epoch`. Workers heartbeat every
+// `HeartMillis` while the lease holds; the coordinator declares a shard
+// dead after a TTL of missed beats (or a closed connection, whichever
+// comes first).
+type Lease struct {
+	Epoch       uint64
+	Leader      int
+	LeaderShard int
+	HeartMillis uint32
+}
+
+// AppendLease encodes one lease onto buf.
+func AppendLease(buf []byte, l Lease) []byte {
+	buf = binary.AppendUvarint(buf, l.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(l.Leader))
+	buf = binary.AppendUvarint(buf, uint64(l.LeaderShard))
+	return binary.AppendUvarint(buf, uint64(l.HeartMillis))
+}
+
+// DecodeLease parses one lease payload, consuming it entirely.
+func DecodeLease(b []byte) (Lease, error) {
+	var l Lease
+	epoch, b, err := ReadUvarint(b)
+	if err != nil {
+		return l, err
+	}
+	leader, b, err := ReadUvarint(b)
+	if err != nil {
+		return l, err
+	}
+	shard, b, err := ReadUvarint(b)
+	if err != nil {
+		return l, err
+	}
+	heart, b, err := ReadUvarint(b)
+	if err != nil {
+		return l, err
+	}
+	if len(b) != 0 {
+		return l, fmt.Errorf("%w: %d trailing bytes in lease", ErrCorrupt, len(b))
+	}
+	if leader > maxBits || shard > maxShards || heart > uint64(^uint32(0)) {
+		return l, fmt.Errorf("%w: lease fields out of range", ErrCorrupt)
+	}
+	return Lease{Epoch: epoch, Leader: int(leader), LeaderShard: int(shard), HeartMillis: uint32(heart)}, nil
+}
+
+// Heartbeat is one worker's periodic liveness beat under an active lease.
+type Heartbeat struct {
+	Epoch uint64
+	Shard int
+	Seq   uint64
+}
+
+// AppendHeartbeat encodes one heartbeat onto buf.
+func AppendHeartbeat(buf []byte, h Heartbeat) []byte {
+	buf = binary.AppendUvarint(buf, h.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(h.Shard))
+	return binary.AppendUvarint(buf, h.Seq)
+}
+
+// DecodeHeartbeat parses one heartbeat payload, consuming it entirely.
+func DecodeHeartbeat(b []byte) (Heartbeat, error) {
+	var h Heartbeat
+	epoch, b, err := ReadUvarint(b)
+	if err != nil {
+		return h, err
+	}
+	shard, b, err := ReadUvarint(b)
+	if err != nil {
+		return h, err
+	}
+	seq, b, err := ReadUvarint(b)
+	if err != nil {
+		return h, err
+	}
+	if len(b) != 0 {
+		return h, fmt.Errorf("%w: %d trailing bytes in heartbeat", ErrCorrupt, len(b))
+	}
+	if shard > maxShards {
+		return h, fmt.Errorf("%w: heartbeat shard %d out of range", ErrCorrupt, shard)
+	}
+	return Heartbeat{Epoch: epoch, Shard: int(shard), Seq: seq}, nil
+}
+
+// EpochChange opens supervision epoch `Epoch`: it ends the previous lease
+// (workers stop heartbeating and quiesce their links) and announces the
+// new membership. Live[s] reports whether shard s participates in the new
+// epoch; a rejoining shard is flagged live and named by Rejoin (-1 when
+// nobody rejoins) with its dial address in RejoinAddr.
+type EpochChange struct {
+	Epoch      uint64
+	Live       []bool
+	Rejoin     int
+	RejoinAddr string
+}
+
+// AppendEpochChange encodes one epoch change onto buf.
+func AppendEpochChange(buf []byte, e EpochChange) []byte {
+	buf = binary.AppendUvarint(buf, e.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(e.Live)))
+	for _, up := range e.Live {
+		bit := byte(0)
+		if up {
+			bit = 1
+		}
+		buf = append(buf, bit)
+	}
+	buf = binary.AppendVarint(buf, int64(e.Rejoin))
+	buf = binary.AppendUvarint(buf, uint64(len(e.RejoinAddr)))
+	return append(buf, e.RejoinAddr...)
+}
+
+// DecodeEpochChange parses one epoch-change payload, consuming it
+// entirely.
+func DecodeEpochChange(b []byte) (EpochChange, error) {
+	var e EpochChange
+	epoch, b, err := ReadUvarint(b)
+	if err != nil {
+		return e, err
+	}
+	cnt, b, err := ReadCount(b)
+	if err != nil {
+		return e, err
+	}
+	if cnt > maxShards {
+		return e, fmt.Errorf("%w: epoch change claims %d shards", ErrCorrupt, cnt)
+	}
+	live := make([]bool, cnt)
+	for i := range live {
+		switch b[i] {
+		case 0:
+		case 1:
+			live[i] = true
+		default:
+			return e, fmt.Errorf("%w: bad live flag %d", ErrCorrupt, b[i])
+		}
+	}
+	b = b[cnt:]
+	rejoin, b, err := ReadVarint(b)
+	if err != nil {
+		return e, err
+	}
+	if rejoin < -1 || rejoin > maxShards {
+		return e, fmt.Errorf("%w: rejoin shard %d out of range", ErrCorrupt, rejoin)
+	}
+	addr, b, err := ReadBytes(b)
+	if err != nil {
+		return e, err
+	}
+	if len(b) != 0 {
+		return e, fmt.Errorf("%w: %d trailing bytes in epoch change", ErrCorrupt, len(b))
+	}
+	return EpochChange{Epoch: epoch, Live: live, Rejoin: int(rejoin), RejoinAddr: string(addr)}, nil
+}

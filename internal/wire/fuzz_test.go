@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"reflect"
 	"testing"
 
 	"wcle/internal/protocol"
@@ -38,11 +39,18 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		f.Add(msg)
 	}
+	f.Add(wire.AppendLease(nil, wire.Lease{Epoch: 3, Leader: 27, LeaderShard: 1, HeartMillis: 50}))
+	f.Add(wire.AppendHeartbeat(nil, wire.Heartbeat{Epoch: 3, Shard: 2, Seq: 99}))
+	f.Add(wire.AppendEpochChange(nil, wire.EpochChange{
+		Epoch: 4, Live: []bool{true, false, true}, Rejoin: 1, RejoinAddr: "127.0.0.1:7001",
+	}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		// Both entry points a peer's bytes reach: envelope framing (the
-		// data-frame path) and bare messages.
+		// Every entry point a peer's bytes reach: envelope framing (the
+		// data-frame path), bare messages, and the supervision control
+		// payloads. Valid control payloads must round-trip byte-for-byte
+		// (they are part of the deterministic wire contract).
 		if e, rest, err := wire.DecodeEnvelope(data); err == nil {
 			if e.Msg == nil {
 				t.Fatal("decoded envelope with nil message")
@@ -54,6 +62,25 @@ func FuzzWireDecode(f *testing.F) {
 		if m, err := wire.DecodeMessage(data); err == nil {
 			_ = m.Bits()
 			_ = m.Kind()
+		}
+		// Accepted control payloads must round-trip semantically: re-encoding
+		// the decoded value and decoding again yields the same value. (Byte
+		// identity is too strong — Uvarint tolerates non-canonical inputs.)
+		if l, err := wire.DecodeLease(data); err == nil {
+			if l2, err := wire.DecodeLease(wire.AppendLease(nil, l)); err != nil || l2 != l {
+				t.Fatalf("lease round-trip: %+v -> %+v (%v)", l, l2, err)
+			}
+		}
+		if h, err := wire.DecodeHeartbeat(data); err == nil {
+			if h2, err := wire.DecodeHeartbeat(wire.AppendHeartbeat(nil, h)); err != nil || h2 != h {
+				t.Fatalf("heartbeat round-trip: %+v -> %+v (%v)", h, h2, err)
+			}
+		}
+		if e, err := wire.DecodeEpochChange(data); err == nil {
+			e2, err := wire.DecodeEpochChange(wire.AppendEpochChange(nil, e))
+			if err != nil || !reflect.DeepEqual(e2, e) {
+				t.Fatalf("epoch change round-trip: %+v -> %+v (%v)", e, e2, err)
+			}
 		}
 	})
 }

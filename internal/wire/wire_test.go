@@ -75,3 +75,61 @@ func (strangeMsg) Bits() int    { return 1 }
 func (strangeMsg) Kind() string { return "strange" }
 
 var _ sim.Message = strangeMsg{}
+
+// TestControlRoundTrip: the supervision control payloads round-trip
+// exactly, and every truncation of a valid encoding is rejected.
+func TestControlRoundTrip(t *testing.T) {
+	leases := []wire.Lease{
+		{},
+		{Epoch: 1, Leader: 27, LeaderShard: 1, HeartMillis: 50},
+		{Epoch: 1<<63 + 5, Leader: 1 << 20, LeaderShard: 255, HeartMillis: ^uint32(0)},
+	}
+	for _, l := range leases {
+		buf := wire.AppendLease(nil, l)
+		got, err := wire.DecodeLease(buf)
+		if err != nil || got != l {
+			t.Fatalf("lease round-trip: %+v -> %+v (%v)", l, got, err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := wire.DecodeLease(buf[:cut]); err == nil {
+				t.Fatalf("lease truncation to %d/%d decoded cleanly", cut, len(buf))
+			}
+		}
+	}
+	hearts := []wire.Heartbeat{{}, {Epoch: 9, Shard: 3, Seq: 1 << 40}}
+	for _, h := range hearts {
+		buf := wire.AppendHeartbeat(nil, h)
+		got, err := wire.DecodeHeartbeat(buf)
+		if err != nil || got != h {
+			t.Fatalf("heartbeat round-trip: %+v -> %+v (%v)", h, got, err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := wire.DecodeHeartbeat(buf[:cut]); err == nil {
+				t.Fatalf("heartbeat truncation to %d/%d decoded cleanly", cut, len(buf))
+			}
+		}
+	}
+	epochs := []wire.EpochChange{
+		{Rejoin: -1, Live: []bool{}},
+		{Epoch: 4, Live: []bool{true, false, true}, Rejoin: 1, RejoinAddr: "127.0.0.1:7001"},
+	}
+	for _, e := range epochs {
+		buf := wire.AppendEpochChange(nil, e)
+		got, err := wire.DecodeEpochChange(buf)
+		if err != nil || !reflect.DeepEqual(got, e) {
+			t.Fatalf("epoch change round-trip: %+v -> %+v (%v)", e, got, err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := wire.DecodeEpochChange(buf[:cut]); err == nil {
+				t.Fatalf("epoch truncation to %d/%d decoded cleanly", cut, len(buf))
+			}
+		}
+	}
+	// A corrupted live flag and an oversized shard id are rejected.
+	if _, err := wire.DecodeEpochChange([]byte{1, 1, 7, 0, 0}); err == nil {
+		t.Fatal("bad live flag decoded cleanly")
+	}
+	if _, err := wire.DecodeLease(wire.AppendLease(nil, wire.Lease{LeaderShard: 1 << 30})); err == nil {
+		t.Fatal("oversized leader shard decoded cleanly")
+	}
+}

@@ -10,8 +10,16 @@
 # The script builds cmd/electnode, starts the coordinator in -serve mode
 # on an ephemeral port, joins shards-1 workers, submits one election per
 # backend (gilbertrs18, floodmax, kpprt), asserts exactly one leader per
-# election, and checks every process exits cleanly on shutdown. This is
-# also the CI cluster smoke job.
+# election, and checks every process exits cleanly on shutdown.
+#
+# Two fault passes follow: a -drop/-delay-max election whose outcome and
+# message counts must match a 1-shard run of the same spec (the
+# determinism contract under faults, at the process level), and a
+# -supervise session where the leader's shard process is SIGKILLed
+# mid-lease — the supervisor must print the death, re-elect, fold the
+# restarted shard back in, and shut down with three reigns. Every wait
+# has a timeout; a hang fails the script. This is also the CI cluster
+# smoke job.
 set -euo pipefail
 
 SHARDS="${1:-3}"
@@ -84,6 +92,36 @@ for backend in gilbertrs18 floodmax kpprt; do
     fi
 done
 
+# ---- fault pass 1: drop/delay election, wire vs 1-shard parity --------------
+
+# gilbertrs18 with idempotent retransmissions is the drop-resilient
+# configuration (E15); the seed is pinned to one where the faulty
+# election still succeeds — the parity check is seed-exact either way.
+FAULT_SEED="${CLUSTER_FAULT_SEED:-3}"
+fault_args=(-graph "$GRAPH" -n "$N" -algo gilbertrs18 -seed "$FAULT_SEED" -resend 2 -drop 0.05 -delay-max 2)
+echo "cluster_local: fault pass: gilbertrs18 -resend 2 with -drop 0.05 -delay-max 2..."
+if out_wire="$("$bin" -submit "$addr" "${fault_args[@]}")" \
+    && out_ref="$("$bin" -listen 127.0.0.1:0 -shards 1 "${fault_args[@]}")"; then
+    wire_outcome="$(printf '%s\n' "$out_wire" | grep '^outcome:')"
+    ref_outcome="$(printf '%s\n' "$out_ref" | grep '^outcome:')"
+    wire_msgs="$(printf '%s\n' "$out_wire" | grep '^messages=')"
+    ref_msgs="$(printf '%s\n' "$out_ref" | grep '^messages=')"
+    if [ "$wire_outcome" != "$ref_outcome" ] || [ "$wire_msgs" != "$ref_msgs" ]; then
+        echo "cluster_local: FAIL: faulty run diverged between $SHARDS shards and 1 shard" >&2
+        printf 'wire: %s | %s\nref:  %s | %s\n' "$wire_outcome" "$wire_msgs" "$ref_outcome" "$ref_msgs" >&2
+        fail=1
+    elif ! printf '%s\n' "$out_wire" | grep -q 'success=true'; then
+        echo "cluster_local: FAIL: faulty election did not elect a unique leader" >&2
+        printf '%s\n' "$out_wire" >&2
+        fail=1
+    else
+        echo "cluster_local: OK: faulty election matched the 1-shard run ($wire_outcome)"
+    fi
+else
+    echo "cluster_local: FAIL: faulty election errored" >&2
+    fail=1
+fi
+
 echo "cluster_local: shutting down (SIGTERM to coordinator)..."
 kill -TERM "$coord_pid"
 if ! wait "$coord_pid"; then
@@ -101,8 +139,83 @@ for i in "${!worker_pids[@]}"; do
 done
 worker_pids=()
 
+# ---- fault pass 2: supervised session, SIGKILL the leader's shard -----------
+
+# await_line FILE PATTERN [TIMEOUT_S]: poll for a line; a hang is a failure.
+await_line() {
+    local file="$1" pat="$2" timeout="${3:-60}" i
+    for i in $(seq 1 $((timeout * 10))); do
+        grep -q "$pat" "$file" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "cluster_local: FAIL: timed out (${timeout}s) waiting for '$pat'" >&2
+    return 1
+}
+
+echo "cluster_local: supervised pass: -supervise with kpprt, killing the leader's shard..."
+sready="$workdir/supervisor.addr"
+slog="$workdir/supervisor.out"
+"$bin" -listen 127.0.0.1:0 -shards "$SHARDS" -supervise -ready-file "$sready" \
+    -graph "$GRAPH" -n "$N" -algo kpprt -seed "$SEED" \
+    >"$slog" 2>"$workdir/supervisor.log" &
+coord_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$sready" ] && break
+    sleep 0.1
+done
+[ -s "$sready" ] || { echo "cluster_local: supervisor never wrote $sready" >&2; exit 1; }
+saddr="$(cat "$sready")"
+for shard in $(seq 1 $((SHARDS - 1))); do
+    "$bin" -bootstrap "$saddr" -shard "$shard" -listen 127.0.0.1:0 \
+        2>"$workdir/sworker$shard.log" &
+    worker_pids+=($!)
+done
+
+await_line "$slog" '^lease: epoch=1 '
+# Kill the process hosting the leader (shard 0 is the coordinator and
+# cannot die; fall back to shard 1).
+victim="$(sed -n 's/^lease: epoch=1 .*shard=\([0-9]*\)$/\1/p' "$slog")"
+[ "$victim" -ge 1 ] 2>/dev/null || victim=1
+victim_pid="${worker_pids[$((victim - 1))]}"
+echo "cluster_local: lease granted; SIGKILLing shard $victim (pid $victim_pid)..."
+kill -9 "$victim_pid"
+wait "$victim_pid" 2>/dev/null || true
+
+await_line "$slog" '^death: .*shard='"$victim"
+await_line "$slog" '^lease: epoch=2 '
+echo "cluster_local: death detected, epoch 2 lease granted; restarting shard $victim..."
+"$bin" -bootstrap "$saddr" -shard "$victim" -listen 127.0.0.1:0 \
+    2>"$workdir/sworker$victim.rejoin.log" &
+worker_pids[$((victim - 1))]=$!
+await_line "$slog" '^rejoin: .*shard='"$victim"
+await_line "$slog" '^lease: epoch=3 '
+
+echo "cluster_local: rejoin folded in; stopping the supervision (SIGTERM)..."
+kill -TERM "$coord_pid"
+if ! wait "$coord_pid"; then
+    echo "cluster_local: FAIL: supervisor exited non-zero" >&2
+    cat "$workdir/supervisor.log" >&2
+    fail=1
+fi
+coord_pid=""
+for i in "${!worker_pids[@]}"; do
+    if ! wait "${worker_pids[$i]}"; then
+        echo "cluster_local: FAIL: supervised worker $((i + 1)) exited non-zero" >&2
+        fail=1
+    fi
+done
+worker_pids=()
+reigns="$(grep -c '^reign: ' "$slog" || true)"
+if [ "$reigns" != "3" ]; then
+    echo "cluster_local: FAIL: expected 3 reigns, supervisor reported $reigns" >&2
+    cat "$slog" >&2
+    fail=1
+else
+    echo "cluster_local: OK: supervised session survived a leader-shard kill and a rejoin (3 reigns)"
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "cluster_local: FAILED" >&2
     exit 1
 fi
-echo "cluster_local: all backends elected one leader; clean shutdown. PASS"
+echo "cluster_local: all backends elected one leader; faulty and supervised passes held. PASS"

@@ -54,6 +54,9 @@ type (
 	Crash = sim.Crash
 	// CrashSample crashes a sampled fraction of nodes at a given round.
 	CrashSample = sim.CrashSample
+	// Partition splits the graph into a seed-sampled minority/majority cut
+	// and drops everything crossing it during rounds [From, To).
+	Partition = sim.Partition
 	// BatchOptions parameterizes ElectMany.
 	BatchOptions = core.BatchOptions
 	// BatchResult aggregates an ElectMany batch.
@@ -87,8 +90,19 @@ type (
 	// bytes-on-the-wire accounting.
 	ClusterResult = cluster.Result
 	// LocalCluster is an in-process cluster on loopback TCP — real wire
-	// protocol, no separate processes (tests, experiments, examples).
+	// protocol, no separate processes (tests, experiments, examples). Its
+	// Kill/Restart crash and rejoin individual shards for fault drills.
 	LocalCluster = cluster.Local
+	// ClusterSupervision is an active supervised cluster session: leader
+	// leases, heartbeat failure detection, automatic re-election over the
+	// surviving membership (see cluster.Coordinator.Supervise).
+	ClusterSupervision = cluster.Supervision
+	// ClusterSuperviseConfig parameterizes a supervision.
+	ClusterSuperviseConfig = cluster.SuperviseConfig
+	// ClusterReign is one completed election under supervision.
+	ClusterReign = cluster.Reign
+	// ClusterEvent is one supervision state change (lease/death/rejoin).
+	ClusterEvent = cluster.Event
 	// FaultSpec is the wire form of a delivery-plane adversary.
 	FaultSpec = serve.FaultSpec
 	// GraphRegistry stores named graphs with memoized spectral profiles
