@@ -5,6 +5,8 @@ import (
 
 	"wcle"
 	"wcle/internal/experiments"
+	"wcle/internal/protocol"
+	"wcle/internal/wire"
 )
 
 // benchExperiment runs one reproduction experiment per iteration with a
@@ -144,6 +146,151 @@ func BenchmarkLowerBoundConstruction(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Cluster wire hot paths: every cross-shard envelope goes through the
+// codec once per side per round, and every large data frame may go
+// through flate. These pin the per-envelope and per-frame costs the
+// cluster runtime pays.
+
+// benchFlushPayload builds one realistic per-(peer, round) flush: a
+// piggybacked data-frame header followed by count token envelopes, the
+// shape the plane's writeRound produces every round.
+func benchFlushPayload(b *testing.B, count int) []byte {
+	b.Helper()
+	c, err := protocol.NewCodec(128, protocol.ModeCongest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := wire.AppendDataHeader(nil, wire.DataHeader{
+		Epoch: 3, Round: 17, Flag: wire.ChunkFinalNext, Next: 18, Count: count,
+	})
+	for i := 0; i < count; i++ {
+		buf, err = wire.AppendEnvelope(buf, wire.Envelope{
+			Due: 18, To: i % 64, Port: i % 8, From: -1,
+			Msg: c.Token(protocol.ID(1000+i), i%64, 17, i%8),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func BenchmarkClusterFlushEncode(b *testing.B) {
+	const count = 64
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = benchFlushPayloadReuse(b, buf[:0], count)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// benchFlushPayloadReuse is the append-onto-buf variant the encoder
+// benchmark iterates, mirroring the plane's buffer reuse.
+func benchFlushPayloadReuse(b *testing.B, buf []byte, count int) []byte {
+	c, err := protocol.NewCodec(128, protocol.ModeCongest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf = wire.AppendDataHeader(buf, wire.DataHeader{
+		Epoch: 3, Round: 17, Flag: wire.ChunkFinalNext, Next: 18, Count: count,
+	})
+	for i := 0; i < count; i++ {
+		buf, err = wire.AppendEnvelope(buf, wire.Envelope{
+			Due: 18, To: i % 64, Port: i % 8, From: -1,
+			Msg: c.Token(protocol.ID(1000+i), i%64, 17, i%8),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func BenchmarkClusterFlushDecode(b *testing.B) {
+	payload := benchFlushPayload(b, 64)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, rest, err := wire.DecodeDataHeader(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < h.Count; j++ {
+			var e wire.Envelope
+			e, rest, err = wire.DecodeEnvelope(rest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = e
+		}
+	}
+}
+
+func BenchmarkClusterFrameCompress(b *testing.B) {
+	payload := benchFlushPayload(b, 256)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		z, ok := wire.AppendCompressed(nil, payload)
+		if !ok {
+			b.Fatal("flush payload did not compress")
+		}
+		ratio = float64(len(z)) / float64(len(payload))
+	}
+	b.ReportMetric(ratio, "compressed-ratio")
+}
+
+func BenchmarkClusterFrameDecompress(b *testing.B) {
+	payload := benchFlushPayload(b, 256)
+	z, ok := wire.AppendCompressed(nil, payload)
+	if !ok {
+		b.Fatal("flush payload did not compress")
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decompress(z, wire.MaxDataBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Whole-election cluster benchmarks: the same clique election over a
+// 3-shard loopback cluster, with the piggybacked barrier (default) and
+// the legacy coordinator star, so the barrier saving shows up in ns/op.
+func benchClusterElection(b *testing.B, opt wcle.LocalClusterOptions) {
+	local, err := wcle.StartLocalClusterWith(3, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer local.Close()
+	spec := wcle.ClusterJob{
+		Graph:     wcle.GraphSpec{Family: "clique", N: 32, Seed: 5},
+		Algorithm: wcle.DefaultAlgorithm(),
+		Seed:      7,
+	}
+	b.ResetTimer()
+	var barriers int64
+	for i := 0; i < b.N; i++ {
+		res, err := local.Elect(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		barriers = res.Wire.Barriers / 3
+	}
+	b.ReportMetric(float64(barriers), "barriers")
+}
+
+func BenchmarkClusterElectionPiggyback(b *testing.B) {
+	benchClusterElection(b, wcle.LocalClusterOptions{})
+}
+
+func BenchmarkClusterElectionLegacyBarrier(b *testing.B) {
+	benchClusterElection(b, wcle.LocalClusterOptions{LegacyBarrier: true})
 }
 
 // Regenerate the full suite exactly once (the EXPERIMENTS.md pipeline) on

@@ -22,6 +22,12 @@
 // plane they can express is shard-safe, so a faulty cluster run stays
 // byte-identical to the in-process sim at the same seed.
 //
+// Session flags (coordinator only): -compress flate-compresses large
+// data frames, -legacy-barrier forces the old frameReady/frameAdvance
+// coordinator star instead of piggybacked round advancement. Both are
+// negotiated at join time, so a cluster mixing old and new binaries
+// degrades to the legacy uncompressed wire instead of failing.
+//
 // Examples:
 //
 //	electnode -listen 127.0.0.1:7000 -shards 3 -graph clique -n 48 -algo kpprt -seed 7
@@ -85,6 +91,9 @@ func run() error {
 		partitionTo   = flag.Int("partition-to", 0, "fault plane: first round after the heal (<= from never heals)")
 
 		supervise = flag.Bool("supervise", false, "coordinator mode: supervise the job flags as a leased election — heartbeats, crash detection, automatic re-election — until SIGTERM")
+
+		compress      = flag.Bool("compress", false, "coordinator mode: flate-compress large data frames (negotiated; falls back raw if a worker cannot)")
+		legacyBarrier = flag.Bool("legacy-barrier", false, "coordinator mode: force the frameReady/frameAdvance coordinator star instead of piggybacked round advancement")
 	)
 	flag.Parse()
 
@@ -117,7 +126,11 @@ func run() error {
 		}
 		return printResult(res, *jsonOut)
 	default:
-		return runCoordinator(*listen, *shards, *serve, *supervise, *readyFile, spec, *jsonOut)
+		cfg := cluster.CoordinatorConfig{
+			Listen: *listen, Shards: *shards,
+			Compress: *compress, LegacyBarrier: *legacyBarrier,
+		}
+		return runCoordinator(cfg, *serve, *supervise, *readyFile, spec, *jsonOut)
 	}
 }
 
@@ -178,13 +191,13 @@ func runWorker(bootstrap string, shard int, listen string) error {
 // runCoordinator assembles the cluster, then serves submissions (-serve),
 // supervises a leased election (-supervise), or runs the one job described
 // by the flags.
-func runCoordinator(listen string, shards int, serve, supervise bool, readyFile string, spec cluster.JobSpec, jsonOut bool) error {
-	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Listen: listen, Shards: shards})
+func runCoordinator(cfg cluster.CoordinatorConfig, serve, supervise bool, readyFile string, spec cluster.JobSpec, jsonOut bool) error {
+	coord, err := cluster.NewCoordinator(cfg)
 	if err != nil {
 		return err
 	}
 	defer coord.Shutdown()
-	fmt.Fprintf(os.Stderr, "electnode: coordinator of %d shards listening on %s\n", shards, coord.Addr())
+	fmt.Fprintf(os.Stderr, "electnode: coordinator of %d shards listening on %s\n", cfg.Shards, coord.Addr())
 	if readyFile != "" {
 		// Write-then-rename so pollers never read a partial address.
 		tmp := readyFile + ".tmp"
@@ -268,7 +281,11 @@ func printResult(res *cluster.Result, jsonOut bool) error {
 	fmt.Printf("leaderRound=%d totalRounds=%d\n", out.LeaderRound, out.Rounds)
 	fmt.Printf("messages=%d bits=%d deliveries=%d byKind=%v\n",
 		out.Metrics.Messages, out.Metrics.Bits, out.Metrics.Deliveries, out.Metrics.ByKind)
-	fmt.Printf("wire: frames=%d bytes=%d envelopes=%d barriers=%d\n",
-		res.Wire.Frames, res.Wire.Bytes, res.Wire.Envelopes, res.Wire.Barriers)
+	fmt.Printf("wire: frames=%d bytes=%d envelopes=%d barriers=%d barrier_frames=%d\n",
+		res.Wire.Frames, res.Wire.Bytes, res.Wire.Envelopes, res.Wire.Barriers, res.Wire.BarrierFrames)
+	if res.Wire.CompressedFrames > 0 {
+		fmt.Printf("compression: compressed_frames=%d raw_bytes=%d compressed_bytes=%d\n",
+			res.Wire.CompressedFrames, res.Wire.RawBytes, res.Wire.CompressedBytes)
+	}
 	return nil
 }

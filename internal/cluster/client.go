@@ -71,10 +71,11 @@ func (c *Client) Close() error {
 }
 
 // RunElection implements electd's serve.ClusterElector: one election on
-// the cluster, returning the merged backend-independent outcome. The
-// fault spec rides along — every plane it can express is shard-safe, so
-// the outcome stays seed-deterministic on the wire.
-func (c *Client) RunElection(spec serve.GraphSpec, algorithm string, seed int64, resend, assumedN int, fault serve.FaultSpec) (*algo.Outcome, error) {
+// the cluster, returning the merged backend-independent outcome plus the
+// wire traffic it cost (electd exports it through /metrics). The fault
+// spec rides along — every plane it can express is shard-safe, so the
+// outcome stays seed-deterministic on the wire.
+func (c *Client) RunElection(spec serve.GraphSpec, algorithm string, seed int64, resend, assumedN int, fault serve.FaultSpec) (*algo.Outcome, serve.ClusterWire, error) {
 	res, err := c.Elect(JobSpec{
 		Graph:     spec,
 		Algorithm: algorithm,
@@ -84,9 +85,19 @@ func (c *Client) RunElection(spec serve.GraphSpec, algorithm string, seed int64,
 		Fault:     fault,
 	})
 	if err != nil {
-		return nil, err
+		return nil, serve.ClusterWire{}, err
 	}
-	return &res.Outcome, nil
+	w := res.Wire
+	return &res.Outcome, serve.ClusterWire{
+		Frames:           w.Frames,
+		Bytes:            w.Bytes,
+		Envelopes:        w.Envelopes,
+		Barriers:         w.Barriers,
+		BarrierFrames:    w.BarrierFrames,
+		CompressedFrames: w.CompressedFrames,
+		RawBytes:         w.RawBytes,
+		CompressedBytes:  w.CompressedBytes,
+	}, nil
 }
 
 // Submit is the one-shot convenience: dial, elect, close.
@@ -117,10 +128,29 @@ type localWorker struct {
 	done chan error
 }
 
+// LocalOptions tunes a StartLocalWith cluster.
+type LocalOptions struct {
+	// LegacyBarrier forces the frameReady/frameAdvance coordinator star
+	// instead of piggybacked round advancement.
+	LegacyBarrier bool
+	// Compress enables threshold-gated flate compression of data frames.
+	Compress bool
+}
+
 // StartLocal assembles a shards-process-shaped cluster inside this
 // process, on 127.0.0.1 ephemeral ports.
 func StartLocal(shards int) (*Local, error) {
-	coord, err := NewCoordinator(CoordinatorConfig{Listen: "127.0.0.1:0", Shards: shards})
+	return StartLocalWith(shards, LocalOptions{})
+}
+
+// StartLocalWith is StartLocal with session options.
+func StartLocalWith(shards int, opt LocalOptions) (*Local, error) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Listen:        "127.0.0.1:0",
+		Shards:        shards,
+		LegacyBarrier: opt.LegacyBarrier,
+		Compress:      opt.Compress,
+	})
 	if err != nil {
 		return nil, err
 	}

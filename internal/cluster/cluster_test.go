@@ -283,8 +283,17 @@ func TestDataFrameChunking(t *testing.T) {
 			t.Fatalf("node %d sent %d on the cluster, %d in process", v, got.PerNodeMessages[v], wantCounts[v])
 		}
 	}
-	if got.Wire.Frames <= got.Wire.Barriers*6 {
-		t.Fatalf("expected chunked rounds to multiply frames (%d frames over %d barriers)",
-			got.Wire.Frames, got.Wire.Barriers)
+	// Merged Barriers sums the per-shard counters (3 per global round
+	// here), and an unchunked barrier costs shards*(shards-1) = 6 data
+	// frames — i.e. Barriers*2 after merging. More means chunking split
+	// the heavy rounds. (The legacy star's control frames no longer pad
+	// the count: advancement is piggybacked.)
+	globalFloor := got.Wire.Barriers * 2
+	if got.Wire.Frames <= globalFloor {
+		t.Fatalf("expected chunked rounds to multiply frames (%d frames, floor %d)",
+			got.Wire.Frames, globalFloor)
+	}
+	if got.Wire.BarrierFrames != 0 {
+		t.Fatalf("piggybacked session sent %d barrier control frames, want 0", got.Wire.BarrierFrames)
 	}
 }

@@ -78,11 +78,15 @@ func clusterFaultRunner(local *Local) algotest.FaultRunner {
 }
 
 func startConformanceCluster(t *testing.T) *Local {
+	return startConformanceClusterWith(t, LocalOptions{})
+}
+
+func startConformanceClusterWith(t *testing.T, opt LocalOptions) *Local {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("runs full elections over loopback TCP; skipped in -short mode")
 	}
-	local, err := StartLocal(3)
+	local, err := StartLocalWith(3, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +96,15 @@ func startConformanceCluster(t *testing.T) *Local {
 		}
 	})
 	return local
+}
+
+// lowerCompressionThreshold makes conformance-sized elections cross the
+// compression gate so frameDataZ actually carries the battery.
+func lowerCompressionThreshold(t *testing.T) {
+	t.Helper()
+	old := compressMinBytes
+	compressMinBytes = 32
+	t.Cleanup(func() { compressMinBytes = old })
 }
 
 // Per-graph configurations mirror the in-process conformance suite
@@ -170,5 +183,34 @@ func TestClusterFaultParityFloodMax(t *testing.T) {
 func TestClusterFaultParityKPPRT(t *testing.T) {
 	local := startConformanceCluster(t)
 	algotest.FaultParityOn(t, algo.KPPRT, faultCfg, []int64{1},
+		explicitFaultRunner, clusterFaultRunner(local))
+}
+
+// Compressed-session battery: the same conformance + fault-parity
+// invariants with flate-compressed data frames, proving the codec is
+// transparent to the determinism contract (not just to a happy-path
+// election).
+
+func TestClusterConformanceCompressed(t *testing.T) {
+	lowerCompressionThreshold(t)
+	local := startConformanceClusterWith(t, LocalOptions{Compress: true})
+	algotest.ConformanceOn(t, algo.FloodMax, func(name string, g *graph.Graph) algo.Config {
+		return algo.Config{}
+	}, []int64{0, 1}, clusterRunner(local))
+}
+
+func TestClusterFaultParityCompressed(t *testing.T) {
+	lowerCompressionThreshold(t)
+	local := startConformanceClusterWith(t, LocalOptions{Compress: true})
+	algotest.FaultParityOn(t, algo.FloodMax, faultCfg, []int64{1},
+		explicitFaultRunner, clusterFaultRunner(local))
+}
+
+// Legacy-star battery: mixed-version clusters fall back to the
+// frameReady/frameAdvance path; parity must hold there too.
+
+func TestClusterFaultParityLegacyBarrier(t *testing.T) {
+	local := startConformanceClusterWith(t, LocalOptions{LegacyBarrier: true})
+	algotest.FaultParityOn(t, algo.FloodMax, faultCfg, []int64{1},
 		explicitFaultRunner, clusterFaultRunner(local))
 }

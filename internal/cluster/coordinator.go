@@ -23,6 +23,15 @@ type CoordinatorConfig struct {
 	// ReadyTimeout bounds how long Elect waits for the cluster to
 	// assemble (0 = 60s).
 	ReadyTimeout time.Duration
+	// LegacyBarrier forces the frameReady/frameAdvance coordinator star
+	// even when every worker supports piggybacked round advancement —
+	// for wire-compat testing and old-vs-new measurement (E21).
+	LegacyBarrier bool
+	// Compress enables flate compression of data frames above the size
+	// threshold, if every worker supports it. Off by default: it trades
+	// coordinator/worker CPU for wire bytes, which only pays off on
+	// message-heavy workloads or thin links.
+	Compress bool
 }
 
 // Coordinator is shard 0: the bootstrap listener, the barrier's decider,
@@ -33,6 +42,8 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	links    []*link // by shard id; [0] stays nil
+	caps     []feats // capabilities each shard advertised in its hello
+	ft       feats   // negotiated session features (fixed at assembly)
 	joined   int
 	setupErr error
 	closed   bool
@@ -79,6 +90,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg:      cfg,
 		ln:       ln,
 		links:    make([]*link, cfg.Shards),
+		caps:     make([]feats, cfg.Shards),
+		ft:       feats{Piggyback: !cfg.LegacyBarrier, Compress: cfg.Compress},
 		ready:    make(chan struct{}),
 		rejoinCh: make(chan rejoinReq, cfg.Shards),
 	}
@@ -141,8 +154,13 @@ func (c *Coordinator) admitWorker(conn net.Conn, f frame) {
 		supervising := c.supervising && c.setupErr == nil
 		dead := h.Shard >= 1 && h.Shard < c.cfg.Shards &&
 			(c.links[h.Shard] == nil || c.links[h.Shard].failed() != nil)
+		ft := c.ft
 		c.mu.Unlock()
-		if supervising && dead && h.Proto == proto && h.Addr != "" {
+		// A rejoiner must support the session's negotiated features: they
+		// are fixed for the session's lifetime, and a binary that cannot
+		// speak them would corrupt the first barrier it joins.
+		capable := (!ft.Piggyback || h.Piggyback) && (!ft.Compress || h.Compress)
+		if supervising && dead && h.Proto == proto && h.Addr != "" && capable {
 			l := newLink(h.Shard, conn)
 			l.addr = h.Addr
 			select {
@@ -168,6 +186,7 @@ func (c *Coordinator) admitWorker(conn net.Conn, f frame) {
 		l := newLink(h.Shard, conn)
 		l.addr = h.Addr
 		c.links[h.Shard] = l
+		c.caps[h.Shard] = feats{Piggyback: h.Piggyback, Compress: h.Compress}
 		c.joined++
 		if c.joined == c.cfg.Shards-1 {
 			links := append([]*link(nil), c.links...)
@@ -195,9 +214,21 @@ func (c *Coordinator) failSetupLocked(err error) {
 	}
 }
 
-// finishSetup broadcasts the peer directory and waits for every worker's
-// pairwise links to come up.
+// finishSetup negotiates the session features, broadcasts the peer
+// directory, and waits for every worker's pairwise links to come up.
 func (c *Coordinator) finishSetup(links []*link) {
+	// The session runs the AND of what the configuration wants and what
+	// every member can speak: one old binary in the cluster downgrades
+	// everyone to the legacy star (and raw frames), keeping mixed-version
+	// clusters byte-compatible.
+	c.mu.Lock()
+	ft := c.ft
+	for shard := 1; shard < c.cfg.Shards; shard++ {
+		ft.Piggyback = ft.Piggyback && c.caps[shard].Piggyback
+		ft.Compress = ft.Compress && c.caps[shard].Compress
+	}
+	c.ft = ft
+	c.mu.Unlock()
 	addrs := make([]string, c.cfg.Shards)
 	addrs[0] = c.Addr()
 	for shard := 1; shard < c.cfg.Shards; shard++ {
@@ -206,7 +237,7 @@ func (c *Coordinator) finishSetup(links []*link) {
 	var err error
 	for shard := 1; shard < c.cfg.Shards && err == nil; shard++ {
 		l := links[shard]
-		if e := l.writeJSON(framePeers, peersMsg{Addrs: addrs}); e != nil {
+		if e := l.writeJSON(framePeers, peersMsg{Addrs: addrs, Piggyback: ft.Piggyback, Compress: ft.Compress}); e != nil {
 			err = e
 		} else if e := l.flush(); e != nil {
 			err = e
@@ -287,6 +318,7 @@ func (c *Coordinator) elect(spec JobSpec) (*Result, error) {
 	err := c.setupErr
 	closed := c.closed
 	links := append([]*link(nil), c.links...)
+	ft := c.ft
 	c.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -344,7 +376,7 @@ func (c *Coordinator) elect(spec JobSpec) (*Result, error) {
 	}
 
 	parts := make([]partialResult, 0, c.cfg.Shards)
-	parts = append(parts, runShard(links, 0, c.cfg.Shards, c.jobID, spec))
+	parts = append(parts, runShard(links, 0, c.cfg.Shards, c.jobID, spec, ft))
 	for shard := 1; shard < c.cfg.Shards; shard++ {
 		if !live[shard] {
 			continue
@@ -385,7 +417,7 @@ func collectResult(l *link, jobID int64) (partialResult, error) {
 				return partialResult{}, fmt.Errorf("cluster: shard %d answered job %d, expected %d", l.peer, pr.JobID, jobID)
 			}
 			return pr, nil
-		case frameData, frameReady, frameAbort, frameHeart:
+		case frameData, frameDataZ, frameReady, frameAbort, frameHeart:
 			// Leftovers of a broken barrier (or a straggling heartbeat);
 			// the result frame follows.
 		default:

@@ -33,6 +33,7 @@ const (
 	frameHeart    = 0x14 // binary wire.Heartbeat: worker → coordinator, periodic under a lease
 	frameEpoch    = 0x15 // binary wire.EpochChange: coordinator → worker (membership change) and worker ↔ worker (link drain marker)
 	frameEpochAck = 0x16 // binary: uvarint epoch; worker → coordinator, quiesced and drained
+	frameDataZ    = 0x17 // binary: [uvarint rawLen][flate stream] of a frameData payload
 )
 
 // maxFrame bounds a frame's declared size so a corrupt or hostile length
@@ -53,15 +54,39 @@ type helloMsg struct {
 	// Addr is the dialer's own listen address (join hellos only; workers
 	// need it in the peer directory so higher shards can dial them).
 	Addr string `json:"addr,omitempty"`
+	// Piggyback and Compress advertise capabilities (join hellos to the
+	// coordinator only). omitempty keeps the frame byte-identical for
+	// binaries that predate the fields — an old worker naturally
+	// advertises neither, and the session negotiates down to the legacy
+	// ready/advance barrier and raw frames.
+	Piggyback bool `json:"piggyback,omitempty"`
+	Compress  bool `json:"compress,omitempty"`
 }
 
 // peersMsg is the coordinator's shard directory: Addrs[i] is shard i's
 // listen address. Live[i], when present, reports whether shard i is
 // currently part of the session (nil means everyone is; a rejoining
-// worker only wires up to live peers).
+// worker only wires up to live peers). Piggyback and Compress are the
+// negotiated session features: the AND of every member's advertised
+// capabilities with the coordinator's configuration, fixed for the
+// session's lifetime (a rejoiner must still support them; admission
+// enforces that).
 type peersMsg struct {
-	Addrs []string `json:"addrs"`
-	Live  []bool   `json:"live,omitempty"`
+	Addrs     []string `json:"addrs"`
+	Live      []bool   `json:"live,omitempty"`
+	Piggyback bool     `json:"piggyback,omitempty"`
+	Compress  bool     `json:"compress,omitempty"`
+}
+
+// feats are the negotiated per-session features, as announced in the
+// setup peersMsg.
+type feats struct {
+	// Piggyback: round advancement rides the final data chunk of every
+	// flush (wire.ChunkFinalNext) instead of the ready/advance star.
+	Piggyback bool
+	// Compress: data frames above the size threshold cross as flate
+	// streams (frameDataZ).
+	Compress bool
 }
 
 // upMsg signals a worker finished its pairwise link setup.
@@ -174,6 +199,8 @@ func frameName(typ byte) string {
 		return "epoch"
 	case frameEpochAck:
 		return "epoch-ack"
+	case frameDataZ:
+		return "data-z"
 	default:
 		return fmt.Sprintf("0x%02x", typ)
 	}

@@ -169,8 +169,9 @@ func (c *nodeCounter) OnSend(round, from, fromPort, to, toPort int, m sim.Messag
 
 // runShard executes one shard's slice of a job. It always returns a
 // partialResult; failures ride in its Err field so the coordinator can
-// merge errors like outcomes. links is indexed by shard id (nil at own).
-func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec) partialResult {
+// merge errors like outcomes. links is indexed by shard id (nil at own);
+// ft carries the session's negotiated features into the plane.
+func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft feats) partialResult {
 	pr := partialResult{Shard: shard, JobID: jobID, LeaderRound: -1}
 	g0, err := spec.Graph.Build()
 	if err != nil {
@@ -200,7 +201,7 @@ func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec) parti
 			jobLinks[s] = l
 		}
 	}
-	pl := newPlane(jobLinks, shard, shards, owner)
+	pl := newPlane(jobLinks, shard, shards, owner, ft)
 	counter := &nodeCounter{counts: make([]int64, g.N())}
 	out, err := a.Run(g, algo.Options{
 		Seed:      spec.Seed,

@@ -26,27 +26,72 @@ const defaultFrameTimeout = 2 * time.Minute
 // interrupt() rather than ended by a frame or a connection error.
 var errInterrupted = errors.New("cluster: queue read interrupted")
 
-// frameQueue is the unbounded receive queue of one link.
+// frameQueue is the unbounded receive queue of one link: a slice-backed
+// deque (head index instead of re-slicing-with-copy) so both pop and
+// pushFront are O(1) amortized.
 type frameQueue struct {
 	mu     sync.Mutex
 	frames []frame
+	head   int // frames[head:] are the queued frames, oldest first
 	err    error
 	intr   bool
 	notify chan struct{}
+	// watch, when attached, receives the same edge notifications as
+	// notify. It is the any-order receive hook: one plane attaches a
+	// single shared channel to every link's queue, then blocks on that
+	// one channel until *some* peer has a frame ready.
+	watch chan<- struct{}
 }
 
 func newFrameQueue() *frameQueue {
 	return &frameQueue{notify: make(chan struct{}, 1)}
 }
 
-func (q *frameQueue) push(f frame) {
-	q.mu.Lock()
-	q.frames = append(q.frames, f)
-	q.mu.Unlock()
+// signalLocked wakes blocked readers. Caller holds q.mu: watch is
+// attached and detached under the lock, so reading it here without the
+// lock would race with a plane switching its any-order subscription.
+func (q *frameQueue) signalLocked() {
 	select {
 	case q.notify <- struct{}{}:
 	default:
 	}
+	if q.watch != nil {
+		select {
+		case q.watch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// attach registers a shared ready channel to be signalled alongside
+// notify. If frames are already queued (or the link already failed), the
+// channel is signalled immediately so an attacher never misses an edge
+// that fired before it arrived.
+func (q *frameQueue) attach(ch chan<- struct{}) {
+	q.mu.Lock()
+	q.watch = ch
+	pending := len(q.frames) > q.head || q.err != nil
+	q.mu.Unlock()
+	if pending {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// detach removes the shared ready channel.
+func (q *frameQueue) detach() {
+	q.mu.Lock()
+	q.watch = nil
+	q.mu.Unlock()
+}
+
+func (q *frameQueue) push(f frame) {
+	q.mu.Lock()
+	q.frames = append(q.frames, f)
+	q.signalLocked()
+	q.mu.Unlock()
 }
 
 // pushFront returns a frame to the head of the queue, for consumers that
@@ -54,12 +99,31 @@ func (q *frameQueue) push(f frame) {
 // epoch marker mid-job leaves it for the epoch-change handler).
 func (q *frameQueue) pushFront(f frame) {
 	q.mu.Lock()
-	q.frames = append([]frame{f}, q.frames...)
-	q.mu.Unlock()
-	select {
-	case q.notify <- struct{}{}:
-	default:
+	if q.head > 0 {
+		// Reuse the popped slot in front of the head: O(1), no shift.
+		q.head--
+		q.frames[q.head] = f
+	} else {
+		q.frames = append(q.frames, frame{})
+		copy(q.frames[1:], q.frames)
+		q.frames[0] = f
 	}
+	q.signalLocked()
+	q.mu.Unlock()
+}
+
+// popLocked removes and returns the oldest frame. Caller holds q.mu and
+// has checked the queue is non-empty.
+func (q *frameQueue) popLocked() frame {
+	f := q.frames[q.head]
+	q.frames[q.head] = frame{}
+	q.head++
+	if q.head == len(q.frames) {
+		// Drained: rewind to reuse the backing array's full capacity.
+		q.frames = q.frames[:0]
+		q.head = 0
+	}
+	return f
 }
 
 // clearInterrupt discards a pending interrupt that no reader consumed (a
@@ -76,11 +140,8 @@ func (q *frameQueue) clearInterrupt() {
 func (q *frameQueue) interrupt() {
 	q.mu.Lock()
 	q.intr = true
+	q.signalLocked()
 	q.mu.Unlock()
-	select {
-	case q.notify <- struct{}{}:
-	default:
-	}
 }
 
 func (q *frameQueue) fail(err error) {
@@ -88,11 +149,8 @@ func (q *frameQueue) fail(err error) {
 	if q.err == nil {
 		q.err = err
 	}
+	q.signalLocked()
 	q.mu.Unlock()
-	select {
-	case q.notify <- struct{}{}:
-	default:
-	}
 }
 
 // next pops the oldest frame, blocking up to timeout (forever when
@@ -115,10 +173,8 @@ func (q *frameQueue) next(timeout time.Duration) (frame, error) {
 			q.mu.Unlock()
 			return frame{}, errInterrupted
 		}
-		if len(q.frames) > 0 {
-			f := q.frames[0]
-			q.frames[0] = frame{}
-			q.frames = q.frames[1:]
+		if len(q.frames) > q.head {
+			f := q.popLocked()
 			q.mu.Unlock()
 			return f, nil
 		}
@@ -133,6 +189,20 @@ func (q *frameQueue) next(timeout time.Duration) (frame, error) {
 			return frame{}, fmt.Errorf("cluster: no frame within %v (peer hung or dead)", timeout)
 		}
 	}
+}
+
+// tryNext pops the oldest frame without blocking. It reports ok=false
+// when the queue is empty; buffered frames are drained before a
+// connection error is reported. Unlike next, it ignores the interrupt
+// flag: interrupts target blocking lease monitors, which never run
+// concurrently with a job's barrier loop.
+func (q *frameQueue) tryNext() (frame, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.frames) > q.head {
+		return q.popLocked(), true, nil
+	}
+	return frame{}, false, q.err
 }
 
 // link is one established peer connection.

@@ -5,21 +5,34 @@ package cluster
 //
 // Per barrier iteration (one global event round), each shard:
 //
-//  1. writes one data frame to every peer — the epoch, the round, and
-//     every envelope queued for that peer this round — and only then
-//  2. reads the matching data frame from every peer, injecting its
-//     envelopes into the local transport;
-//  3. reports its earliest pending event round to the coordinator
-//     (ready) and adopts the broadcast global minimum (advance).
+//  1. writes one or more data frames to every peer — the epoch, the
+//     round, and every envelope queued for that peer this round — with
+//     its barrier contribution (the minimum of its pre-receive next
+//     pending event round and the earliest due round it sent) riding the
+//     final chunk, and then
+//  2. reads every peer's frames in whatever order they arrive, injecting
+//     their envelopes into the local transport and folding their
+//     piggybacked contributions into the global minimum.
+//
+// Every shard therefore computes the same global next-event round from
+// the same k contributions, with no second network phase: the old
+// frameReady/frameAdvance star through shard 0 survives only as the
+// negotiated fallback for mixed-version clusters (feats.Piggyback off).
 //
 // Write-all-then-read-all is deadlock-free because every link's reader
 // goroutine keeps draining the connection into an unbounded queue: a
 // peer's pending writes can always make progress even while that peer is
-// itself mid-write.
+// itself mid-write. The any-order receive makes it fast: one shared
+// ready channel is attached to every link's queue, so the plane consumes
+// whichever peer's frames land first instead of blocking on a fixed peer
+// order. A peer that already finished this barrier may race ahead and
+// queue next-epoch frames; the receive loop stops consuming a link at
+// its final chunk, leaving those for the next iteration.
 
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"wcle/internal/sim"
 	"wcle/internal/wire"
@@ -31,7 +44,9 @@ import (
 // sender).
 type WireStats struct {
 	// Frames and Bytes count every frame this shard sent, barrier
-	// control included. Bytes includes the 5-byte frame headers.
+	// control included. Bytes includes the 5-byte frame headers and
+	// reflects what actually crossed the wire (compressed sizes for
+	// compressed frames).
 	Frames int64 `json:"frames"`
 	Bytes  int64 `json:"bytes"`
 	// Envelopes counts cross-shard protocol messages (the wire-level
@@ -40,6 +55,15 @@ type WireStats struct {
 	// Barriers counts round-barrier iterations (identical on every
 	// shard of a run).
 	Barriers int64 `json:"barriers"`
+	// BarrierFrames counts the ready/advance control frames this shard
+	// sent — the legacy coordinator star's second network phase. Zero
+	// under piggybacked advancement: that is the whole point.
+	BarrierFrames int64 `json:"barrier_frames,omitempty"`
+	// CompressedFrames counts data frames sent compressed; RawBytes and
+	// CompressedBytes are their payload sizes before and after flate.
+	CompressedFrames int64 `json:"compressed_frames,omitempty"`
+	RawBytes         int64 `json:"raw_bytes,omitempty"`
+	CompressedBytes  int64 `json:"compressed_bytes,omitempty"`
 }
 
 func (s *WireStats) add(o WireStats) {
@@ -47,6 +71,10 @@ func (s *WireStats) add(o WireStats) {
 	s.Bytes += o.Bytes
 	s.Envelopes += o.Envelopes
 	s.Barriers += o.Barriers
+	s.BarrierFrames += o.BarrierFrames
+	s.CompressedFrames += o.CompressedFrames
+	s.RawBytes += o.RawBytes
+	s.CompressedBytes += o.CompressedBytes
 }
 
 // countFrame accounts one sent frame of the given payload length.
@@ -79,6 +107,12 @@ func ownerOf(n, shards, v int) int {
 // can force multi-chunk rounds on small elections.
 var dataChunkBytes = 4 << 20
 
+// compressMinBytes gates compression: below it, a frame ships raw even
+// in a compressed session — tiny frames (empty flush markers,
+// barrier-only rounds) cost more to deflate than to send. A variable so
+// tests can force compression on small elections.
+var compressMinBytes = 1 << 10
+
 // chunk is one data frame's worth of encoded envelopes.
 type chunk struct {
 	buf []byte
@@ -90,10 +124,15 @@ type plane struct {
 	shard, shards int
 	owner         []int   // node index -> hosting shard id
 	links         []*link // by shard id; links[shard] == nil
+	ft            feats
 
-	epoch uint64
-	out   [][]chunk // per-peer encoded envelopes, pending this round
-	buf   []byte    // reusable data-frame assembly buffer
+	epoch   uint64
+	out     [][]chunk     // per-peer encoded envelopes, pending this round
+	buf     []byte        // reusable data-frame assembly buffer
+	zbuf    []byte        // reusable compressed-frame assembly buffer
+	sentMin int           // min due round sent this barrier (-1 = none)
+	ready   chan struct{} // shared any-order receive notification
+	done    []bool        // per-link: final chunk received this barrier
 
 	stats   WireStats
 	aborted bool
@@ -102,13 +141,17 @@ type plane struct {
 // newPlane builds the shard plane for a graph whose node i is hosted by
 // shard owner[i]. contiguousOwners builds the full-membership default;
 // re-elections after membership loss pass the survivors' owner table.
-func newPlane(links []*link, shard, shards int, owner []int) *plane {
+func newPlane(links []*link, shard, shards int, owner []int, ft feats) *plane {
 	return &plane{
-		shard:  shard,
-		shards: shards,
-		owner:  owner,
-		links:  links,
-		out:    make([][]chunk, shards),
+		shard:   shard,
+		shards:  shards,
+		owner:   owner,
+		links:   links,
+		ft:      ft,
+		out:     make([][]chunk, shards),
+		sentMin: -1,
+		ready:   make(chan struct{}, 1),
+		done:    make([]bool, shards),
 	}
 }
 
@@ -130,7 +173,7 @@ func (p *plane) Local(v int) bool {
 }
 
 // Send queues one cross-shard envelope for the owner of `to`; it goes on
-// the wire at the end-of-round Flush.
+// the wire at the end-of-round Barrier.
 func (p *plane) Send(round, due, to int, env sim.Envelope) error {
 	owner := p.owner[to]
 	if owner == p.shard {
@@ -150,16 +193,58 @@ func (p *plane) Send(round, due, to int, env sim.Envelope) error {
 	c.buf = buf
 	c.cnt++
 	p.out[owner] = chunks
+	if p.sentMin < 0 || due < p.sentMin {
+		p.sentMin = due
+	}
 	p.stats.Envelopes++
 	return nil
 }
 
-// Flush exchanges the round's cross-shard traffic with every peer. A
-// peer's traffic crosses as one or more chunked data frames (the last one
-// flagged final), so no single round can outgrow the frame cap.
-func (p *plane) Flush(round int, inject func(due, to int, env sim.Envelope) error) error {
+// Barrier exchanges the round's cross-shard traffic with every peer and
+// agrees on the global next event round. localNext is the shard's
+// pre-receive earliest pending event round (-1 = quiescent); this
+// shard's contribution folds in the earliest due round it sent, so
+// in-flight envelopes are accounted for by their sender and the
+// piggybacked minimum equals what the old post-receive handshake
+// computed.
+func (p *plane) Barrier(round, localNext int, inject func(due, to int, env sim.Envelope) error) (int, error) {
 	p.epoch++
 	p.stats.Barriers++
+	contribution := localNext
+	if p.sentMin >= 0 && (contribution < 0 || p.sentMin < contribution) {
+		contribution = p.sentMin
+	}
+	p.sentMin = -1
+	if err := p.writeRound(round, contribution); err != nil {
+		return 0, p.abort(err)
+	}
+	peersNext, injMin, err := p.recvAll(round, inject)
+	if err != nil {
+		return 0, p.abort(err)
+	}
+	if p.ft.Piggyback {
+		global := contribution
+		if peersNext >= 0 && (global < 0 || peersNext < global) {
+			global = peersNext
+		}
+		return global, nil
+	}
+	// Legacy star: report the post-receive local next — the pre-receive
+	// value folded with the earliest injected due, exactly what the old
+	// flush-then-advance runner computed — so the wire bytes stay
+	// byte-identical for old binaries.
+	post := localNext
+	if injMin >= 0 && (post < 0 || injMin < post) {
+		post = injMin
+	}
+	return p.advance(post)
+}
+
+// writeRound sends the round's queued envelopes to every peer as chunked
+// data frames. In a piggyback session the final chunk carries
+// contribution; a compressed session deflates chunks above the size
+// threshold.
+func (p *plane) writeRound(round, contribution int) error {
 	for peer, l := range p.links {
 		if l == nil {
 			continue
@@ -169,109 +254,200 @@ func (p *plane) Flush(round int, inject func(due, to int, env sim.Envelope) erro
 			chunks = append(chunks, chunk{}) // the empty flush marker
 		}
 		for ci := range chunks {
-			final := byte(0)
+			hdr := wire.DataHeader{
+				Epoch: p.epoch,
+				Round: round,
+				Flag:  wire.ChunkMore,
+				Count: chunks[ci].cnt,
+			}
 			if ci == len(chunks)-1 {
-				final = 1
+				if p.ft.Piggyback {
+					hdr.Flag = wire.ChunkFinalNext
+					hdr.Next = contribution
+				} else {
+					hdr.Flag = wire.ChunkFinal
+				}
 			}
-			p.buf = binary.AppendUvarint(p.buf[:0], p.epoch)
-			p.buf = binary.AppendUvarint(p.buf, uint64(round))
-			p.buf = append(p.buf, final)
-			p.buf = binary.AppendUvarint(p.buf, uint64(chunks[ci].cnt))
+			p.buf = wire.AppendDataHeader(p.buf[:0], hdr)
 			p.buf = append(p.buf, chunks[ci].buf...)
-			if err := l.write(frameData, p.buf); err != nil {
-				return p.abort(err)
+			typ, payload := byte(frameData), p.buf
+			if p.ft.Compress && len(p.buf) >= compressMinBytes {
+				if z, ok := wire.AppendCompressed(p.zbuf[:0], p.buf); ok {
+					p.zbuf = z
+					typ, payload = frameDataZ, z
+					p.stats.CompressedFrames++
+					p.stats.RawBytes += int64(len(p.buf))
+					p.stats.CompressedBytes += int64(len(z))
+				}
 			}
-			p.stats.countFrame(len(p.buf))
+			if err := l.write(typ, payload); err != nil {
+				return err
+			}
+			p.stats.countFrame(len(payload))
 		}
 		if err := l.flush(); err != nil {
-			return p.abort(err)
+			return err
 		}
 		// Keep the first chunk's buffer for reuse; drop the rest.
 		chunks[0].buf = chunks[0].buf[:0]
 		chunks[0].cnt = 0
 		p.out[peer] = chunks[:1]
 	}
-	for _, l := range p.links {
-		if l == nil {
-			continue
-		}
-		if err := p.recvData(l, round, inject); err != nil {
-			return p.abort(err)
-		}
-	}
 	return nil
 }
 
-// recvData consumes one peer's data frames for the current epoch, up to
-// and including the final chunk.
-func (p *plane) recvData(l *link, round int, inject func(due, to int, env sim.Envelope) error) error {
-	for {
-		f, err := l.next()
-		if err != nil {
-			return err
+// recvAll consumes every peer's data frames for the current epoch, in
+// whatever order they arrive. It returns the minimum piggybacked peer
+// contribution (-1 = all quiescent or legacy session) and the minimum
+// injected due round (-1 = nothing injected; the legacy star needs it).
+func (p *plane) recvAll(round int, inject func(due, to int, env sim.Envelope) error) (int, int, error) {
+	peersNext, injMin := -1, -1
+	remaining := 0
+	timeout := defaultFrameTimeout
+	for s, l := range p.links {
+		if l == nil {
+			continue
 		}
-		switch f.typ {
-		case frameData:
-		case frameAbort:
-			var a abortMsg
-			_ = decodeJSON(f, &a)
-			return fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg)
-		case frameEpoch, frameEpochAck:
-			// A supervisor is tearing this job down. The frame belongs to
-			// the epoch-change handler, not the barrier: put it back and die.
-			l.q.pushFront(f)
-			return fmt.Errorf("cluster: epoch change interrupted the job (frame from shard %d)", l.peer)
-		default:
-			return fmt.Errorf("cluster: expected data from shard %d, got %s", l.peer, frameName(f.typ))
-		}
-		b := f.payload
-		epoch, b, err := wire.ReadUvarint(b)
-		if err != nil {
-			return err
-		}
-		if epoch != p.epoch {
-			return fmt.Errorf("cluster: shard %d at barrier epoch %d, expected %d", l.peer, epoch, p.epoch)
-		}
-		r, b, err := wire.ReadUvarint(b)
-		if err != nil {
-			return err
-		}
-		if int(r) != round {
-			return fmt.Errorf("cluster: shard %d flushed round %d, expected %d", l.peer, r, round)
-		}
-		if len(b) == 0 {
-			return fmt.Errorf("cluster: data frame from shard %d truncated at final flag", l.peer)
-		}
-		final := b[0]
-		b = b[1:]
-		if final > 1 {
-			return fmt.Errorf("cluster: bad final flag %d from shard %d", final, l.peer)
-		}
-		cnt, b, err := wire.ReadCount(b)
-		if err != nil {
-			return err
-		}
-		for i := 0; i < cnt; i++ {
-			e, rest, err := wire.DecodeEnvelope(b)
-			if err != nil {
-				return fmt.Errorf("cluster: envelope %d/%d from shard %d: %w", i+1, cnt, l.peer, err)
-			}
-			b = rest
-			if err := inject(e.Due, e.To, sim.Envelope{Port: e.Port, From: e.From, Payload: e.Msg}); err != nil {
-				return err
+		p.done[s] = false
+		remaining++
+		timeout = l.timeout
+		l.q.attach(p.ready)
+	}
+	defer func() {
+		for _, l := range p.links {
+			if l != nil {
+				l.q.detach()
 			}
 		}
-		if len(b) != 0 {
-			return fmt.Errorf("cluster: %d trailing bytes in data frame from shard %d", len(b), l.peer)
+	}()
+	if remaining == 0 {
+		return -1, -1, nil
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for remaining > 0 {
+		progress := false
+		for s, l := range p.links {
+			if l == nil || p.done[s] {
+				continue
+			}
+			// Drain this link's queued frames, stopping at its final
+			// chunk: anything after it belongs to the next barrier
+			// iteration (a piggybacked peer races ahead).
+			for !p.done[s] {
+				f, ok, err := l.q.tryNext()
+				if err != nil {
+					return 0, 0, err
+				}
+				if !ok {
+					break
+				}
+				progress = true
+				final, next, err := p.handleData(l, f, round, inject, &injMin)
+				if err != nil {
+					return 0, 0, err
+				}
+				if final {
+					p.done[s] = true
+					remaining--
+					if next >= 0 && (peersNext < 0 || next < peersNext) {
+						peersNext = next
+					}
+				}
+			}
 		}
-		if final == 1 {
-			return nil
+		if remaining == 0 {
+			break
+		}
+		if progress {
+			// Match the per-frame timeout discipline of the blocking
+			// drain this replaces: silence is only fatal when nothing at
+			// all arrives for a whole window.
+			if !deadline.Stop() {
+				<-deadline.C
+			}
+			deadline.Reset(timeout)
+			continue
+		}
+		// Safe against dropped signals: a push happens-before its
+		// signal, and a retained token forces one more full rescan.
+		select {
+		case <-p.ready:
+		case <-deadline.C:
+			return 0, 0, fmt.Errorf("cluster: no data frame within %v (peer hung or dead)", timeout)
 		}
 	}
+	return peersNext, injMin, nil
 }
 
-// Advance reports this shard's next event round and adopts the global one.
-func (p *plane) Advance(round, localNext int) (int, error) {
+// handleData decodes one data frame, injects its envelopes, and reports
+// whether it was the peer's final chunk and (piggyback sessions) the
+// peer's barrier contribution.
+func (p *plane) handleData(l *link, f frame, round int, inject func(due, to int, env sim.Envelope) error, injMin *int) (bool, int, error) {
+	b := f.payload
+	switch f.typ {
+	case frameData:
+	case frameDataZ:
+		raw, err := wire.Decompress(b, maxFrame)
+		if err != nil {
+			return false, 0, fmt.Errorf("cluster: compressed data frame from shard %d: %w", l.peer, err)
+		}
+		b = raw
+	case frameAbort:
+		var a abortMsg
+		_ = decodeJSON(f, &a)
+		return false, 0, fmt.Errorf("cluster: shard %d aborted: %s", a.Shard, a.Msg)
+	case frameEpoch, frameEpochAck:
+		// A supervisor is tearing this job down. The frame belongs to
+		// the epoch-change handler, not the barrier: put it back and die.
+		l.q.pushFront(f)
+		return false, 0, fmt.Errorf("cluster: epoch change interrupted the job (frame from shard %d)", l.peer)
+	default:
+		return false, 0, fmt.Errorf("cluster: expected data from shard %d, got %s", l.peer, frameName(f.typ))
+	}
+	h, b, err := wire.DecodeDataHeader(b)
+	if err != nil {
+		return false, 0, fmt.Errorf("cluster: data frame from shard %d: %w", l.peer, err)
+	}
+	if h.Epoch != p.epoch {
+		return false, 0, fmt.Errorf("cluster: shard %d at barrier epoch %d, expected %d", l.peer, h.Epoch, p.epoch)
+	}
+	if h.Round != round {
+		return false, 0, fmt.Errorf("cluster: shard %d flushed round %d, expected %d", l.peer, h.Round, round)
+	}
+	switch h.Flag {
+	case wire.ChunkMore:
+	case wire.ChunkFinalNext:
+		if !p.ft.Piggyback {
+			return false, 0, fmt.Errorf("cluster: shard %d piggybacked a barrier in a legacy session", l.peer)
+		}
+	case wire.ChunkFinal:
+		if p.ft.Piggyback {
+			return false, 0, fmt.Errorf("cluster: shard %d sent a legacy final chunk in a piggyback session", l.peer)
+		}
+	}
+	for i := 0; i < h.Count; i++ {
+		e, rest, err := wire.DecodeEnvelope(b)
+		if err != nil {
+			return false, 0, fmt.Errorf("cluster: envelope %d/%d from shard %d: %w", i+1, h.Count, l.peer, err)
+		}
+		b = rest
+		if *injMin < 0 || e.Due < *injMin {
+			*injMin = e.Due
+		}
+		if err := inject(e.Due, e.To, sim.Envelope{Port: e.Port, From: e.From, Payload: e.Msg}); err != nil {
+			return false, 0, err
+		}
+	}
+	if len(b) != 0 {
+		return false, 0, fmt.Errorf("cluster: %d trailing bytes in data frame from shard %d", len(b), l.peer)
+	}
+	return h.Flag != wire.ChunkMore, h.Next, nil
+}
+
+// advance runs the legacy barrier star: report this shard's post-receive
+// next event round to shard 0 and adopt the broadcast global minimum.
+func (p *plane) advance(localNext int) (int, error) {
 	if p.shard == 0 {
 		return p.advanceCoordinator(localNext)
 	}
@@ -285,6 +461,7 @@ func (p *plane) Advance(round, localNext int) (int, error) {
 		return 0, p.abort(err)
 	}
 	p.stats.countFrame(len(p.buf))
+	p.stats.BarrierFrames++
 	f, err := l.next()
 	if err != nil {
 		return 0, p.abort(err)
@@ -356,6 +533,7 @@ func (p *plane) advanceCoordinator(localNext int) (int, error) {
 			return 0, p.abort(err)
 		}
 		p.stats.countFrame(len(p.buf))
+		p.stats.BarrierFrames++
 	}
 	return global, nil
 }

@@ -524,7 +524,10 @@ func (s *Supervision) quiesce(epoch uint64, live []bool, rj *rejoinReq) []deadSh
 	if rj != nil {
 		c.installLink(rj.shard, rj.link)
 		addrs := c.directory(rj.shard, rj.addr)
-		if err := rj.link.writeJSON(framePeers, peersMsg{Addrs: addrs, Live: append([]bool(nil), live...)}); err != nil {
+		c.mu.Lock()
+		ft := c.ft
+		c.mu.Unlock()
+		if err := rj.link.writeJSON(framePeers, peersMsg{Addrs: addrs, Live: append([]bool(nil), live...), Piggyback: ft.Piggyback, Compress: ft.Compress}); err != nil {
 			deadSet[rj.shard] = err
 		} else if err := rj.link.flush(); err != nil {
 			deadSet[rj.shard] = err
@@ -574,7 +577,7 @@ func collectEpochAck(l *link, epoch uint64) error {
 				return nil
 			}
 			// An older epoch's ack: keep draining.
-		case frameData, frameReady, frameResult, frameAbort, frameHeart:
+		case frameData, frameDataZ, frameReady, frameResult, frameAbort, frameHeart:
 			// Leftovers of the dying epoch.
 		default:
 			return fmt.Errorf("cluster: unexpected %s from shard %d while quiescing epoch %d", frameName(f.typ), l.peer, epoch)

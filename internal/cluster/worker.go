@@ -44,6 +44,9 @@ type Worker struct {
 	cfg   WorkerConfig
 	ln    net.Listener
 	link0 *link
+	// ft holds the session features negotiated by the coordinator, as
+	// announced in the setup directory (owned by the run goroutine).
+	ft feats
 
 	// parked holds replacement peer connections accepted while the main
 	// loop was elsewhere; the epoch-change handler claims them.
@@ -81,7 +84,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		_ = ln.Close()
 		return nil, fmt.Errorf("cluster: joining %s: %w", cfg.Bootstrap, err)
 	}
-	if err := writeJSONFrame(conn, frameHello, helloMsg{Proto: proto, Shard: cfg.Shard, Addr: advertiseAddr(ln, cfg.Listen)}); err != nil {
+	if err := writeJSONFrame(conn, frameHello, helloMsg{Proto: proto, Shard: cfg.Shard, Addr: advertiseAddr(ln, cfg.Listen), Piggyback: true, Compress: true}); err != nil {
 		_ = conn.Close()
 		_ = ln.Close()
 		return nil, err
@@ -252,7 +255,7 @@ func (w *Worker) Run() error {
 			if err := decodeJSON(f, &st); err != nil {
 				return err
 			}
-			pr := runShard(links, w.cfg.Shard, shards, st.JobID, st.Spec)
+			pr := runShard(links, w.cfg.Shard, shards, st.JobID, st.Spec, w.ft)
 			if err := w.link0.writeJSON(frameResult, pr); err != nil {
 				return err
 			}
@@ -278,7 +281,7 @@ func (w *Worker) Run() error {
 			}
 		case frameShutdown:
 			return nil
-		case frameData, frameReady, frameAdvance, frameAbort:
+		case frameData, frameDataZ, frameReady, frameAdvance, frameAbort:
 			// Stale leftovers of a job that died mid-barrier; the next
 			// epoch change (or shutdown) follows.
 		default:
@@ -422,7 +425,7 @@ func drainUntilEpoch(l *link, epoch uint64) error {
 				return nil
 			}
 			// An older epoch's marker: keep draining.
-		case frameData, frameReady, frameAdvance, frameAbort, frameHeart:
+		case frameData, frameDataZ, frameReady, frameAdvance, frameAbort, frameHeart:
 			// Stale leftovers of the aborted job.
 		default:
 			return fmt.Errorf("cluster: unexpected %s from shard %d while draining epoch %d", frameName(f.typ), l.peer, epoch)
@@ -448,6 +451,7 @@ func (w *Worker) setup() ([]*link, error) {
 	if err := decodeJSON(f, &peers); err != nil {
 		return nil, err
 	}
+	w.ft = feats{Piggyback: peers.Piggyback, Compress: peers.Compress}
 	shards := len(peers.Addrs)
 	if w.cfg.Shard >= shards {
 		return nil, fmt.Errorf("cluster: shard id %d outside the %d-shard directory", w.cfg.Shard, shards)

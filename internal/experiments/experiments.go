@@ -192,12 +192,12 @@ func (s Spec) DataID() string {
 	return s.ID
 }
 
-// All returns every experiment spec in E1..E20 order.
+// All returns every experiment spec in E1..E21 order.
 func All() []Spec {
 	return []Spec{
 		e1Spec(), e2Spec(), e3Spec(), e4Spec(), e5Spec(), e6Spec(), e7Spec(),
 		e8Spec(), e9Spec(), e10Spec(), e11Spec(), e12Spec(), e13Spec(), e14Spec(),
-		e15Spec(), e16Spec(), e17Spec(), e18Spec(), e19Spec(), e20Spec(),
+		e15Spec(), e16Spec(), e17Spec(), e18Spec(), e19Spec(), e20Spec(), e21Spec(),
 	}
 }
 

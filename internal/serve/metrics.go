@@ -25,6 +25,17 @@ type Metrics struct {
 	// ElectionsServed counts completed election trials across all jobs.
 	ElectionsServed atomic.Int64
 
+	// Cluster wire-traffic counters, accumulated from every cluster-mode
+	// election (zero when electd runs the in-process engine).
+	ClusterFrames           atomic.Int64
+	ClusterBytes            atomic.Int64
+	ClusterEnvelopes        atomic.Int64
+	ClusterBarriers         atomic.Int64
+	ClusterBarrierFrames    atomic.Int64
+	ClusterCompressedFrames atomic.Int64
+	ClusterRawBytes         atomic.Int64
+	ClusterCompressedBytes  atomic.Int64
+
 	// electionsByAlgo counts completed election trials per backend (the
 	// algo registry names). Bounded by the registry size.
 	algoMu          sync.Mutex
@@ -36,6 +47,18 @@ type Metrics struct {
 	latMu     sync.Mutex
 	latencies []float64
 	latNext   int
+}
+
+// AddClusterWire accumulates one cluster election's wire traffic.
+func (m *Metrics) AddClusterWire(w ClusterWire) {
+	m.ClusterFrames.Add(w.Frames)
+	m.ClusterBytes.Add(w.Bytes)
+	m.ClusterEnvelopes.Add(w.Envelopes)
+	m.ClusterBarriers.Add(w.Barriers)
+	m.ClusterBarrierFrames.Add(w.BarrierFrames)
+	m.ClusterCompressedFrames.Add(w.CompressedFrames)
+	m.ClusterRawBytes.Add(w.RawBytes)
+	m.ClusterCompressedBytes.Add(w.CompressedBytes)
 }
 
 // AddAlgoElections records n completed election trials for one backend.
@@ -136,4 +159,14 @@ func (m *Metrics) WriteProm(w io.Writer, reg *Registry, queueDepth, queueCap, ru
 	fmt.Fprintf(w, "electd_job_latency_seconds_p50 %.6f\n", p50)
 	fmt.Fprintf(w, "electd_job_latency_seconds_p99 %.6f\n", p99)
 	fmt.Fprintf(w, "electd_job_latency_window_size %d\n", n)
+	// Cluster-mode wire counters: always emitted (zero off-cluster) so
+	// dashboards and smoke checks can assert on their presence.
+	fmt.Fprintf(w, "electd_cluster_wire_frames_total %d\n", m.ClusterFrames.Load())
+	fmt.Fprintf(w, "electd_cluster_wire_bytes_total %d\n", m.ClusterBytes.Load())
+	fmt.Fprintf(w, "electd_cluster_envelopes_total %d\n", m.ClusterEnvelopes.Load())
+	fmt.Fprintf(w, "electd_cluster_barriers_total %d\n", m.ClusterBarriers.Load())
+	fmt.Fprintf(w, "electd_cluster_barrier_frames_total %d\n", m.ClusterBarrierFrames.Load())
+	fmt.Fprintf(w, "electd_cluster_compressed_frames_total %d\n", m.ClusterCompressedFrames.Load())
+	fmt.Fprintf(w, "electd_cluster_raw_bytes_total %d\n", m.ClusterRawBytes.Load())
+	fmt.Fprintf(w, "electd_cluster_compressed_bytes_total %d\n", m.ClusterCompressedBytes.Load())
 }

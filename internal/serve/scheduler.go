@@ -39,7 +39,31 @@ var (
 // ran — fault planes included, since every FaultSpec plane is
 // shard-safe.
 type ClusterElector interface {
-	RunElection(spec GraphSpec, algorithm string, seed int64, resend, assumedN int, fault FaultSpec) (*algo.Outcome, error)
+	// RunElection also reports the election's wire traffic, which the
+	// metrics layer accumulates into the electd_cluster_* counters.
+	RunElection(spec GraphSpec, algorithm string, seed int64, resend, assumedN int, fault FaultSpec) (*algo.Outcome, ClusterWire, error)
+}
+
+// ClusterWire is one cluster election's wire-traffic accounting, as
+// reported by the ClusterElector (mirrors cluster.WireStats, which serve
+// cannot import — cluster imports serve).
+type ClusterWire struct {
+	// Frames and Bytes count every frame the cluster sent for the
+	// election, headers included.
+	Frames int64
+	Bytes  int64
+	// Envelopes counts cross-shard protocol messages.
+	Envelopes int64
+	// Barriers counts round-barrier iterations; BarrierFrames the
+	// ready/advance control frames of the legacy star (zero under
+	// piggybacked advancement).
+	Barriers      int64
+	BarrierFrames int64
+	// CompressedFrames counts data frames sent flate-compressed;
+	// RawBytes/CompressedBytes are their payloads before and after.
+	CompressedFrames int64
+	RawBytes         int64
+	CompressedBytes  int64
 }
 
 // Job is one submitted election batch moving through the scheduler.
@@ -402,10 +426,11 @@ func (s *Scheduler) runPointCluster(i int, p PointSpec, algName string, baseSeed
 	msgs := make([]int64, p.Trials)
 	contenders := make([]int32, p.Trials)
 	for t := 0; t < p.Trials; t++ {
-		out, err := s.cluster.RunElection(reg.Spec, algName, sim.DeriveSeed(baseSeed, uint64(t)), p.Resend, p.AssumedN, p.Fault)
+		out, cw, err := s.cluster.RunElection(reg.Spec, algName, sim.DeriveSeed(baseSeed, uint64(t)), p.Resend, p.AssumedN, p.Fault)
 		if err != nil {
 			return pr, fmt.Errorf("serve: point %d trial %d on the cluster: %w", i, t, err)
 		}
+		s.met.AddClusterWire(cw)
 		switch len(out.Leaders) {
 		case 0:
 			pr.Zero++

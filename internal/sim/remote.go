@@ -30,22 +30,26 @@ type RemotePlane interface {
 
 	// Send ships one accepted send to the shard hosting `to`, for
 	// delivery at round `due`. Called during the current round's
-	// dispatch, before Flush(round).
+	// dispatch, before Barrier(round, ...).
 	Send(round, due, to int, env Envelope) error
 
-	// Flush completes the current round's cross-shard exchange: it must
-	// deliver every envelope any peer sent this round (invoking inject
-	// for each) before returning. The first call of a run happens at the
-	// initial round before anything is stepped and exchanges no
-	// envelopes; it still participates so every shard runs the same
-	// barrier sequence.
-	Flush(round int, inject func(due, to int, env Envelope) error) error
-
-	// Advance reports this shard's earliest pending event round
-	// (-1 = locally quiescent) and blocks until the cluster agrees on
-	// the global next round. It returns -1 when every shard is
-	// quiescent: the run is over.
-	Advance(round, localNext int) (int, error)
+	// Barrier completes the current round: it delivers every envelope any
+	// peer sent this round (invoking inject for each), reports this
+	// shard's earliest pending event round as computed BEFORE the
+	// injections (-1 = locally quiescent before receiving), and blocks
+	// until the cluster agrees on the global next event round, which it
+	// returns. The pre-receive convention lets the plane piggyback the
+	// contribution on the outgoing data frames themselves: the plane
+	// accounts for in-flight envelopes on the sender side (it saw every
+	// due round this shard shipped), so min over shards of
+	// min(localNext, own sent dues) equals the post-receive global
+	// minimum the old flush-then-advance handshake computed.
+	//
+	// A returned -1 means every shard is quiescent and nothing was sent:
+	// the run is over. The first call of a run happens at the initial
+	// round before anything is stepped and exchanges no envelopes; it
+	// still participates so every shard runs the same barrier sequence.
+	Barrier(round, localNext int, inject func(due, to int, env Envelope) error) (int, error)
 }
 
 // errRemote wraps configuration errors of remote runs.
@@ -84,20 +88,17 @@ func (r *Runner) inject(due, to int, env Envelope) error {
 }
 
 // runRemote is the distributed Run loop: one barrier iteration per global
-// event round. Its structure — flush, report local next event, adopt the
-// global one, step — is identical on every shard, so the barrier sequence
-// is too.
+// event round. Its structure — report the pre-receive local next event,
+// barrier (exchange envelopes, adopt the global minimum), step — is
+// identical on every shard, so the barrier sequence is too.
 func (r *Runner) runRemote() error {
 	plane := r.cfg.Remote
 	for {
-		if err := plane.Flush(r.round, r.inject); err != nil {
-			return err
-		}
 		localNext := -1
 		if !r.Quiet() {
 			localNext = r.nextEventRound()
 		}
-		next, err := plane.Advance(r.round, localNext)
+		next, err := plane.Barrier(r.round, localNext, r.inject)
 		if err != nil {
 			return err
 		}

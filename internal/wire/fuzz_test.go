@@ -44,6 +44,15 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(wire.AppendEpochChange(nil, wire.EpochChange{
 		Epoch: 4, Live: []bool{true, false, true}, Rejoin: 1, RejoinAddr: "127.0.0.1:7001",
 	}))
+	// Data-frame headers in all three chunk layouts, including the
+	// piggybacked final chunk that carries the shard's next-event round.
+	f.Add(wire.AppendDataHeader(nil, wire.DataHeader{Epoch: 2, Round: 9, Flag: wire.ChunkMore, Count: 4}))
+	f.Add(wire.AppendDataHeader(nil, wire.DataHeader{Epoch: 2, Round: 9, Flag: wire.ChunkFinal, Count: 0}))
+	f.Add(wire.AppendDataHeader(nil, wire.DataHeader{Epoch: 3, Round: 11, Flag: wire.ChunkFinalNext, Next: 14, Count: 2}))
+	f.Add(wire.AppendDataHeader(nil, wire.DataHeader{Epoch: 3, Round: 11, Flag: wire.ChunkFinalNext, Next: -1, Count: 0}))
+	if z, ok := wire.AppendCompressed(nil, make([]byte, 4096)); ok {
+		f.Add(z)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -81,6 +90,60 @@ func FuzzWireDecode(f *testing.F) {
 			if err != nil || !reflect.DeepEqual(e2, e) {
 				t.Fatalf("epoch change round-trip: %+v -> %+v (%v)", e, e2, err)
 			}
+		}
+		// Data-frame headers: any accepted header re-encodes to a header
+		// that decodes to the same value with the same remaining bytes.
+		if h, rest, err := wire.DecodeDataHeader(data); err == nil {
+			if h.Flag != wire.ChunkFinalNext && h.Next != -1 {
+				t.Fatalf("non-piggybacked header decoded Next=%d, want the -1 sentinel: %+v", h.Next, h)
+			}
+			enc := wire.AppendDataHeader(nil, h)
+			h2, rest2, err := wire.DecodeDataHeader(append(enc, rest...))
+			if err != nil || h2 != h || len(rest2) != len(rest) {
+				t.Fatalf("data header round-trip: %+v -> %+v (%v)", h, h2, err)
+			}
+		}
+		// The compressed-frame decoder is total and bounded: it either
+		// errors or yields exactly the raw length the header promised,
+		// never more than the cap.
+		if raw, err := wire.Decompress(data, 1<<16); err == nil {
+			if len(raw) > 1<<16 {
+				t.Fatalf("Decompress exceeded its cap: %d bytes", len(raw))
+			}
+			z, ok := wire.AppendCompressed(nil, raw)
+			if ok {
+				raw2, err := wire.Decompress(z, 1<<16)
+				if err != nil || !reflect.DeepEqual(raw2, raw) {
+					t.Fatalf("compress round-trip failed on %d bytes (%v)", len(raw), err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCompressRoundTrip drives AppendCompressed/Decompress from the raw
+// side: every payload either declines compression or round-trips exactly.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("the same envelope header repeated, the same envelope header repeated"))
+	f.Add(make([]byte, 2048))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		z, ok := wire.AppendCompressed(nil, raw)
+		if !ok {
+			if len(z) != 0 {
+				t.Fatalf("declined compression but grew dst by %d bytes", len(z))
+			}
+			return
+		}
+		if len(z) >= len(raw) {
+			t.Fatalf("kept a non-smaller encoding: %d -> %d bytes", len(raw), len(z))
+		}
+		got, err := wire.Decompress(z, len(raw))
+		if err != nil {
+			t.Fatalf("decompressing own output: %v", err)
+		}
+		if !reflect.DeepEqual(got, raw) {
+			t.Fatalf("round trip changed %d bytes", len(raw))
 		}
 	})
 }

@@ -10,7 +10,13 @@
 # The script builds cmd/electnode, starts the coordinator in -serve mode
 # on an ephemeral port, joins shards-1 workers, submits one election per
 # backend (gilbertrs18, floodmax, kpprt), asserts exactly one leader per
-# election, and checks every process exits cleanly on shutdown.
+# election — each with zero barrier control frames (the piggybacked
+# barrier is the negotiated default) — and checks every process exits
+# cleanly on shutdown.
+#
+# A compression pass then brings up a fresh -compress session and
+# asserts a floodmax election actually crossed flate-compressed (with
+# fewer compressed than raw bytes) and still elected one leader.
 #
 # Two fault passes follow: a -drop/-delay-max election whose outcome and
 # message counts must match a 1-shard run of the same spec (the
@@ -79,6 +85,7 @@ for backend in gilbertrs18 floodmax kpprt; do
     leaders_list="$(printf '%s\n' "$out" | sed -n 's/^outcome: leaders=\[\([0-9 ]*\)\].*/\1/p')"
     leaders="$(printf '%s' "$leaders_list" | wc -w)"
     envelopes="$(printf '%s\n' "$out" | sed -n 's/^wire: .*envelopes=\([0-9]*\).*/\1/p')"
+    barrier_frames="$(printf '%s\n' "$out" | sed -n 's/^wire: .*barrier_frames=\([0-9]*\).*/\1/p')"
     if [ "$leaders" != "1" ] || ! printf '%s\n' "$out" | grep -q 'success=true'; then
         echo "cluster_local: FAIL: $backend elected $leaders leader(s)" >&2
         printf '%s\n' "$out" >&2
@@ -87,10 +94,66 @@ for backend in gilbertrs18 floodmax kpprt; do
         echo "cluster_local: FAIL: $backend sent no envelopes over the wire" >&2
         printf '%s\n' "$out" >&2
         fail=1
+    elif [ "$barrier_frames" != "0" ]; then
+        echo "cluster_local: FAIL: $backend sent $barrier_frames barrier control frames; the piggybacked barrier should send none" >&2
+        printf '%s\n' "$out" >&2
+        fail=1
     else
-        echo "cluster_local: OK: $backend elected exactly one leader ($envelopes envelopes on the wire)"
+        echo "cluster_local: OK: $backend elected exactly one leader ($envelopes envelopes, 0 barrier control frames)"
     fi
 done
+
+# ---- electd -cluster pass: wire counters through /metrics -------------------
+
+# electd dispatching to this cluster must export the barrier counters:
+# barriers accumulate, barrier control frames stay zero (piggybacked).
+echo "cluster_local: electd -cluster pass: /metrics wire counters..."
+electd_bin="$workdir/electd"
+go build -o "$electd_bin" ./cmd/electd
+eready="$workdir/electd.addr"
+"$electd_bin" -addr 127.0.0.1:0 -cluster "$addr" -ready-file "$eready" \
+    >"$workdir/electd.log" 2>&1 &
+electd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$eready" ] && break
+    sleep 0.1
+done
+if [ -s "$eready" ]; then
+    ebase="http://$(cat "$eready")"
+    curl -fsS -X POST "$ebase/v1/graphs" \
+        -d "{\"name\":\"g\",\"spec\":{\"family\":\"$GRAPH\",\"n\":$N}}" >/dev/null
+    job="$(curl -fsS -X POST "$ebase/v1/elections" -d '{"seed":7,"points":[{"graph":"g","trials":2}]}' \
+        | tr -d ' \n' | grep -o '"id":"[^"]*"' | head -n1 | cut -d'"' -f4)"
+    for _ in $(seq 1 300); do
+        state="$(curl -fsS "$ebase/v1/elections/$job" | tr -d ' \n' | grep -o '"state":"[^"]*"' | head -n1 | cut -d'"' -f4)"
+        [ "$state" = "done" ] && break
+        [ "$state" = "failed" ] && break
+        sleep 0.2
+    done
+    emetrics="$(curl -fsS "$ebase/metrics")"
+    ebarriers="$(printf '%s\n' "$emetrics" | awk '/^electd_cluster_barriers_total /{print $2}')"
+    ebframes="$(printf '%s\n' "$emetrics" | awk '/^electd_cluster_barrier_frames_total /{print $2}')"
+    if [ "$state" != "done" ]; then
+        echo "cluster_local: FAIL: electd -cluster job ended in state '$state'" >&2
+        cat "$workdir/electd.log" >&2
+        fail=1
+    elif [ -z "$ebarriers" ] || [ "$ebarriers" -eq 0 ]; then
+        echo "cluster_local: FAIL: electd reported no cluster barriers" >&2
+        printf '%s\n' "$emetrics" | grep electd_cluster >&2
+        fail=1
+    elif [ "$ebframes" != "0" ]; then
+        echo "cluster_local: FAIL: electd reported $ebframes barrier control frames over $ebarriers barriers; piggybacked sessions send none" >&2
+        fail=1
+    else
+        echo "cluster_local: OK: electd /metrics shows $ebarriers barriers and 0 barrier control frames"
+    fi
+else
+    echo "cluster_local: FAIL: electd never wrote its ready file" >&2
+    cat "$workdir/electd.log" >&2
+    fail=1
+fi
+kill -TERM "$electd_pid" 2>/dev/null || true
+wait "$electd_pid" 2>/dev/null || true
 
 # ---- fault pass 1: drop/delay election, wire vs 1-shard parity --------------
 
@@ -134,6 +197,70 @@ for i in "${!worker_pids[@]}"; do
     if ! wait "${worker_pids[$i]}"; then
         echo "cluster_local: FAIL: worker $((i + 1)) exited non-zero" >&2
         cat "$workdir/worker$((i + 1)).log" >&2
+        fail=1
+    fi
+done
+worker_pids=()
+
+# ---- compression pass: -compress session, assert compressed frames ----------
+
+echo "cluster_local: compression pass: fresh -compress session, floodmax..."
+zready="$workdir/zcoordinator.addr"
+"$bin" -listen 127.0.0.1:0 -shards "$SHARDS" -serve -compress -ready-file "$zready" \
+    2>"$workdir/zcoordinator.log" &
+coord_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$zready" ] && break
+    sleep 0.1
+done
+[ -s "$zready" ] || { echo "cluster_local: -compress coordinator never wrote $zready" >&2; exit 1; }
+zaddr="$(cat "$zready")"
+for shard in $(seq 1 $((SHARDS - 1))); do
+    "$bin" -bootstrap "$zaddr" -shard "$shard" -listen 127.0.0.1:0 \
+        2>"$workdir/zworker$shard.log" &
+    worker_pids+=($!)
+done
+
+# FloodMax floods every edge every round: the heaviest flushes, so the
+# threshold-gated compressor must actually engage.
+if zout="$("$bin" -submit "$zaddr" -graph "$GRAPH" -n "$N" -algo floodmax -seed "$SEED")"; then
+    zframes="$(printf '%s\n' "$zout" | sed -n 's/^compression: compressed_frames=\([0-9]*\).*/\1/p')"
+    zraw="$(printf '%s\n' "$zout" | sed -n 's/^compression: .*raw_bytes=\([0-9]*\).*/\1/p')"
+    zbytes="$(printf '%s\n' "$zout" | sed -n 's/^compression: .*compressed_bytes=\([0-9]*\).*/\1/p')"
+    zbarrier="$(printf '%s\n' "$zout" | sed -n 's/^wire: .*barrier_frames=\([0-9]*\).*/\1/p')"
+    if ! printf '%s\n' "$zout" | grep -q 'success=true'; then
+        echo "cluster_local: FAIL: compressed election did not elect a unique leader" >&2
+        printf '%s\n' "$zout" >&2
+        fail=1
+    elif [ -z "$zframes" ] || [ "$zframes" -eq 0 ]; then
+        echo "cluster_local: FAIL: -compress session sent no compressed frames" >&2
+        printf '%s\n' "$zout" >&2
+        fail=1
+    elif [ "$zbytes" -ge "$zraw" ]; then
+        echo "cluster_local: FAIL: compression grew the wire ($zraw raw -> $zbytes compressed)" >&2
+        fail=1
+    elif [ "$zbarrier" != "0" ]; then
+        echo "cluster_local: FAIL: compressed session sent $zbarrier barrier control frames" >&2
+        fail=1
+    else
+        echo "cluster_local: OK: compressed election held ($zframes compressed frames, $zraw -> $zbytes bytes)"
+    fi
+else
+    echo "cluster_local: FAIL: compressed election errored" >&2
+    fail=1
+fi
+
+kill -TERM "$coord_pid"
+if ! wait "$coord_pid"; then
+    echo "cluster_local: FAIL: -compress coordinator exited non-zero" >&2
+    cat "$workdir/zcoordinator.log" >&2
+    fail=1
+fi
+coord_pid=""
+for i in "${!worker_pids[@]}"; do
+    if ! wait "${worker_pids[$i]}"; then
+        echo "cluster_local: FAIL: -compress worker $((i + 1)) exited non-zero" >&2
+        cat "$workdir/zworker$((i + 1)).log" >&2
         fail=1
     fi
 done

@@ -125,6 +125,17 @@ for alg in gilbertrs18 floodmax kpprt; do
 done
 echo "smoke: per-backend election counters present"
 
+# The cluster wire counters are always exported (zero off-cluster), so
+# dashboards can rely on their presence; electd ran in-process here.
+for counter in electd_cluster_wire_frames_total electd_cluster_wire_bytes_total \
+  electd_cluster_envelopes_total electd_cluster_barriers_total \
+  electd_cluster_barrier_frames_total electd_cluster_compressed_frames_total \
+  electd_cluster_raw_bytes_total electd_cluster_compressed_bytes_total; do
+  echo "$metrics" | grep -q "^$counter " \
+    || fail "missing cluster wire counter $counter: $(echo "$metrics" | grep electd_cluster)"
+done
+echo "smoke: cluster wire counters exported"
+
 echo "smoke: graceful SIGTERM shutdown"
 kill -TERM "$pid"
 for _ in $(seq 1 100); do

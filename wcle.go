@@ -103,6 +103,9 @@ type (
 	ClusterReign = cluster.Reign
 	// ClusterEvent is one supervision state change (lease/death/rejoin).
 	ClusterEvent = cluster.Event
+	// LocalClusterOptions tunes a StartLocalClusterWith session: legacy
+	// coordinator-star barriers, compressed data frames.
+	LocalClusterOptions = cluster.LocalOptions
 	// FaultSpec is the wire form of a delivery-plane adversary.
 	FaultSpec = serve.FaultSpec
 	// GraphRegistry stores named graphs with memoized spectral profiles
@@ -219,6 +222,14 @@ func ElectCluster(coordinator string, job ClusterJob) (*ClusterResult, error) {
 // StartLocalCluster assembles a shards-process-shaped cluster inside this
 // process on loopback TCP. Close it when done.
 func StartLocalCluster(shards int) (*LocalCluster, error) { return cluster.StartLocal(shards) }
+
+// StartLocalClusterWith is StartLocalCluster with session options:
+// LegacyBarrier selects the pre-piggyback coordinator star (what a
+// mixed-version cluster negotiates down to), Compress enables flate
+// compression of large data frames.
+func StartLocalClusterWith(shards int, opt LocalClusterOptions) (*LocalCluster, error) {
+	return cluster.StartLocalWith(shards, opt)
+}
 
 // FloodMax runs the Omega(m)-message flooding baseline (explicit election).
 // horizon 0 means n rounds. ElectWith("floodmax", ...) is the registry

@@ -127,7 +127,7 @@ func TestPublicBaselines(t *testing.T) {
 
 func TestPublicExperiments(t *testing.T) {
 	ids := wcle.ExperimentIDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	tab, err := wcle.RunExperiment("E3", 1, true)
