@@ -114,7 +114,7 @@ func BenchmarkPushPull256(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := wcle.PushPull(g, 0, 7, int64(i), 200, false)
+		res, err := wcle.PushPull(g, wcle.PushPullOptions{Rumor: 7, Seed: int64(i), Horizon: 200})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,219 @@
+// Command apidiff extracts the exported API surface of a Go package
+// directory as a sorted, one-declaration-per-line text listing, and checks
+// it against a committed baseline. CI runs the check against API.txt at
+// the repository root, so any change to the facade's exported surface —
+// a removed entry point, a changed signature, a new type — fails until the
+// baseline is regenerated in the same change, making facade redesigns
+// deliberate and reviewable in the diff of API.txt itself.
+//
+// Usage:
+//
+//	apidiff -dir . -write API.txt    # (re)record the baseline
+//	apidiff -dir . -check API.txt    # exit 1 on any surface drift
+//	apidiff -dir .                   # print the surface to stdout
+//
+// The surface covers exported package-level declarations of the
+// non-test files: funcs, methods on exported receivers, types (with their
+// full definition, so struct field and interface method changes count),
+// consts, and vars. Deprecation comments are not part of the surface; the
+// tool is syntax-only (go/parser, no type checking) and dependency-free.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", ".", "package directory to extract the surface from")
+	write := flag.String("write", "", "write the surface to this file")
+	check := flag.String("check", "", "compare the surface against this baseline; exit 1 on drift")
+	flag.Parse()
+
+	surface, err := Surface(*dir)
+	if err != nil {
+		return err
+	}
+	text := strings.Join(surface, "\n") + "\n"
+	switch {
+	case *write != "":
+		return os.WriteFile(*write, []byte(text), 0o644)
+	case *check != "":
+		baseline, err := os.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		plus, minus := diffLines(splitLines(string(baseline)), surface)
+		if len(plus) == 0 && len(minus) == 0 {
+			fmt.Printf("apidiff: %d declarations, no drift from %s\n", len(surface), *check)
+			return nil
+		}
+		for _, l := range minus {
+			fmt.Printf("- %s\n", l)
+		}
+		for _, l := range plus {
+			fmt.Printf("+ %s\n", l)
+		}
+		return fmt.Errorf("exported surface of %s drifted from %s (%d removed/changed, %d added); if intended, regenerate with: go run ./cmd/apidiff -dir %s -write %s",
+			*dir, *check, len(minus), len(plus), *dir, *check)
+	default:
+		fmt.Print(text)
+		return nil
+	}
+}
+
+// Surface extracts the sorted exported declaration lines of the package
+// in dir (test files excluded).
+func Surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return dedupe(lines), nil
+}
+
+// declLines renders one top-level declaration's exported parts.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return nil
+		}
+		// Print the signature only: a FuncDecl without a body renders as
+		// `func [recv] Name(params) results`.
+		sig := &ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}
+		return []string{render(fset, sig)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					out = append(out, render(fset, &ast.GenDecl{Tok: token.TYPE, Specs: []ast.Spec{s}}))
+				}
+			case *ast.ValueSpec:
+				if exportedName(s.Names) {
+					out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{s}}))
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported (methods on unexported types are not part of the surface).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func exportedName(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// render prints a declaration as one line: printer output with every line
+// trimmed and joined by "; " so multi-line struct and interface bodies
+// stay diffable line-per-declaration.
+func render(fset *token.FileSet, node interface{}) string {
+	var sb strings.Builder
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&sb, fset, node); err != nil {
+		return fmt.Sprintf("apidiff: render error: %v", err)
+	}
+	parts := splitLines(sb.String())
+	for i, p := range parts {
+		parts[i] = strings.Join(strings.Fields(p), " ")
+	}
+	return strings.Join(parts, "; ")
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		l = strings.TrimSpace(l)
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func dedupe(sorted []string) []string {
+	var out []string
+	for _, l := range sorted {
+		if len(out) == 0 || out[len(out)-1] != l {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// diffLines compares two sorted line sets: plus = in got only,
+// minus = in want only.
+func diffLines(want, got []string) (plus, minus []string) {
+	i, j := 0, 0
+	for i < len(want) && j < len(got) {
+		switch {
+		case want[i] == got[j]:
+			i++
+			j++
+		case want[i] < got[j]:
+			minus = append(minus, want[i])
+			i++
+		default:
+			plus = append(plus, got[j])
+			j++
+		}
+	}
+	minus = append(minus, want[i:]...)
+	plus = append(plus, got[j:]...)
+	return plus, minus
+}

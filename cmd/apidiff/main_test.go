@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRootSurfaceMatchesBaseline makes the committed API.txt a tier-1
+// gate, not just a CI job: any change to the root package's exported
+// surface must regenerate the baseline in the same change.
+func TestRootSurfaceMatchesBaseline(t *testing.T) {
+	got, err := Surface("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile("../../API.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, minus := diffLines(splitLines(string(raw)), got)
+	if len(plus) != 0 || len(minus) != 0 {
+		t.Fatalf("exported surface drifted from API.txt.\nremoved/changed:\n  %s\nadded:\n  %s\nIf intended, regenerate with: go run ./cmd/apidiff -dir . -write API.txt",
+			strings.Join(minus, "\n  "), strings.Join(plus, "\n  "))
+	}
+}
+
+// TestDiffLines pins the sorted-merge diff used by -check.
+func TestDiffLines(t *testing.T) {
+	plus, minus := diffLines(
+		[]string{"a", "b", "c"},
+		[]string{"a", "c", "d"},
+	)
+	if len(plus) != 1 || plus[0] != "d" || len(minus) != 1 || minus[0] != "b" {
+		t.Fatalf("diff = +%v -%v", plus, minus)
+	}
+}
+
+// TestSurfaceExcludesUnexported: the tool's own package has no exported
+// declarations beyond what main.go defines, and test files never count.
+func TestSurfaceExcludesUnexported(t *testing.T) {
+	got, err := Surface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range got {
+		if strings.Contains(l, "TestRootSurfaceMatchesBaseline") {
+			t.Fatalf("test declarations leaked into the surface: %v", got)
+		}
+	}
+	want := []string{"func Surface(dir string) ([]string, error)"}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("surface of cmd/apidiff = %v, want %v", got, want)
+	}
+}

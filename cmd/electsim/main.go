@@ -78,6 +78,11 @@ func run() error {
 		family   = flag.String("graph", "rr", "graph family: clique|cycle|hypercube|torus|rr|lb|dumbbell")
 		algoName = flag.String("algo", wcle.DefaultAlgorithm(),
 			fmt.Sprintf("election backend: %s", strings.Join(wcle.Algorithms(), "|")))
+		protoName = flag.String("protocol", "",
+			fmt.Sprintf("run any registered protocol through the generic engine (overrides -algo): %s", strings.Join(wcle.Protocols(), "|")))
+		root     = flag.Int("root", 0, "protocol mode: source/root node")
+		rumor    = flag.Uint64("rumor", 0, "protocol mode: pushpull rumor id (0 = 1)")
+		op       = flag.String("op", "", "protocol mode: aggregate operation, max|sum (\"\" = max)")
 		horizon  = flag.Int("horizon", 0, "floodmax decision round (0 = n)")
 		hops     = flag.Int("hops", 0, "kpprt referee-sampling walk length (0 = auto)")
 		n        = flag.Int("n", 128, "target node count")
@@ -97,6 +102,25 @@ func run() error {
 		resend   = flag.Int("resend", 0, "retransmit each idempotent protocol message this many extra times")
 	)
 	flag.Parse()
+
+	if *protoName != "" {
+		g, err := buildGraph(*family, *n, *d, *alpha, *seed)
+		if err != nil {
+			return err
+		}
+		fault, err := buildFault(*drop, *delay, *crash)
+		if err != nil {
+			return err
+		}
+		return runProtocol(g, *protoName, wcle.ProtocolConfig{
+			Source:  *root,
+			Root:    *root,
+			Rumor:   *rumor,
+			Horizon: *horizon,
+			Op:      *op,
+			Hops:    *hops,
+		}, wcle.AlgorithmOptions{Seed: *seed, Budget: *budget, Fault: fault})
+	}
 
 	if !algo.Known(*algoName) {
 		// Fail before any graph work, naming what would have worked: the
@@ -201,6 +225,50 @@ func run() error {
 			fmt.Printf("   phase %d (tu=%d): %d messages, %d bits, kinds %v\n",
 				p, 1<<p, phaseObs.Messages[p], phaseObs.Bits[p], phaseObs.Kinds[p])
 		}
+	}
+	return nil
+}
+
+// runProtocol executes any registered protocol through the generic engine
+// and prints the protocol-independent report: the output-slot summary, the
+// cost accounting, and (when the protocol is an election backend) the
+// election outcome.
+func runProtocol(g *wcle.Graph, name string, cfg wcle.ProtocolConfig, opts wcle.AlgorithmOptions) error {
+	rep, err := wcle.Run(name, g, cfg, opts)
+	if err != nil {
+		return err
+	}
+	res := rep.Result
+	fmt.Printf("graph %s: n=%d m=%d\n", g.Name(), g.N(), g.M())
+	fmt.Printf("protocol: %s slots=%v\n", res.Protocol, res.Slots)
+	fmt.Printf("rounds=%d messages=%d bits=%d dropped=%d lost=%d delayed=%d\n",
+		res.Rounds, res.Metrics.Messages, res.Metrics.Bits, res.Metrics.Dropped,
+		res.Metrics.FaultDrops, res.Metrics.Delayed)
+	// One line per slot: the [min, max] envelope of that output column.
+	for s, slot := range res.Slots {
+		lo, hi := res.Outputs[0][s], res.Outputs[0][s]
+		for _, o := range res.Outputs {
+			if o[s] < lo {
+				lo = o[s]
+			}
+			if o[s] > hi {
+				hi = o[s]
+			}
+		}
+		fmt.Printf("output %-12s min=%d max=%d\n", slot, lo, hi)
+	}
+	var total, maxNode int64
+	for _, c := range res.PerNodeMessages {
+		total += c
+		if c > maxNode {
+			maxNode = c
+		}
+	}
+	fmt.Printf("per-node sends: total=%d max=%d\n", total, maxNode)
+	if rep.Election != nil {
+		out := rep.Election
+		fmt.Printf("election outcome: leaders=%v success=%v contenders=%d leaderRound=%d\n",
+			out.Leaders, out.Success, out.Contenders, out.LeaderRound)
 	}
 	return nil
 }

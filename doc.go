@@ -24,14 +24,27 @@
 // else needs to learn its identity. ElectExplicit appends the Corollary 14
 // push-pull broadcast so every node learns the leader id.
 //
-// # Algorithm backends
+// # Protocols and algorithm backends
 //
-// Election protocols are pluggable backends behind one registry
-// (internal/algo): gilbertrs18 (the paper's algorithm — what Elect runs),
-// floodmax (the Omega(m) flooding baseline), and kpprt (the sublinear
-// candidate-sampling election of Kutten et al.). ElectWith and
-// ElectManyWith run any of them under the same options, seeds, and fault
-// planes:
+// Every distributed algorithm in the repo — the four election backends
+// (gilbertrs18, the paper's algorithm and what Elect runs;
+// gilbertrs18-fixed, the known-tmix baseline; floodmax, the Omega(m)
+// flooding baseline; kpprt, the sublinear candidate-sampling election of
+// Kutten et al.) plus the dissemination substrates (pushpull, bfstree,
+// aggregate) — is a registered protocol of the generic engine
+// (internal/engine), runnable by name through one entry point:
+//
+//	rep, err := wcle.Run("pushpull", g,
+//	    wcle.ProtocolConfig{Rumor: 9}, wcle.AlgorithmOptions{Seed: 7})
+//	// rep.Result: per-node outputs, per-node send counts, rounds, metrics
+//	// rep.Election: non-nil when the protocol is an election backend
+//
+// Protocols lists the registry; RunMany runs sharded batches. The same
+// contract holds on every delivery plane: same (protocol, graph, seed)
+// produce identical outputs and per-node message counts on the in-process
+// sim and the wire-level TCP cluster, with and without fault planes.
+// The election-shaped entry points (Elect, ElectWith, ElectMany,
+// ElectManyWith) remain as deprecated thin wrappers:
 //
 //	out, err := wcle.ElectWith("kpprt", g, wcle.AlgorithmConfig{},
 //	    wcle.AlgorithmOptions{Seed: 7})
@@ -39,13 +52,14 @@
 // # Packages
 //
 // The root package is a facade over the internal packages: internal/core
-// (the paper's algorithm), internal/algo (the backend registry),
-// internal/sim (the synchronous CONGEST engine), internal/graph (families
-// and the lower-bound constructions), internal/spectral (mixing times and
-// conductance), internal/protocol (CONGEST message plumbing),
-// internal/broadcast, internal/baseline, internal/lowerbound,
-// internal/serve (the electd service layer), and internal/experiments
-// (the E1-E18 suite described in DESIGN.md, run on a parallel worker-pool
-// harness and rendered into EXPERIMENTS.md by cmd/benchsuite). README.md
-// has the CLI quickstart.
+// (the paper's algorithm), internal/engine (the generic protocol contract
+// and registry), internal/algo (the election backend registry, adapted
+// over the engine), internal/sim (the synchronous CONGEST engine),
+// internal/graph (families and the lower-bound constructions),
+// internal/spectral (mixing times and conductance), internal/protocol
+// (CONGEST message plumbing), internal/broadcast, internal/baseline,
+// internal/lowerbound, internal/serve (the electd service layer), and
+// internal/experiments (the E1-E22 suite described in DESIGN.md, run on a
+// parallel worker-pool harness and rendered into EXPERIMENTS.md by
+// cmd/benchsuite). README.md has the CLI quickstart.
 package wcle

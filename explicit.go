@@ -40,7 +40,7 @@ func ElectExplicit(g *Graph, cfg Config, opts Options, horizon int) (*ExplicitRe
 	source := res.Leaders[0]
 	rumor := res.LeaderIDs[0]
 	if horizon <= 0 {
-		probe, err := PushPull(g, source, rumor, opts.Seed+1, 40*g.N(), false)
+		probe, err := PushPull(g, PushPullOptions{Source: source, Rumor: rumor, Seed: opts.Seed + 1, Horizon: 40 * g.N()})
 		if err != nil {
 			return nil, err
 		}
@@ -49,7 +49,7 @@ func ElectExplicit(g *Graph, cfg Config, opts Options, horizon int) (*ExplicitRe
 			horizon = 40 * g.N()
 		}
 	}
-	bc, err := PushPull(g, source, rumor, opts.Seed+1, horizon, false)
+	bc, err := PushPull(g, PushPullOptions{Source: source, Rumor: rumor, Seed: opts.Seed + 1, Horizon: horizon})
 	if err != nil {
 		return nil, err
 	}

@@ -1,45 +1,47 @@
 package algo
 
 import (
+	"fmt"
+
 	"wcle/internal/baseline"
+	"wcle/internal/engine"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
 )
 
-// floodmax adapts internal/baseline's FloodMax to the backend contract.
+// floodmax adapts internal/baseline's FloodMax to the ElectionProtocol
+// contract.
 type floodmax struct {
 	horizon int
 }
 
 func newFloodMax(cfg Config) (Algorithm, error) {
-	return floodmax{horizon: cfg.Horizon}, nil
+	return adapter{floodmax{horizon: cfg.Horizon}}, nil
 }
 
 func (a floodmax) Name() string { return FloodMax }
 
-func (a floodmax) Run(g *graph.Graph, opts Options) (*Outcome, error) {
-	res, err := baseline.Run(g, baseline.Config{
-		Seed:          opts.Seed,
-		Horizon:       a.horizon,
-		Budget:        opts.Budget,
-		MaxRounds:     opts.MaxRounds,
-		Concurrent:    opts.Concurrent,
-		LeanMetrics:   opts.LeanMetrics,
-		DebugFrom:     opts.DebugFrom,
-		Observer:      opts.Observer,
-		Fault:         opts.Fault,
-		FaultObserver: opts.FaultObserver,
-		Remote:        opts.Remote,
-	})
-	if err != nil {
-		return nil, err
+// Slots labels the engine-level output vector of floodmax nodes.
+func (a floodmax) Slots() []string { return []string{"leader", "max_seen"} }
+
+// Init implements engine.Protocol.
+func (a floodmax) Init(g *graph.Graph) (engine.Instance, error) {
+	return baseline.Build(g, baseline.Config{Horizon: a.horizon})
+}
+
+// Finish implements ElectionProtocol.
+func (a floodmax) Finish(inst engine.Instance, eres *engine.Result, opts Options) (*Outcome, error) {
+	bi, ok := inst.(*baseline.Instance)
+	if !ok {
+		return nil, fmt.Errorf("algo: floodmax: unexpected instance type %T", inst)
 	}
+	res := bi.Collect(eres.Metrics, opts.Remote != nil)
 	// Every node competes with its drawn id; a sharded run reports only
 	// the locally hosted competitors, so the cluster merge sums back to n.
-	contenders := g.N()
+	contenders := len(eres.Outputs)
 	if opts.Remote != nil {
 		contenders = 0
-		for v := 0; v < g.N(); v++ {
+		for v := 0; v < len(eres.Outputs); v++ {
 			if opts.Remote.Local(v) {
 				contenders++
 			}

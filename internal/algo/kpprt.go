@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 
+	"wcle/internal/engine"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
 	"wcle/internal/sim"
@@ -425,6 +426,19 @@ func (nd *kNode) launch(ctx *sim.Context) {
 	ctx.WakeAt(ctx.Round() + 1)
 }
 
+// Output is the node's decision vector [leader(0/1), candidate(0/1),
+// drawn id (0 when not a candidate)].
+func (nd *kNode) Output() []int64 {
+	leader, candidate := int64(0), int64(0)
+	if nd.leader {
+		leader = 1
+	}
+	if nd.candidate {
+		candidate = 1
+	}
+	return []int64{leader, candidate, int64(nd.id)}
+}
+
 // SublinearResult is the kpprt backend's native result.
 type SublinearResult struct {
 	// Candidates lists the self-sampled candidate node indices.
@@ -438,54 +452,60 @@ type SublinearResult struct {
 	Metrics                 sim.Metrics
 }
 
-// sublinear is the registered kpprt backend.
+// sublinear is the registered kpprt backend, an ElectionProtocol.
 type sublinear struct {
 	cfg SublinearConfig
 }
 
 func newSublinear(cfg Config) (Algorithm, error) {
-	return sublinear{cfg: cfg.Sublinear}, nil
+	return adapter{sublinear{cfg: cfg.Sublinear}}, nil
 }
 
 func (a sublinear) Name() string { return KPPRT }
 
-func (a sublinear) Run(g *graph.Graph, opts Options) (*Outcome, error) {
+// Slots labels the engine-level output vector of kpprt nodes.
+func (a sublinear) Slots() []string { return []string{"leader", "candidate", "id"} }
+
+// kInstance is one kpprt run's per-node machines (engine.Instance).
+type kInstance struct {
+	p     *kParams
+	nodes []*kNode
+}
+
+func (i *kInstance) Node(v int) engine.Node { return i.nodes[v] }
+
+func (i *kInstance) Limits() engine.Limits {
+	return engine.Limits{
+		MaxMessageBits: i.p.maxMessageBits(),
+		// Everything quiesces well before this; generous caps cost the
+		// event-driven engine nothing.
+		MaxRounds: 4*i.p.deadline + 1000,
+	}
+}
+
+// Init implements engine.Protocol.
+func (a sublinear) Init(g *graph.Graph) (engine.Instance, error) {
 	p, err := resolveParams(g, a.cfg)
 	if err != nil {
 		return nil, err
 	}
 	nodes := make([]*kNode, g.N())
-	procs := make([]sim.Process, g.N())
 	for v := range nodes {
 		nodes[v] = &kNode{p: p}
-		procs[v] = nodes[v]
 	}
-	maxRounds := opts.MaxRounds
-	if maxRounds == 0 {
-		// Everything quiesces well before this; generous caps cost the
-		// event-driven engine nothing.
-		maxRounds = 4*p.deadline + 1000
+	return &kInstance{p: p, nodes: nodes}, nil
+}
+
+// Finish implements ElectionProtocol.
+func (a sublinear) Finish(inst engine.Instance, eres *engine.Result, opts Options) (*Outcome, error) {
+	ki, ok := inst.(*kInstance)
+	if !ok {
+		return nil, fmt.Errorf("algo: kpprt: unexpected instance type %T", inst)
 	}
-	metrics, err := sim.Run(sim.Config{
-		Graph:          g,
-		Seed:           opts.Seed,
-		MaxRounds:      maxRounds,
-		MaxMessageBits: p.maxMessageBits(),
-		MessageBudget:  opts.Budget,
-		Concurrent:     opts.Concurrent,
-		LeanMetrics:    opts.LeanMetrics,
-		DebugFrom:      opts.DebugFrom,
-		Observer:       opts.Observer,
-		Fault:          opts.Fault,
-		FaultObserver:  opts.FaultObserver,
-		Remote:         opts.Remote,
-	}, procs)
-	if err != nil {
-		return nil, fmt.Errorf("algo: kpprt run failed: %w", err)
-	}
+	p, metrics := ki.p, eres.Metrics
 	res := &SublinearResult{Committee: p.committee, Hops: p.hops, Window: p.window, Metrics: metrics}
 	out := &Outcome{Algorithm: KPPRT, LeaderRound: -1, Rounds: metrics.FinalRound, Metrics: metrics, Detail: res}
-	for v, nd := range nodes {
+	for v, nd := range ki.nodes {
 		if !nd.candidate {
 			continue
 		}

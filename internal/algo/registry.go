@@ -17,6 +17,10 @@ const (
 	// KPPRT is the sublinear candidate-sampling + referee-committee
 	// election of Kutten et al.
 	KPPRT = "kpprt"
+	// GilbertRS18Fixed is the known-mixing-time single-phase baseline of
+	// Kutten et al. [25]: the paper's machinery with FixedWalkLen pinned
+	// (caller-supplied, or 4n by default) instead of guess-and-double.
+	GilbertRS18Fixed = "gilbertrs18-fixed"
 )
 
 // DefaultName is the backend used when a caller names none.
@@ -43,9 +47,10 @@ type Builder func(cfg Config) (Algorithm, error)
 var (
 	regMu    sync.RWMutex
 	builders = map[string]Builder{
-		GilbertRS18: newGilbertRS18,
-		FloodMax:    newFloodMax,
-		KPPRT:       newSublinear,
+		GilbertRS18:      newGilbertRS18,
+		GilbertRS18Fixed: newGilbertRS18Fixed,
+		FloodMax:         newFloodMax,
+		KPPRT:            newSublinear,
 	}
 )
 

@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"wcle/internal/engine"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
 	"wcle/internal/sim"
@@ -74,6 +75,16 @@ func (nd *floodNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
 	return nil
 }
 
+// Output is the node's decision vector [leader(0/1), largest id seen].
+// A node another shard hosts never steps, so its output stays [0, 0].
+func (nd *floodNode) Output() []int64 {
+	leader := int64(0)
+	if nd.leader {
+		leader = 1
+	}
+	return []int64{leader, int64(nd.maxSeen)}
+}
+
 // FloodMaxResult reports a FloodMax run.
 type FloodMaxResult struct {
 	// Leaders holds the node indices that declared leadership (exactly one
@@ -123,8 +134,18 @@ type Config struct {
 	Remote sim.RemotePlane
 }
 
-// Run executes FloodMax on g under the full delivery-plane option set.
-func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
+// Instance is one run's worth of FloodMax node machines. It implements
+// engine.Instance; Collect folds the post-run state into FloodMaxResult.
+type Instance struct {
+	nodes   []*floodNode
+	horizon int
+	lim     engine.Limits
+}
+
+// Build constructs the per-node machines of one FloodMax run on g. Only
+// cfg.Horizon and cfg.MaxRounds matter at build time; the delivery-plane
+// fields of cfg belong to the runner.
+func Build(g *graph.Graph, cfg Config) (*Instance, error) {
 	horizon := cfg.Horizon
 	if horizon <= 0 {
 		horizon = g.N()
@@ -138,30 +159,28 @@ func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
 		return nil, err
 	}
 	nodes := make([]*floodNode, g.N())
-	procs := make([]sim.Process, g.N())
 	for v := range nodes {
 		nodes[v] = &floodNode{sizing: sizing, horizon: horizon}
-		procs[v] = nodes[v]
 	}
-	metrics, err := sim.Run(sim.Config{
-		Graph:          g,
-		Seed:           cfg.Seed,
-		MaxMessageBits: sizing.CongestCap(),
-		MaxRounds:      maxRounds,
-		MessageBudget:  cfg.Budget,
-		Concurrent:     cfg.Concurrent,
-		LeanMetrics:    cfg.LeanMetrics,
-		DebugFrom:      cfg.DebugFrom,
-		Observer:       cfg.Observer,
-		Fault:          cfg.Fault,
-		FaultObserver:  cfg.FaultObserver,
-		Remote:         cfg.Remote,
-	}, procs)
-	if err != nil {
-		return nil, fmt.Errorf("baseline: floodmax failed: %w", err)
-	}
-	res := &FloodMaxResult{Metrics: metrics, AllAgree: true, Horizon: horizon}
-	sharded := cfg.Remote != nil
+	return &Instance{
+		nodes:   nodes,
+		horizon: horizon,
+		lim:     engine.Limits{MaxMessageBits: sizing.CongestCap(), MaxRounds: maxRounds},
+	}, nil
+}
+
+// Node implements engine.Instance.
+func (i *Instance) Node(v int) engine.Node { return i.nodes[v] }
+
+// Limits implements engine.Instance.
+func (i *Instance) Limits() engine.Limits { return i.lim }
+
+// Collect folds the instance's post-run state into the native result.
+// sharded says the run hosted only part of the graph (sim.Config.Remote),
+// which switches the agreement target to the shard-local one.
+func (i *Instance) Collect(metrics sim.Metrics, sharded bool) *FloodMaxResult {
+	nodes := i.nodes
+	res := &FloodMaxResult{Metrics: metrics, AllAgree: true, Horizon: i.horizon}
 	var max protocol.ID
 	for _, nd := range nodes {
 		if nd.id > max {
@@ -196,7 +215,37 @@ func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
 			res.AllAgree = false
 		}
 	}
-	return res, nil
+	return res
+}
+
+// Run executes FloodMax on g under the full delivery-plane option set.
+func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
+	inst, err := Build(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]sim.Process, len(inst.nodes))
+	for v, nd := range inst.nodes {
+		procs[v] = nd
+	}
+	metrics, err := sim.Run(sim.Config{
+		Graph:          g,
+		Seed:           cfg.Seed,
+		MaxMessageBits: inst.lim.MaxMessageBits,
+		MaxRounds:      inst.lim.MaxRounds,
+		MessageBudget:  cfg.Budget,
+		Concurrent:     cfg.Concurrent,
+		LeanMetrics:    cfg.LeanMetrics,
+		DebugFrom:      cfg.DebugFrom,
+		Observer:       cfg.Observer,
+		Fault:          cfg.Fault,
+		FaultObserver:  cfg.FaultObserver,
+		Remote:         cfg.Remote,
+	}, procs)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: floodmax failed: %w", err)
+	}
+	return inst.Collect(metrics, cfg.Remote != nil), nil
 }
 
 // FloodMax runs the baseline on g. horizon is the number of rounds before

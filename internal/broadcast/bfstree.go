@@ -3,61 +3,10 @@ package broadcast
 import (
 	"fmt"
 
+	"wcle/internal/engine"
 	"wcle/internal/graph"
-	"wcle/internal/protocol"
 	"wcle/internal/sim"
 )
-
-type joinMsg struct {
-	bits int
-}
-
-func (m *joinMsg) Bits() int    { return m.bits }
-func (m *joinMsg) Kind() string { return "join" }
-
-var _ sim.Message = (*joinMsg)(nil)
-
-// bfsNode builds a BFS spanning tree by flooding: the first JOIN received
-// fixes the parent port; the node then floods JOIN on all other ports.
-type bfsNode struct {
-	isRoot     bool
-	started    bool
-	joined     bool
-	parentPort int
-	depth      int
-}
-
-func (nd *bfsNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
-	flood := func(skip int) error {
-		for port := 0; port < ctx.Degree(); port++ {
-			if port == skip {
-				continue
-			}
-			if err := ctx.Send(port, &joinMsg{bits: protocol.FlagBits}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if nd.isRoot && !nd.started {
-		nd.started = true
-		nd.joined = true
-		nd.parentPort = -1
-		return flood(-1)
-	}
-	for _, env := range inbox {
-		if _, ok := env.Payload.(*joinMsg); !ok {
-			return fmt.Errorf("broadcast: unexpected message kind %q", env.Payload.Kind())
-		}
-		if !nd.joined {
-			nd.joined = true
-			nd.parentPort = env.Port
-			nd.depth = ctx.Round()
-			return flood(env.Port)
-		}
-	}
-	return nil
-}
 
 // TreeResult reports a BFS spanning-tree construction.
 type TreeResult struct {
@@ -70,50 +19,50 @@ type TreeResult struct {
 	Metrics  sim.Metrics
 }
 
+// FoldBFSTree folds a bfstree engine report into a TreeResult, resolving
+// each node's parent port back to a neighbor index through g. Output rows
+// are [joined, parent_port, depth] per engine's "bfstree" protocol.
+func FoldBFSTree(g *graph.Graph, eres *engine.Result) *TreeResult {
+	res := &TreeResult{
+		Parent:   make([]int, g.N()),
+		Depth:    make([]int, g.N()),
+		Complete: true,
+		Metrics:  eres.Metrics,
+	}
+	for v := 0; v < g.N(); v++ {
+		var o []int64
+		if v < len(eres.Outputs) {
+			o = eres.Outputs[v]
+		}
+		switch {
+		case len(o) < 3 || o[0] == 0:
+			res.Parent[v] = -2
+			res.Depth[v] = -1
+			res.Complete = false
+		case o[1] == -1:
+			res.Parent[v] = -1
+			res.Depth[v] = 0
+		default:
+			res.Parent[v] = g.NeighborAt(v, int(o[1]))
+			res.Depth[v] = int(o[2])
+		}
+	}
+	return res
+}
+
 // BFSTree builds a BFS spanning tree rooted at root by flooding. The
 // message complexity is Theta(m) — the Corollary 27 regime.
 func BFSTree(g *graph.Graph, root int, seed int64) (*TreeResult, error) {
 	if root < 0 || root >= g.N() {
 		return nil, fmt.Errorf("broadcast: root %d out of range", root)
 	}
-	sizing, err := protocol.NewSizing(g.N())
+	p, err := engine.New(engine.BFSTree, engine.Config{Root: root})
 	if err != nil {
 		return nil, err
 	}
-	nodes := make([]*bfsNode, g.N())
-	procs := make([]sim.Process, g.N())
-	for v := range nodes {
-		nodes[v] = &bfsNode{isRoot: v == root}
-		procs[v] = nodes[v]
-	}
-	metrics, err := sim.Run(sim.Config{
-		Graph:          g,
-		Seed:           seed,
-		MaxMessageBits: sizing.CongestCap(),
-		MaxRounds:      g.N() + 8,
-	}, procs)
+	eres, err := engine.Run(p, g, engine.Options{Seed: seed})
 	if err != nil {
-		return nil, fmt.Errorf("broadcast: bfs tree failed: %w", err)
+		return nil, err
 	}
-	res := &TreeResult{
-		Parent:   make([]int, g.N()),
-		Depth:    make([]int, g.N()),
-		Complete: true,
-		Metrics:  metrics,
-	}
-	for v, nd := range nodes {
-		switch {
-		case !nd.joined:
-			res.Parent[v] = -2
-			res.Depth[v] = -1
-			res.Complete = false
-		case nd.parentPort == -1:
-			res.Parent[v] = -1
-			res.Depth[v] = 0
-		default:
-			res.Parent[v] = g.NeighborAt(v, nd.parentPort)
-			res.Depth[v] = nd.depth
-		}
-	}
-	return res, nil
+	return FoldBFSTree(g, eres), nil
 }

@@ -1,111 +1,25 @@
-// Package broadcast implements the dissemination substrates the paper
+// Package broadcast exposes the dissemination substrates the paper
 // composes with: push-pull rumor spreading (Karp et al. [22], used by
 // Corollary 14 to upgrade implicit to explicit election in O(log n / phi)
 // time and O(n log n / phi) messages), a push-only variant, and BFS
 // spanning-tree construction (the Corollary 27 comparator).
+//
+// The substrates themselves live in internal/engine as first-class
+// registered protocols ("pushpull", "bfstree"), runnable on every delivery
+// plane — the in-process sim, the TCP cluster, every fault plane. This
+// package is the domain-shaped veneer: the same protocols under their
+// historical signatures, folding the engine's per-node output vectors back
+// into Result and TreeResult.
 package broadcast
 
 import (
 	"fmt"
 
+	"wcle/internal/engine"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
 	"wcle/internal/sim"
 )
-
-// gossipKind labels gossip messages.
-const (
-	kindRumor = "rumor"
-	kindPull  = "pull"
-)
-
-type gossipMsg struct {
-	rumor protocol.ID // 0 for a pull request
-	bits  int
-}
-
-func (m *gossipMsg) Bits() int { return m.bits }
-func (m *gossipMsg) Kind() string {
-	if m.rumor != 0 {
-		return kindRumor
-	}
-	return kindPull
-}
-
-var _ sim.Message = (*gossipMsg)(nil)
-
-// gossipNode runs synchronous push-pull: every round each node contacts one
-// uniformly random neighbor — informed nodes push the rumor, uninformed
-// nodes send a pull request (answered with the rumor in the next round).
-// In push-only mode uninformed nodes stay silent.
-type gossipNode struct {
-	sizing   protocol.Sizing
-	horizon  int
-	pushOnly bool
-
-	informed   bool
-	rumor      protocol.ID
-	informedAt int
-	replyPorts map[int]struct{}
-}
-
-func (nd *gossipNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
-	round := ctx.Round()
-	for _, env := range inbox {
-		m, ok := env.Payload.(*gossipMsg)
-		if !ok {
-			return fmt.Errorf("broadcast: unexpected message kind %q", env.Payload.Kind())
-		}
-		if m.rumor != 0 {
-			if !nd.informed {
-				nd.informed = true
-				nd.rumor = m.rumor
-				nd.informedAt = round
-			}
-		} else if nd.informed {
-			if nd.replyPorts == nil {
-				nd.replyPorts = make(map[int]struct{})
-			}
-			nd.replyPorts[env.Port] = struct{}{}
-		}
-	}
-	if round >= nd.horizon {
-		return nil
-	}
-	sent := make(map[int]struct{}, 2)
-	if nd.informed {
-		// Answer pending pull requests.
-		for port := range nd.replyPorts {
-			if _, dup := sent[port]; dup {
-				continue
-			}
-			sent[port] = struct{}{}
-			if err := ctx.Send(port, nd.rumorMsg()); err != nil {
-				return err
-			}
-		}
-		nd.replyPorts = nil
-		// Push to one random neighbor.
-		port := ctx.Rand().Intn(ctx.Degree())
-		if _, dup := sent[port]; !dup {
-			if err := ctx.Send(port, nd.rumorMsg()); err != nil {
-				return err
-			}
-		}
-	} else if !nd.pushOnly {
-		port := ctx.Rand().Intn(ctx.Degree())
-		msg := &gossipMsg{bits: protocol.FlagBits}
-		if err := ctx.Send(port, msg); err != nil {
-			return err
-		}
-	}
-	ctx.WakeAt(round + 1)
-	return nil
-}
-
-func (nd *gossipNode) rumorMsg() *gossipMsg {
-	return &gossipMsg{rumor: nd.rumor, bits: nd.sizing.IDBits() + protocol.FlagBits}
-}
 
 // Result reports a gossip run.
 type Result struct {
@@ -117,6 +31,28 @@ type Result struct {
 	// coverage is incomplete).
 	CompletionRound int
 	Metrics         sim.Metrics
+}
+
+// FoldPushPull folds a pushpull engine report — in-process or reassembled
+// by the cluster merge — into a Result. Output rows are [informed,
+// informed_at] per engine's "pushpull" protocol.
+func FoldPushPull(n int, eres *engine.Result) *Result {
+	res := &Result{Metrics: eres.Metrics, CompletionRound: -1}
+	last := 0
+	for _, o := range eres.Outputs {
+		if len(o) < 2 || o[0] == 0 {
+			continue
+		}
+		res.Informed++
+		if at := int(o[1]); at > last {
+			last = at
+		}
+	}
+	res.AllInformed = res.Informed == n
+	if res.AllInformed {
+		res.CompletionRound = last
+	}
+	return res
 }
 
 // PushPull spreads a rumor from the source for `horizon` rounds using
@@ -132,40 +68,18 @@ func PushPull(g *graph.Graph, source int, rumor protocol.ID, seed int64, horizon
 	if horizon <= 0 {
 		return nil, fmt.Errorf("broadcast: horizon must be positive, got %d", horizon)
 	}
-	sizing, err := protocol.NewSizing(g.N())
+	p, err := engine.New(engine.PushPull, engine.Config{
+		Source:   source,
+		Rumor:    uint64(rumor),
+		Horizon:  horizon,
+		PushOnly: pushOnly,
+	})
 	if err != nil {
 		return nil, err
 	}
-	nodes := make([]*gossipNode, g.N())
-	procs := make([]sim.Process, g.N())
-	for v := range nodes {
-		nodes[v] = &gossipNode{sizing: sizing, horizon: horizon, pushOnly: pushOnly}
-		procs[v] = nodes[v]
-	}
-	nodes[source].informed = true
-	nodes[source].rumor = rumor
-	metrics, err := sim.Run(sim.Config{
-		Graph:          g,
-		Seed:           seed,
-		MaxMessageBits: sizing.CongestCap(),
-		MaxRounds:      horizon + 8,
-	}, procs)
+	eres, err := engine.Run(p, g, engine.Options{Seed: seed})
 	if err != nil {
-		return nil, fmt.Errorf("broadcast: gossip failed: %w", err)
+		return nil, err
 	}
-	res := &Result{Metrics: metrics, CompletionRound: -1}
-	last := 0
-	for _, nd := range nodes {
-		if nd.informed {
-			res.Informed++
-			if nd.informedAt > last {
-				last = nd.informedAt
-			}
-		}
-	}
-	res.AllInformed = res.Informed == g.N()
-	if res.AllInformed {
-		res.CompletionRound = last
-	}
-	return res, nil
+	return FoldPushPull(g.N(), eres), nil
 }

@@ -63,6 +63,10 @@ func (c *Client) Elect(spec JobSpec) (*Result, error) {
 	return out.Result, nil
 }
 
+// Run is Elect under its protocol-generic name: with spec.Protocol set,
+// the job runs any registered engine protocol across the shards.
+func (c *Client) Run(spec JobSpec) (*Result, error) { return c.Elect(spec) }
+
 // Close releases the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -179,6 +183,9 @@ func (l *Local) startWorker(shard int) error {
 
 // Elect runs one election on the local cluster.
 func (l *Local) Elect(spec JobSpec) (*Result, error) { return l.Coord.Elect(spec) }
+
+// Run is Elect under its protocol-generic name (see Coordinator.Run).
+func (l *Local) Run(spec JobSpec) (*Result, error) { return l.Coord.Elect(spec) }
 
 // Kill crashes one worker shard the way a dying process would: every
 // connection and its listener close abruptly, mid-frame if one is in

@@ -304,6 +304,11 @@ func (c *Coordinator) Elect(spec JobSpec) (*Result, error) {
 	return c.elect(spec)
 }
 
+// Run is Elect under its protocol-generic name: with spec.Protocol set,
+// the cluster runs any registered engine protocol and the merged Result
+// carries the reassembled Engine report.
+func (c *Coordinator) Run(spec JobSpec) (*Result, error) { return c.Elect(spec) }
+
 // elect is the supervisor-accessible election path (no supervising gate).
 func (c *Coordinator) elect(spec JobSpec) (*Result, error) {
 	select {

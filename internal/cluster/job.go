@@ -11,6 +11,7 @@ import (
 	"wcle/internal/algo"
 	"wcle/internal/baseline"
 	"wcle/internal/core"
+	"wcle/internal/engine"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
 	"wcle/internal/serve"
@@ -26,6 +27,13 @@ type JobSpec struct {
 	Graph serve.GraphSpec `json:"graph"`
 	// Algorithm names the election backend ("" = the registry default).
 	Algorithm string `json:"algorithm,omitempty"`
+	// Protocol, when set, runs the named engine-registry protocol instead
+	// of the election path — push-pull broadcast, a BFS tree, an
+	// aggregation, or any election by name. The merged Result then carries
+	// Engine (the reassembled protocol-level report); Outcome holds only
+	// the summed metrics. Engine parameterizes the protocol.
+	Protocol string        `json:"protocol,omitempty"`
+	Engine   engine.Config `json:"engine,omitempty"`
 	// Seed drives all randomness of the run deterministically: the same
 	// seed elects the same leader as the in-process sim.
 	Seed int64 `json:"seed"`
@@ -37,6 +45,10 @@ type JobSpec struct {
 	C1         float64 `json:"c1,omitempty"`
 	C2         float64 `json:"c2,omitempty"`
 	MaxWalkLen int     `json:"max_walk_len,omitempty"`
+	// FixedTu pins the single-phase walk length of the gilbertrs18-fixed
+	// backend (core.Config.FixedWalkLen; 0 keeps that backend's 4n
+	// default).
+	FixedTu int `json:"fixed_tu,omitempty"`
 	// Horizon parameterizes floodmax; Hops and Window parameterize kpprt.
 	Horizon int `json:"horizon,omitempty"`
 	Hops    int `json:"hops,omitempty"`
@@ -105,10 +117,65 @@ func (s JobSpec) backend() (algo.Algorithm, error) {
 	if s.MaxWalkLen > 0 {
 		cfg.MaxWalkLen = s.MaxWalkLen
 	}
+	if s.FixedTu > 0 {
+		cfg.FixedWalkLen = s.FixedTu
+	}
 	acfg := algo.Config{Core: cfg, Horizon: s.Horizon}
 	acfg.Sublinear.Hops = s.Hops
 	acfg.Sublinear.Window = s.Window
 	return algo.New(s.Algorithm, acfg)
+}
+
+// runner resolves the spec's execution path before any wire activity
+// starts: the generic engine path when Protocol is set, the election
+// backend otherwise. Both return the engine-level report (per-node send
+// counts, and on the engine path the output matrix); the election path
+// additionally returns the Outcome. Resolving before the plane exists
+// keeps a bad spec from ever touching the barrier.
+func (s JobSpec) runner() (func(g *graph.Graph, pl *plane) (*algo.Outcome, *engine.Result, error), error) {
+	if s.Protocol != "" {
+		p, err := engine.New(s.Protocol, s.Engine)
+		if err != nil {
+			return nil, err
+		}
+		return func(g *graph.Graph, pl *plane) (*algo.Outcome, *engine.Result, error) {
+			res, err := engine.Run(p, g, engine.Options{
+				Seed:       s.Seed,
+				MaxRounds:  s.MaxRounds,
+				DebugFrom:  s.DebugFrom,
+				CountSends: true,
+				Fault:      s.Fault.Plane(),
+				Remote:     pl,
+			})
+			return nil, res, err
+		}, nil
+	}
+	a, err := s.backend()
+	if err != nil {
+		return nil, err
+	}
+	return func(g *graph.Graph, pl *plane) (*algo.Outcome, *engine.Result, error) {
+		opts := algo.Options{
+			Seed:      s.Seed,
+			MaxRounds: s.MaxRounds,
+			DebugFrom: s.DebugFrom,
+			Fault:     s.Fault.Plane(),
+			Remote:    pl,
+		}
+		var counter *nodeCounter
+		if algo.Protocol(a) == nil {
+			// A backend registered outside the engine contract yields no
+			// report; tap its sends the old way so per-node accounting
+			// survives.
+			counter = &nodeCounter{counts: make([]int64, g.N())}
+			opts.Observer = counter
+		}
+		out, eres, err := algo.RunWithReport(a, g, opts)
+		if err == nil && eres == nil {
+			eres = &engine.Result{PerNodeMessages: counter.counts}
+		}
+		return out, eres, err
+	}, nil
 }
 
 // Result is a merged cluster election outcome.
@@ -120,6 +187,12 @@ type Result struct {
 	// (each shard only observes its own busy rounds); Detail is nil (the
 	// backends' native results live on the shards).
 	Outcome algo.Outcome `json:"outcome"`
+	// Engine is the reassembled protocol-level report: the full Outputs
+	// matrix (each shard contributes its hosted rows), the protocol name
+	// and slot labels, and the summed metrics. Present whenever the job
+	// ran through the engine path (JobSpec.Protocol set); nil on the
+	// election path, whose report is Outcome.
+	Engine *engine.Result `json:"engine,omitempty"`
 	// PerNodeMessages[v] counts the sends of node v, assembled from the
 	// owning shards — the per-node accounting the determinism contract
 	// is stated in terms of.
@@ -139,6 +212,12 @@ type partialResult struct {
 
 	Algorithm string `json:"algorithm,omitempty"`
 	Explicit  bool   `json:"explicit,omitempty"`
+	// Protocol, Slots and Outputs are the engine-path fields: the shard's
+	// hosted rows of the output matrix (Outputs[i] is node Lo+i's decision
+	// vector). Empty on the election path.
+	Protocol string    `json:"protocol,omitempty"`
+	Slots    []string  `json:"slots,omitempty"`
+	Outputs  [][]int64 `json:"outputs,omitempty"`
 	// AgreeID is floodmax's shard-local agreement value (0 for other
 	// backends): the merge requires every shard to have agreed on the
 	// same value, or the election is not explicit.
@@ -187,7 +266,7 @@ func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft fe
 		pr.Err = err.Error()
 		return pr
 	}
-	a, err := spec.backend()
+	run, err := spec.runner()
 	if err != nil {
 		pr.Err = err.Error()
 		return pr
@@ -202,15 +281,7 @@ func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft fe
 		}
 	}
 	pl := newPlane(jobLinks, shard, shards, owner, ft)
-	counter := &nodeCounter{counts: make([]int64, g.N())}
-	out, err := a.Run(g, algo.Options{
-		Seed:      spec.Seed,
-		MaxRounds: spec.MaxRounds,
-		DebugFrom: spec.DebugFrom,
-		Fault:     spec.Fault.Plane(),
-		Observer:  counter,
-		Remote:    pl,
-	})
+	out, eres, err := run(g, pl)
 	pr.Wire = pl.stats
 	// A shard's nodes stay contiguous after induced renumbering (members
 	// are ascending and original ranges are contiguous), so Lo + a slice
@@ -226,13 +297,28 @@ func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft fe
 		hi = v + 1
 	}
 	pr.Lo = lo
-	pr.NodeMessages = counter.counts[lo:hi]
+	if eres != nil && len(eres.PerNodeMessages) >= hi {
+		pr.NodeMessages = eres.PerNodeMessages[lo:hi]
+	} else {
+		pr.NodeMessages = make([]int64, hi-lo)
+	}
 	if err != nil {
 		// The run died mid-barrier (a step error, a broken link, the
 		// round cap): peers may be blocked on our next frame, so the
 		// session is broken — say so on every link before reporting.
 		_ = pl.abort(err)
 		pr.Err = err.Error()
+		return pr
+	}
+	if spec.Protocol != "" {
+		// Engine path: the shard reports its hosted rows of the output
+		// matrix and the protocol-level accounting; there is no Outcome.
+		pr.Algorithm = eres.Protocol
+		pr.Protocol = eres.Protocol
+		pr.Slots = eres.Slots
+		pr.Outputs = eres.Outputs[lo:hi]
+		pr.Rounds = eres.Rounds
+		pr.Metrics = eres.Metrics
 		return pr
 	}
 	pr.Algorithm = out.Algorithm
@@ -276,6 +362,22 @@ func merge(n, shards int, parts []partialResult) (*Result, error) {
 		}
 		if p.Err != "" {
 			continue
+		}
+		if p.Protocol != "" {
+			// Engine path: reassemble the output matrix from the shards'
+			// hosted rows.
+			if res.Engine == nil {
+				res.Engine = &engine.Result{
+					Protocol: p.Protocol,
+					Slots:    p.Slots,
+					Outputs:  make([][]int64, n),
+				}
+			}
+			for i, o := range p.Outputs {
+				if v := p.Lo + i; v < n {
+					res.Engine.Outputs[v] = o
+				}
+			}
 		}
 		if out.Algorithm == "" {
 			out.Algorithm = p.Algorithm
@@ -327,5 +429,10 @@ func merge(n, shards int, parts []partialResult) (*Result, error) {
 		return nil, fmt.Errorf("cluster: merged leader list %v is not sorted", out.Leaders)
 	}
 	out.Success = len(out.Leaders) == 1
+	if res.Engine != nil {
+		res.Engine.PerNodeMessages = res.PerNodeMessages
+		res.Engine.Rounds = out.Rounds
+		res.Engine.Metrics = out.Metrics
+	}
 	return res, nil
 }

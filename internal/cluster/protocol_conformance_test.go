@@ -1,0 +1,83 @@
+package cluster
+
+// The generalized keystone contract, enforced over real TCP: any
+// registered engine protocol — the dissemination substrates and the
+// elections run through the generic path — must produce byte-identical
+// output matrices, per-node send counts, and fault counters on a 3-shard
+// loopback cluster and the in-process sim at the same seed, on the
+// perfect plane and under every battery adversary. Excluded from -short:
+// each cell is a full wire-level run.
+
+import (
+	"fmt"
+	"testing"
+
+	"wcle/internal/algo"
+	"wcle/internal/algo/algotest"
+	"wcle/internal/engine"
+	"wcle/internal/graph"
+	"wcle/internal/serve"
+)
+
+// clusterProtocolRunner ships the protocol job over the wire and returns
+// the merged engine report.
+func clusterProtocolRunner(local *Local) algotest.ProtocolRunner {
+	return func(name string, cfg engine.Config, g *graph.Graph, seed int64, debugFrom bool, fault serve.FaultSpec) (*engine.Result, error) {
+		res, err := local.Run(JobSpec{
+			Graph:     explicitSpec(g),
+			Protocol:  name,
+			Engine:    cfg,
+			Seed:      seed,
+			DebugFrom: debugFrom,
+			Fault:     fault,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Engine == nil {
+			return nil, fmt.Errorf("cluster: protocol job came back without an engine report")
+		}
+		return res.Engine, nil
+	}
+}
+
+// explicitProtocolRunner is the parity reference: the in-process sim over
+// the same explicit-edge rebuild the cluster performs, so both sides see
+// the identical port numbering.
+func explicitProtocolRunner(name string, cfg engine.Config, g *graph.Graph, seed int64, debugFrom bool, fault serve.FaultSpec) (*engine.Result, error) {
+	ge, err := explicitSpec(g).Build()
+	if err != nil {
+		return nil, err
+	}
+	return algotest.InProcessProtocolRunner(name, cfg, ge, seed, debugFrom, fault)
+}
+
+func zeroEngineCfg(string, *graph.Graph) engine.Config { return engine.Config{} }
+
+func TestClusterProtocolParityPushPull(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ProtocolParityOn(t, engine.PushPull, zeroEngineCfg, []int64{1},
+		explicitProtocolRunner, clusterProtocolRunner(local))
+}
+
+func TestClusterProtocolParityBFSTree(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ProtocolParityOn(t, engine.BFSTree, zeroEngineCfg, []int64{1},
+		explicitProtocolRunner, clusterProtocolRunner(local))
+}
+
+func TestClusterProtocolParityAggregate(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ProtocolParityOn(t, engine.Aggregate, func(string, *graph.Graph) engine.Config {
+		return engine.Config{Op: "sum"}
+	}, []int64{1}, explicitProtocolRunner, clusterProtocolRunner(local))
+}
+
+// TestClusterProtocolParityElection runs an election backend through the
+// protocol-generic path: the cluster never learns it is an election, yet
+// the engine report must still match the sim cell for cell.
+func TestClusterProtocolParityElection(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ProtocolParityOn(t, algo.GilbertRS18, zeroEngineCfg, []int64{1},
+		explicitProtocolRunner, clusterProtocolRunner(local))
+}

@@ -62,6 +62,20 @@ type node struct {
 
 var _ sim.Process = (*node)(nil)
 
+// Output is the node's election decision vector [leader(0/1),
+// contender(0/1), drawn id (0 when not a contender)] — the engine-level
+// view of the state Collect folds into the richer native Result.
+func (nd *node) Output() []int64 {
+	leader, contender := int64(0), int64(0)
+	if nd.leader {
+		leader = 1
+	}
+	if nd.contender {
+		contender = 1
+	}
+	return []int64{leader, contender, int64(nd.id)}
+}
+
 func newNode(rt *runtime, idx, degree int) *node {
 	pool := &protocol.MsgPool{}
 	ob := protocol.NewOutbox(rt.codec, degree)

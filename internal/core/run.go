@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"wcle/internal/engine"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
 	"wcle/internal/sim"
@@ -87,9 +88,17 @@ type Result struct {
 	ContenderProb     float64
 }
 
-// Run executes one election of the paper's algorithm (or the known-tmix
-// baseline when cfg.FixedWalkLen is set) on g.
-func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
+// Instance is one run's worth of per-node election machines. It implements
+// engine.Instance, so the generic engine (and through it the cluster
+// runtime) can drive the paper's algorithm like any other protocol; Collect
+// folds the machines' final state into the native Result afterwards.
+type Instance struct {
+	rt    *runtime
+	nodes []*node
+}
+
+// Build constructs the per-node machines of one election on g under cfg.
+func Build(g *graph.Graph, cfg Config) (*Instance, error) {
 	believedN := g.N()
 	if cfg.AssumedN > 0 {
 		believedN = cfg.AssumedN
@@ -99,21 +108,51 @@ func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
 		return nil, err
 	}
 	nodes := make([]*node, g.N())
-	procs := make([]sim.Process, g.N())
 	for v := 0; v < g.N(); v++ {
 		nodes[v] = newNode(rt, v, g.Degree(v))
-		procs[v] = nodes[v]
 	}
-	last := rt.sched.numPhases() - 1
+	return &Instance{rt: rt, nodes: nodes}, nil
+}
+
+// Node implements engine.Instance.
+func (i *Instance) Node(v int) engine.Node { return i.nodes[v] }
+
+// Limits implements engine.Instance: the CONGEST cap of the resolved codec
+// and the schedule-derived default round cap.
+func (i *Instance) Limits() engine.Limits {
+	last := i.rt.sched.numPhases() - 1
+	return engine.Limits{
+		MaxMessageBits: i.rt.codec.Cap(),
+		MaxRounds:      i.rt.sched.ends[last] + 2*i.rt.sched.stage[last] + 1000,
+	}
+}
+
+// Collect folds the instance's post-run node state into the native Result.
+func (i *Instance) Collect(metrics sim.Metrics) *Result {
+	return collect(i.nodes, metrics, i.rt)
+}
+
+// Run executes one election of the paper's algorithm (or the known-tmix
+// baseline when cfg.FixedWalkLen is set) on g.
+func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
+	inst, err := Build(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]sim.Process, len(inst.nodes))
+	for v, nd := range inst.nodes {
+		procs[v] = nd
+	}
+	lim := inst.Limits()
 	maxRounds := opts.MaxRounds
 	if maxRounds == 0 {
-		maxRounds = rt.sched.ends[last] + 2*rt.sched.stage[last] + 1000
+		maxRounds = lim.MaxRounds
 	}
 	simCfg := sim.Config{
 		Graph:          g,
 		Seed:           opts.Seed,
 		MaxRounds:      maxRounds,
-		MaxMessageBits: rt.codec.Cap(),
+		MaxMessageBits: lim.MaxMessageBits,
 		MessageBudget:  opts.Budget,
 		Concurrent:     opts.Concurrent,
 		LeanMetrics:    opts.LeanMetrics,
@@ -127,7 +166,7 @@ func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: election run failed: %w", err)
 	}
-	return collect(nodes, metrics, rt), nil
+	return inst.Collect(metrics), nil
 }
 
 func collect(nodes []*node, metrics sim.Metrics, rt *runtime) *Result {

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+
+	"wcle/internal/graph"
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+)
+
+// Aggregate message kinds. JOIN grows the spanning tree, NACK declines a
+// JOIN (the receiver is already attached elsewhere), AGG convergecasts the
+// combined subtree value to the parent, DOWN broadcasts the final result
+// back down the tree.
+const (
+	kindJoin = "agg-join"
+	kindNack = "agg-nack"
+	kindUp   = "agg-up"
+	kindDown = "agg-down"
+)
+
+type aggMsg struct {
+	kind  string
+	value int64
+	bits  int
+}
+
+func (m *aggMsg) Bits() int    { return m.bits }
+func (m *aggMsg) Kind() string { return m.kind }
+
+var _ sim.Message = (*aggMsg)(nil)
+
+// aggNode aggregates a random per-node value over a flooded spanning tree.
+// The invariant that keeps it CONGEST-legal and deterministic: every JOIN a
+// node sends receives exactly one response on that port — a NACK if the
+// receiver is (or simultaneously became) attached elsewhere, or an AGG once
+// the receiver, having attached through this port, resolves its whole
+// subtree. A node whose pending JOIN count hits zero knows its subtree
+// total exactly. Parent choice among same-round JOINs is the lowest port,
+// so it is independent of inbox order.
+type aggNode struct {
+	sizing     protocol.Sizing
+	isRoot     bool
+	valueRange int // values are uniform in [1, valueRange]
+	sum        bool
+
+	started    bool
+	value      int64
+	joined     bool
+	parentPort int
+	pending    int // JOINs sent and not yet answered
+	childPorts []int
+	acc        int64 // combined values of resolved child subtrees
+	sentUp     bool
+	done       bool
+	result     int64
+}
+
+func (nd *aggNode) combine(a, b int64) int64 {
+	if nd.sum {
+		return a + b
+	}
+	if b > a {
+		return b
+	}
+	return a
+}
+
+func (nd *aggNode) valueBits() int {
+	return protocol.FlagBits + nd.sizing.IDBits() + nd.sizing.CountBits()
+}
+
+func (nd *aggNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
+	if !nd.started {
+		nd.started = true
+		nd.value = int64(ctx.Rand().Intn(nd.valueRange)) + 1
+		nd.parentPort = -1
+		if nd.isRoot {
+			nd.joined = true
+			for port := 0; port < ctx.Degree(); port++ {
+				if err := ctx.Send(port, &aggMsg{kind: kindJoin, bits: protocol.FlagBits}); err != nil {
+					return err
+				}
+				nd.pending++
+			}
+			if nd.pending == 0 { // isolated root
+				nd.done = true
+				nd.result = nd.value
+			}
+			return nil
+		}
+	}
+	var joinPorts []int
+	for _, env := range inbox {
+		m, ok := env.Payload.(*aggMsg)
+		if !ok {
+			return fmt.Errorf("engine: aggregate: unexpected message kind %q", env.Payload.Kind())
+		}
+		switch m.kind {
+		case kindJoin:
+			joinPorts = append(joinPorts, env.Port)
+		case kindNack:
+			nd.pending--
+		case kindUp:
+			nd.acc = nd.combine(nd.acc, m.value)
+			nd.childPorts = append(nd.childPorts, env.Port)
+			nd.pending--
+		case kindDown:
+			if !nd.done {
+				nd.done = true
+				nd.result = m.value
+				for _, port := range nd.childPorts {
+					if err := ctx.Send(port, &aggMsg{kind: kindDown, value: m.value, bits: nd.valueBits()}); err != nil {
+						return err
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("engine: aggregate: unexpected agg kind %q", m.kind)
+		}
+	}
+	if len(joinPorts) > 0 {
+		if nd.joined {
+			// Already attached: decline every join.
+			for _, port := range joinPorts {
+				if err := ctx.Send(port, &aggMsg{kind: kindNack, bits: protocol.FlagBits}); err != nil {
+					return err
+				}
+			}
+		} else {
+			// Attach through the lowest joining port; decline the rest and
+			// grow the tree through every port that has not contacted us.
+			nd.joined = true
+			nd.parentPort = joinPorts[0]
+			offered := make(map[int]bool, len(joinPorts))
+			for _, port := range joinPorts {
+				if port < nd.parentPort {
+					nd.parentPort = port
+				}
+				offered[port] = true
+			}
+			for _, port := range joinPorts {
+				if port == nd.parentPort {
+					continue
+				}
+				if err := ctx.Send(port, &aggMsg{kind: kindNack, bits: protocol.FlagBits}); err != nil {
+					return err
+				}
+			}
+			for port := 0; port < ctx.Degree(); port++ {
+				if port == nd.parentPort || offered[port] {
+					continue
+				}
+				if err := ctx.Send(port, &aggMsg{kind: kindJoin, bits: protocol.FlagBits}); err != nil {
+					return err
+				}
+				nd.pending++
+			}
+		}
+	}
+	if nd.joined && nd.pending == 0 && !nd.sentUp && !nd.done {
+		total := nd.combine(nd.value, nd.acc)
+		if nd.isRoot {
+			nd.done = true
+			nd.result = total
+			for _, port := range nd.childPorts {
+				if err := ctx.Send(port, &aggMsg{kind: kindDown, value: total, bits: nd.valueBits()}); err != nil {
+					return err
+				}
+			}
+		} else {
+			nd.sentUp = true
+			if err := ctx.Send(nd.parentPort, &aggMsg{kind: kindUp, value: total, bits: nd.valueBits()}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Output is [drawn value, aggregate result (0 if the run never completed
+// at this node)].
+func (nd *aggNode) Output() []int64 {
+	return []int64{nd.value, nd.result}
+}
+
+// aggregateProto is the registered tree-aggregation protocol.
+type aggregateProto struct {
+	root int
+	op   string
+}
+
+func newAggregate(cfg Config) (Protocol, error) {
+	op := cfg.Op
+	if op == "" {
+		op = "max"
+	}
+	if op != "max" && op != "sum" {
+		return nil, fmt.Errorf("engine: aggregate: unknown op %q (want max or sum)", op)
+	}
+	return &aggregateProto{root: cfg.Root, op: op}, nil
+}
+
+func (p *aggregateProto) Name() string    { return Aggregate }
+func (p *aggregateProto) Slots() []string { return []string{"value", "result"} }
+
+func (p *aggregateProto) Init(g *graph.Graph) (Instance, error) {
+	if p.root < 0 || p.root >= g.N() {
+		return nil, fmt.Errorf("engine: aggregate: root %d out of range", p.root)
+	}
+	sizing, err := protocol.NewSizing(g.N())
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	nodes := make([]*aggNode, n)
+	for v := range nodes {
+		nodes[v] = &aggNode{
+			sizing:     sizing,
+			isRoot:     v == p.root,
+			valueRange: n * n,
+			sum:        p.op == "sum",
+		}
+	}
+	return &aggInstance{
+		nodes: nodes,
+		// Join wave + convergecast + broadcast-down is <= 3 diameters plus
+		// per-hop fault-delay slack.
+		lim: Limits{MaxMessageBits: sizing.CongestCap(), MaxRounds: 4*n + 64},
+	}, nil
+}
+
+type aggInstance struct {
+	nodes []*aggNode
+	lim   Limits
+}
+
+func (i *aggInstance) Node(v int) Node { return i.nodes[v] }
+func (i *aggInstance) Limits() Limits  { return i.lim }

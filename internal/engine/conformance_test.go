@@ -1,0 +1,72 @@
+package engine_test
+
+// Every protocol in the engine registry — the dissemination substrates and
+// the election backends internal/algo registers — goes through the
+// protocol-generic conformance battery: well-formed output matrices,
+// seed-replay determinism, DebugFrom anonymity, conservation on the
+// perfect plane, and fault-plane accounting. This is the in-process half
+// of the generalized keystone contract; internal/cluster runs the same
+// battery (plus cross-plane parity) over loopback TCP.
+
+import (
+	"testing"
+
+	"wcle/internal/algo/algotest"
+	"wcle/internal/engine"
+	"wcle/internal/graph"
+)
+
+// protoCfg supplies per-graph regime knobs, mirroring the election
+// conformance suite: poorly connected graphs legitimately need wider
+// sampling parameters, and the fixed-walk baseline needs a walk long
+// enough to mix on them.
+func protoCfg(protocol string) func(graphName string, g *graph.Graph) engine.Config {
+	return func(graphName string, g *graph.Graph) engine.Config {
+		var cfg engine.Config
+		switch protocol {
+		case "gilbertrs18":
+			switch graphName {
+			case "cycle12":
+				cfg.C1 = 3
+				cfg.MaxWalkLen = 1024
+			case "torus4x4":
+				cfg.MaxWalkLen = 1024
+			}
+		case "gilbertrs18-fixed":
+			switch graphName {
+			case "cycle12", "torus4x4":
+				cfg.FixedTu = 2048
+			}
+		case "kpprt":
+			switch graphName {
+			case "cycle12":
+				cfg.Hops, cfg.Window = 300, 2000
+			case "torus4x4":
+				cfg.Hops = 100
+			}
+		}
+		return cfg
+	}
+}
+
+func TestProtocolConformance(t *testing.T) {
+	for _, name := range engine.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			algotest.ProtocolConformance(t, name, protoCfg(name), []int64{0, 1})
+		})
+	}
+}
+
+func TestProtocolFaultConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault battery across every registered protocol; skipped in -short mode")
+	}
+	for _, name := range engine.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			algotest.ProtocolFaultConformanceOn(t, name, protoCfg(name), []int64{0, 1},
+				algotest.InProcessProtocolRunner)
+		})
+	}
+}

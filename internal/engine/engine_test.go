@@ -1,0 +1,116 @@
+package engine_test
+
+import (
+	"testing"
+
+	"wcle/internal/engine"
+	"wcle/internal/graph"
+)
+
+func mustRun(t *testing.T, name string, cfg engine.Config, g *graph.Graph, seed int64) *engine.Result {
+	t.Helper()
+	p, err := engine.New(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(p, g, engine.Options{Seed: seed, CountSends: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegistryHasBuiltinsAndElections(t *testing.T) {
+	// The engine's own substrates plus the election backends internal/algo
+	// registers at init (imported transitively through algotest here).
+	for _, name := range []string{
+		engine.PushPull, engine.BFSTree, engine.Aggregate,
+		"gilbertrs18", "gilbertrs18-fixed", "floodmax", "kpprt",
+	} {
+		if !engine.Known(name) {
+			t.Fatalf("registry is missing %q (has %v)", name, engine.Names())
+		}
+	}
+}
+
+func TestNewUnknownProtocol(t *testing.T) {
+	if _, err := engine.New("no-such-protocol", engine.Config{}); err == nil {
+		t.Fatal("unknown protocol should fail")
+	}
+}
+
+// TestAggregate checks the tree aggregation end to end: every node must
+// converge on the true aggregate of the drawn values (column 0 of the
+// output matrix holds each node's value, column 1 its result).
+func TestAggregate(t *testing.T) {
+	graphs := map[string]func() (*graph.Graph, error){
+		"clique16": func() (*graph.Graph, error) { return graph.Clique(16, nil) },
+		"cycle12":  func() (*graph.Graph, error) { return graph.Cycle(12, nil) },
+		"torus4x4": func() (*graph.Graph, error) { return graph.Torus2D(4, 4, nil) },
+	}
+	for gname, build := range graphs {
+		for _, op := range []string{"max", "sum"} {
+			t.Run(gname+"/"+op, func(t *testing.T) {
+				g, err := build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := mustRun(t, engine.Aggregate, engine.Config{Op: op}, g, 7)
+				var want int64
+				for _, o := range res.Outputs {
+					if o[0] <= 0 {
+						t.Fatalf("node drew non-positive value %d", o[0])
+					}
+					if op == "sum" {
+						want += o[0]
+					} else if o[0] > want {
+						want = o[0]
+					}
+				}
+				for v, o := range res.Outputs {
+					if o[1] != want {
+						t.Fatalf("node %d reports %s=%d, want %d", v, op, o[1], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAggregateRejectsBadOp(t *testing.T) {
+	if _, err := engine.New(engine.Aggregate, engine.Config{Op: "median"}); err == nil {
+		t.Fatal("unsupported op should fail")
+	}
+}
+
+// TestBFSTreeDepthsMatchBFS cross-checks the protocol's depths against the
+// graph-side BFS distances.
+func TestBFSTreeDepthsMatchBFS(t *testing.T) {
+	g, err := graph.Hypercube(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, engine.BFSTree, engine.Config{Root: 3}, g, 1)
+	dist := graph.BFSDist(g, 3)
+	for v, o := range res.Outputs {
+		if o[0] != 1 {
+			t.Fatalf("node %d did not join", v)
+		}
+		if int(o[2]) != dist[v] {
+			t.Fatalf("node %d depth %d != BFS distance %d", v, o[2], dist[v])
+		}
+	}
+}
+
+// TestPushPullSourceBookkeeping pins the source's output row: informed
+// from round zero.
+func TestPushPullSourceBookkeeping(t *testing.T) {
+	g, err := graph.Clique(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, engine.PushPull, engine.Config{Source: 2, Rumor: 9, Horizon: 40}, g, 5)
+	if res.Outputs[2][0] != 1 || res.Outputs[2][1] != 0 {
+		t.Fatalf("source row = %v, want [1 0]", res.Outputs[2])
+	}
+}

@@ -1,0 +1,149 @@
+package engine
+
+// Wire codecs for the engine's built-in protocol messages, so pushpull,
+// bfstree, and aggregate runs can cross shard boundaries in the cluster
+// runtime exactly like the election backends.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// Wire ids of the engine messages. Part of the wire format: never reuse.
+const (
+	wireRumor   = 7
+	wirePull    = 8
+	wireJoin    = 9
+	wireAggJoin = 10
+	wireAggNack = 11
+	wireAggUp   = 12
+	wireAggDown = 13
+)
+
+// flagOnly builds a codec for a message that carries nothing but its bit
+// size (pull requests, joins, nacks), reconstructed by make.
+func flagOnly(kind string, cast func(m sim.Message) (int, bool), make func(bits int) sim.Message) wire.MsgCodec {
+	return wire.MsgCodec{
+		Kind: kind,
+		Append: func(buf []byte, m sim.Message) ([]byte, error) {
+			bits, ok := cast(m)
+			if !ok {
+				return buf, fmt.Errorf("wire: %s codec got %T", kind, m)
+			}
+			return binary.AppendUvarint(buf, uint64(bits)), nil
+		},
+		Decode: func(b []byte) (sim.Message, error) {
+			bits, b, err := wire.ReadBits(b)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes in %s message", wire.ErrCorrupt, len(b), kind)
+			}
+			return make(bits), nil
+		},
+	}
+}
+
+// aggValue builds the codec for an aggregate message that carries a value
+// (the convergecast total going up, the final result going down).
+func aggValue(kind string) wire.MsgCodec {
+	return wire.MsgCodec{
+		Kind: kind,
+		Append: func(buf []byte, m sim.Message) ([]byte, error) {
+			am, ok := m.(*aggMsg)
+			if !ok || am.kind != kind {
+				return buf, fmt.Errorf("wire: %s codec got %T", kind, m)
+			}
+			buf = binary.AppendVarint(buf, am.value)
+			return binary.AppendUvarint(buf, uint64(am.bits)), nil
+		},
+		Decode: func(b []byte) (sim.Message, error) {
+			value, b, err := wire.ReadVarint(b)
+			if err != nil {
+				return nil, err
+			}
+			bits, b, err := wire.ReadBits(b)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes in %s message", wire.ErrCorrupt, len(b), kind)
+			}
+			return &aggMsg{kind: kind, value: value, bits: bits}, nil
+		},
+	}
+}
+
+func init() {
+	wire.Register(wireRumor, wire.MsgCodec{
+		Kind: kindRumor,
+		Append: func(buf []byte, m sim.Message) ([]byte, error) {
+			gm, ok := m.(*gossipMsg)
+			if !ok || gm.rumor == 0 {
+				return buf, fmt.Errorf("wire: rumor codec got %T", m)
+			}
+			buf = binary.AppendUvarint(buf, uint64(gm.rumor))
+			return binary.AppendUvarint(buf, uint64(gm.bits)), nil
+		},
+		Decode: func(b []byte) (sim.Message, error) {
+			rumor, b, err := wire.ReadUvarint(b)
+			if err != nil {
+				return nil, err
+			}
+			if rumor == 0 {
+				return nil, fmt.Errorf("%w: rumor message with zero rumor", wire.ErrCorrupt)
+			}
+			bits, b, err := wire.ReadBits(b)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes in rumor message", wire.ErrCorrupt, len(b))
+			}
+			return &gossipMsg{rumor: protocol.ID(rumor), bits: bits}, nil
+		},
+	})
+	wire.Register(wirePull, flagOnly(kindPull,
+		func(m sim.Message) (int, bool) {
+			gm, ok := m.(*gossipMsg)
+			if !ok || gm.rumor != 0 {
+				return 0, false
+			}
+			return gm.bits, true
+		},
+		func(bits int) sim.Message { return &gossipMsg{bits: bits} },
+	))
+	wire.Register(wireJoin, flagOnly("join",
+		func(m sim.Message) (int, bool) {
+			jm, ok := m.(*joinMsg)
+			if !ok {
+				return 0, false
+			}
+			return jm.bits, true
+		},
+		func(bits int) sim.Message { return &joinMsg{bits: bits} },
+	))
+	for _, c := range []struct {
+		id   byte
+		kind string
+	}{{wireAggJoin, kindJoin}, {wireAggNack, kindNack}} {
+		kind := c.kind
+		wire.Register(c.id, flagOnly(kind,
+			func(m sim.Message) (int, bool) {
+				am, ok := m.(*aggMsg)
+				if !ok || am.kind != kind {
+					return 0, false
+				}
+				return am.bits, true
+			},
+			func(bits int) sim.Message { return &aggMsg{kind: kind, bits: bits} },
+		))
+	}
+	wire.Register(wireAggUp, aggValue(kindUp))
+	wire.Register(wireAggDown, aggValue(kindDown))
+}

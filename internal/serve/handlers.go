@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 
+	"wcle/internal/algo"
+	"wcle/internal/engine"
 	"wcle/internal/spectral"
 )
 
@@ -65,6 +67,7 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	s.mux.HandleFunc("GET /v1/protocols", s.handleListProtocols)
 	s.mux.HandleFunc("POST /v1/elections", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/elections/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -166,6 +169,23 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 		info.Spectral = prof
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleListProtocols reports the engine's protocol registry: everything
+// runnable through the generic engine, election backends flagged. The
+// slot labels come from a zero-config instantiation; a protocol whose
+// builder rejects the zero Config still lists, just without slots.
+func (s *Server) handleListProtocols(w http.ResponseWriter, r *http.Request) {
+	names := engine.Names()
+	out := make([]ProtocolInfo, 0, len(names))
+	for _, name := range names {
+		info := ProtocolInfo{Name: name, Election: algo.Known(name)}
+		if p, err := engine.New(name, engine.Config{}); err == nil {
+			info.Slots = p.Slots()
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -96,6 +96,27 @@ func promValue(t *testing.T, base, metric string) float64 {
 	return 0
 }
 
+// TestListProtocols: the protocol registry is discoverable over HTTP,
+// election backends flagged apart from the dissemination substrates.
+func TestListProtocols(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var infos []ProtocolInfo
+	code, raw := doJSON(t, "GET", ts.URL+"/v1/protocols", nil, &infos)
+	if code != http.StatusOK || len(infos) < 7 {
+		t.Fatalf("list protocols: %d %s", code, raw)
+	}
+	byName := map[string]ProtocolInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	if p, ok := byName["pushpull"]; !ok || p.Election || len(p.Slots) == 0 {
+		t.Fatalf("pushpull listing wrong: %+v", byName["pushpull"])
+	}
+	if p, ok := byName["gilbertrs18"]; !ok || !p.Election || len(p.Slots) == 0 {
+		t.Fatalf("gilbertrs18 listing wrong: %+v", byName["gilbertrs18"])
+	}
+}
+
 // TestEndToEndElection is the service smoke: register a clique over HTTP,
 // submit a batch, poll to completion, check the unique leader and the
 // summaries, and watch the spectral cache go from cold to hot in /metrics.

@@ -383,6 +383,15 @@ type SubmitResponse struct {
 	Location string `json:"location"`
 }
 
+// ProtocolInfo describes one registered engine protocol: its name, the
+// labels of the per-node output vector it produces, and whether it is an
+// election backend (and so also accepted by POST /v1/elections).
+type ProtocolInfo struct {
+	Name     string   `json:"name"`
+	Slots    []string `json:"slots,omitempty"`
+	Election bool     `json:"election"`
+}
+
 // ErrorResponse is every non-2xx JSON body.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -19,6 +19,9 @@ func TestAllBackendKindsRegistered(t *testing.T) {
 		protocol.KindToken, protocol.KindUp, protocol.KindDown, // gilbertrs18
 		"floodmax",                      // floodmax
 		"kpprt-announce", "kpprt-reply", // kpprt
+		"rumor", "pull", // pushpull
+		"join",                                       // bfstree
+		"agg-join", "agg-nack", "agg-up", "agg-down", // aggregate
 	}
 	kinds := strings.Join(wire.Kinds(), ",")
 	for _, k := range want {

@@ -8,6 +8,7 @@ import (
 	"wcle/internal/broadcast"
 	"wcle/internal/cluster"
 	"wcle/internal/core"
+	"wcle/internal/engine"
 	"wcle/internal/experiments"
 	"wcle/internal/graph"
 	"wcle/internal/protocol"
@@ -39,8 +40,28 @@ type (
 	Table = experiments.Table
 	// BroadcastResult reports a push-pull run.
 	BroadcastResult = broadcast.Result
+	// TreeResult reports a BFS spanning-tree construction.
+	TreeResult = broadcast.TreeResult
 	// FloodMaxResult reports the Omega(m)-class baseline.
 	FloodMaxResult = baseline.FloodMaxResult
+
+	// Protocol is the first-class contract every runtime layer runs: a
+	// named per-node state machine with a declared output vector (see
+	// internal/engine). Elections, broadcast, BFS trees, and aggregations
+	// are all Protocols; Run executes any of them by registry name.
+	Protocol = engine.Protocol
+	// ProtocolConfig is the flat parameter set of the protocol registry
+	// (each protocol reads only its own knobs).
+	ProtocolConfig = engine.Config
+	// ProtocolResult is the protocol-independent report of one run: the
+	// per-node output matrix, per-node send counts, and run accounting.
+	ProtocolResult = engine.Result
+	// ProtocolOptions are the engine-level per-run knobs.
+	ProtocolOptions = engine.Options
+	// ProtocolBatchOptions parameterizes RunMany.
+	ProtocolBatchOptions = engine.BatchOptions
+	// ProtocolBatchResult aggregates a RunMany batch.
+	ProtocolBatchResult = engine.BatchResult
 
 	// FaultPlane is the delivery-plane adversary interface (see
 	// internal/sim): Perfect, Drop, Delay, Crash, CrashSample, or a
@@ -129,6 +150,10 @@ func ComposeFaults(planes ...FaultPlane) FaultPlane { return sim.Compose(planes.
 
 // ElectMany runs many independent elections of cfg on g across a sharded
 // worker pool and aggregates the outcomes (see core.RunMany).
+//
+// Deprecated: use RunMany for the protocol-generic batch, or
+// ElectManyWith for other election backends. ElectMany remains as the
+// core-native batch and keeps its exact behavior.
 func ElectMany(g *Graph, cfg Config, opts BatchOptions) (*BatchResult, error) {
 	return core.RunMany(g, cfg, opts)
 }
@@ -161,17 +186,92 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Algorithms lists the registered election backends (sorted).
 func Algorithms() []string { return algo.Names() }
 
+// Protocols lists every registered protocol (sorted): the election
+// backends plus the dissemination substrates (pushpull, bfstree,
+// aggregate). Any of these names runs through Run, RunMany, and a
+// ClusterJob's Protocol field.
+func Protocols() []string { return engine.Names() }
+
 // DefaultAlgorithm is the backend Elect runs: the paper's algorithm.
 func DefaultAlgorithm() string { return algo.DefaultName }
 
-// Elect runs the paper's implicit leader-election algorithm on g — the
-// default backend of the algo registry; ElectWith selects the others.
-func Elect(g *Graph, cfg Config, opts Options) (*Result, error) {
-	a, err := algo.New(algo.GilbertRS18, algo.Config{Core: cfg})
+// RunReport is the outcome of one Run: the protocol-independent engine
+// report, plus the election summary when the protocol is an election
+// backend.
+type RunReport struct {
+	// Result is the engine-level report: per-node output vectors (labeled
+	// by the protocol's slots), per-node send counts, and run accounting.
+	Result *ProtocolResult
+	// Election is the backend-independent election summary, non-nil
+	// exactly when the protocol is a registered election backend.
+	Election *AlgorithmOutcome
+}
+
+// Run executes any registered protocol by name ("" = the default election
+// backend) on the in-process engine — elections, push-pull broadcast, BFS
+// trees, and aggregations all run through this one entry point, under the
+// same determinism contract: the same (protocol, graph, seed) produce
+// identical outputs and per-node message counts on every delivery plane.
+func Run(protocol string, g *Graph, cfg ProtocolConfig, opts AlgorithmOptions) (*RunReport, error) {
+	if protocol == "" {
+		protocol = algo.DefaultName
+	}
+	p, err := engine.New(protocol, cfg)
 	if err != nil {
 		return nil, err
 	}
-	out, err := a.Run(g, algo.Options{
+	inst, err := p.Init(g)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.RunInstance(p, g, inst, engine.Options{
+		Seed:          opts.Seed,
+		Budget:        opts.Budget,
+		MaxRounds:     opts.MaxRounds,
+		Concurrent:    opts.Concurrent,
+		LeanMetrics:   opts.LeanMetrics,
+		DebugFrom:     opts.DebugFrom,
+		CountSends:    true,
+		Observer:      opts.Observer,
+		Fault:         opts.Fault,
+		FaultObserver: opts.FaultObserver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &RunReport{Result: res}
+	if ep, ok := p.(algo.ElectionProtocol); ok {
+		out, err := ep.Finish(inst, res, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Election = out
+	}
+	return rep, nil
+}
+
+// RunMany runs many independent trials of the named protocol on g across
+// a sharded worker pool, with the same seed-derivation contract as
+// ElectMany (trial i runs at DeriveSeed(Base.Seed, i)).
+func RunMany(protocol string, g *Graph, cfg ProtocolConfig, opts ProtocolBatchOptions) (*ProtocolBatchResult, error) {
+	if protocol == "" {
+		protocol = algo.DefaultName
+	}
+	p, err := engine.New(protocol, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return engine.RunMany(p, g, opts)
+}
+
+// Elect runs the paper's implicit leader-election algorithm on g — the
+// default backend of the algo registry.
+//
+// Deprecated: use Run(DefaultAlgorithm(), ...) (or ElectWith for the
+// backend-native result without the engine report). Elect remains as a
+// thin wrapper and keeps its exact behavior.
+func Elect(g *Graph, cfg Config, opts Options) (*Result, error) {
+	out, err := ElectWith(algo.GilbertRS18, g, AlgorithmConfig{Core: cfg}, AlgorithmOptions{
 		Seed:          opts.Seed,
 		Budget:        opts.Budget,
 		MaxRounds:     opts.MaxRounds,
@@ -189,8 +289,13 @@ func Elect(g *Graph, cfg Config, opts Options) (*Result, error) {
 }
 
 // ElectWith runs one election of the named backend ("" = the default) on
-// g. All three shipped backends — gilbertrs18, floodmax, kpprt — accept
-// the same backend-independent options (seed, budget, fault plane).
+// g with the backend-native configuration union.
+//
+// Deprecated: use Run, which executes the same backends through the
+// protocol-generic engine and additionally reports per-node outputs and
+// send counts. ElectWith remains for callers needing AlgorithmConfig
+// knobs the flat ProtocolConfig cannot express (custom core.Config test
+// hooks).
 func ElectWith(algorithm string, g *Graph, cfg AlgorithmConfig, opts AlgorithmOptions) (*AlgorithmOutcome, error) {
 	a, err := algo.New(algorithm, cfg)
 	if err != nil {
@@ -202,6 +307,9 @@ func ElectWith(algorithm string, g *Graph, cfg AlgorithmConfig, opts AlgorithmOp
 // ElectManyWith runs many independent elections of the named backend on g
 // across a sharded worker pool, with the same seed-derivation contract as
 // ElectMany.
+//
+// Deprecated: use RunMany for the protocol-generic batch; ElectManyWith
+// remains for election-shaped aggregation (leader/success tallies).
 func ElectManyWith(algorithm string, g *Graph, cfg AlgorithmConfig, opts AlgorithmBatchOptions) (*AlgorithmBatchResult, error) {
 	a, err := algo.New(algorithm, cfg)
 	if err != nil {
@@ -238,14 +346,39 @@ func FloodMax(g *Graph, seed int64, horizon int) (*FloodMaxResult, error) {
 	return baseline.FloodMax(g, seed, horizon)
 }
 
-// PushPull spreads a rumor with push-pull (or push-only) gossip for
-// `horizon` rounds.
-func PushPull(g *Graph, source int, rumor ID, seed int64, horizon int, pushOnly bool) (*BroadcastResult, error) {
-	return broadcast.PushPull(g, source, rumor, seed, horizon, pushOnly)
+// PushPullOptions configures one PushPull run. The zero value spreads
+// rumor 1 from node 0 for n rounds of push-pull at seed 0.
+type PushPullOptions struct {
+	// Source is the node that starts with the rumor.
+	Source int
+	// Rumor is the nonzero id being spread (0 defaults to 1) — e.g. the
+	// elected leader's id in the Corollary 14 composition.
+	Rumor ID
+	// Seed drives the random neighbor choices deterministically.
+	Seed int64
+	// Horizon is the number of gossip rounds (0 defaults to n).
+	Horizon int
+	// PushOnly disables pull requests from uninformed nodes.
+	PushOnly bool
+}
+
+// PushPull spreads a rumor with push-pull (or push-only) gossip. It is
+// the "pushpull" registered protocol under a domain-shaped signature;
+// Run(engine's "pushpull", ...) exposes the raw per-node report.
+func PushPull(g *Graph, opts PushPullOptions) (*BroadcastResult, error) {
+	rumor := opts.Rumor
+	if rumor == 0 {
+		rumor = 1
+	}
+	horizon := opts.Horizon
+	if horizon == 0 {
+		horizon = g.N()
+	}
+	return broadcast.PushPull(g, opts.Source, rumor, opts.Seed, horizon, opts.PushOnly)
 }
 
 // BFSTree builds a BFS spanning tree by flooding (Theta(m) messages).
-func BFSTree(g *Graph, root int, seed int64) (*broadcast.TreeResult, error) {
+func BFSTree(g *Graph, root int, seed int64) (*TreeResult, error) {
 	return broadcast.BFSTree(g, root, seed)
 }
 

@@ -119,15 +119,83 @@ func TestPublicBaselines(t *testing.T) {
 	if err != nil || !bt.Complete {
 		t.Fatalf("bfs tree: %v, complete=%v", err, bt.Complete)
 	}
-	pp, err := wcle.PushPull(g, 0, 9, 1, 64, false)
+	pp, err := wcle.PushPull(g, wcle.PushPullOptions{Rumor: 9, Seed: 1, Horizon: 64})
 	if err != nil || !pp.AllInformed {
 		t.Fatalf("push-pull: %v, informed=%d", err, pp.Informed)
 	}
 }
 
+// TestPublicRun: the protocol-generic entry point runs elections and
+// non-election protocols alike, and the election path agrees with the
+// deprecated backend-native route at the same seed.
+func TestPublicRun(t *testing.T) {
+	g, err := wcle.NewRandomRegular(32, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-election protocol: no Election summary, per-node outputs filled.
+	rep, err := wcle.Run("pushpull", g, wcle.ProtocolConfig{Rumor: 9, Horizon: 64}, wcle.AlgorithmOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Election != nil {
+		t.Fatal("pushpull should not produce an election summary")
+	}
+	if len(rep.Result.Outputs) != g.N() || len(rep.Result.PerNodeMessages) != g.N() {
+		t.Fatalf("report shape: %d outputs, %d counts", len(rep.Result.Outputs), len(rep.Result.PerNodeMessages))
+	}
+	for v, o := range rep.Result.Outputs {
+		if len(o) != len(rep.Result.Slots) {
+			t.Fatalf("node %d output %v does not match slots %v", v, o, rep.Result.Slots)
+		}
+	}
+	// Default protocol is the paper's election backend.
+	erep, err := wcle.Run("", g, wcle.ProtocolConfig{}, wcle.AlgorithmOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erep.Election == nil {
+		t.Fatal("election protocol should produce an election summary")
+	}
+	if erep.Result.Protocol != wcle.DefaultAlgorithm() {
+		t.Fatalf("default protocol = %q", erep.Result.Protocol)
+	}
+	old, err := wcle.ElectWith("", g, wcle.AlgorithmConfig{}, wcle.AlgorithmOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erep.Election.Success != old.Success || erep.Election.Rounds != old.Rounds ||
+		erep.Election.Metrics.Messages != old.Metrics.Messages {
+		t.Fatalf("Run vs ElectWith diverged: %+v vs %+v", erep.Election, old)
+	}
+	if _, err := wcle.Run("no-such-protocol", g, wcle.ProtocolConfig{}, wcle.AlgorithmOptions{}); err == nil {
+		t.Fatal("unknown protocol should fail")
+	}
+}
+
+func TestPublicRunMany(t *testing.T) {
+	g, err := wcle.NewClique(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := wcle.RunMany("bfstree", g, wcle.ProtocolConfig{}, wcle.ProtocolBatchOptions{
+		Trials: 4,
+		Base:   wcle.ProtocolOptions{Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Trials != 4 {
+		t.Fatalf("trials = %d", batch.Trials)
+	}
+	if len(wcle.Protocols()) < len(wcle.Algorithms())+3 {
+		t.Fatalf("protocol registry %v missing substrates", wcle.Protocols())
+	}
+}
+
 func TestPublicExperiments(t *testing.T) {
 	ids := wcle.ExperimentIDs()
-	if len(ids) != 21 {
+	if len(ids) != 22 {
 		t.Fatalf("experiment ids = %v", ids)
 	}
 	tab, err := wcle.RunExperiment("E3", 1, true)
