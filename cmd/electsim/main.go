@@ -13,6 +13,8 @@
 //	electsim -graph lb -n 1024 -alpha 0.005
 //	electsim -graph rr -n 128 -drop 0.05 -resend 2
 //	electsim -graph rr -n 128 -crash 0.2@1 -delay 3
+//	electsim -graph rr -n 128 -byz 0.15
+//	electsim -protocol pushpull -graph rr -n 128 -rumor 7 -byz 1,9 -defend
 package main
 
 import (
@@ -99,6 +101,8 @@ func run() error {
 		drop     = flag.Float64("drop", 0, "fault plane: lose each send with this probability")
 		delay    = flag.Int("delay", 0, "fault plane: uniform extra delivery delay in [0, delay] rounds")
 		crash    = flag.String("crash", "", "fault plane: \"frac@round\" (e.g. 0.2@1) or \"node:round,...\"")
+		byz      = flag.String("byz", "", "fault plane: Byzantine adversary, a fraction (\"0.15\") or pinned node list (\"1,9\")")
+		defend   = flag.Bool("defend", false, "protocol mode: wrap the protocol in committee-sampled validation (engine.WithCommittee)")
 		resend   = flag.Int("resend", 0, "retransmit each idempotent protocol message this many extra times")
 	)
 	flag.Parse()
@@ -108,7 +112,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fault, err := buildFault(*drop, *delay, *crash)
+		fault, err := buildFault(*drop, *delay, *crash, *byz)
 		if err != nil {
 			return err
 		}
@@ -119,7 +123,14 @@ func run() error {
 			Horizon: *horizon,
 			Op:      *op,
 			Hops:    *hops,
+			Defend:  *defend,
 		}, wcle.AlgorithmOptions{Seed: *seed, Budget: *budget, Fault: fault})
+	}
+	if *defend {
+		// The committee wrapper lives in the engine path; the election
+		// backends are all engine-registered, so the defended form is one
+		// flag away.
+		return fmt.Errorf("-defend requires protocol mode: rerun with -protocol %s", *algoName)
 	}
 
 	if !algo.Known(*algoName) {
@@ -147,7 +158,7 @@ func run() error {
 	}
 	cfg.Resend = *resend
 	opts := wcle.Options{Seed: *seed, Budget: *budget}
-	fault, err := buildFault(*drop, *delay, *crash)
+	fault, err := buildFault(*drop, *delay, *crash, *byz)
 	if err != nil {
 		return err
 	}
@@ -190,11 +201,11 @@ func run() error {
 		fmt.Printf("algorithm: %s (explicit=%v)\n", out.Algorithm, out.Explicit)
 		fmt.Printf("outcome: leaders=%v success=%v contenders=%d\n", out.Leaders, out.Success, out.Contenders)
 		fmt.Printf("leaderRound=%d totalRounds=%d\n", out.LeaderRound, out.Rounds)
-		fmt.Printf("messages=%d bits=%d dropped=%d lost=%d delayed=%d byKind=%v\n",
+		fmt.Printf("messages=%d bits=%d dropped=%d lost=%d delayed=%d mutated=%d byKind=%v\n",
 			out.Metrics.Messages, out.Metrics.Bits, out.Metrics.Dropped,
-			out.Metrics.FaultDrops, out.Metrics.Delayed, out.Metrics.ByKind)
+			out.Metrics.FaultDrops, out.Metrics.Delayed, out.Metrics.Mutated, out.Metrics.ByKind)
 		if faults != nil {
-			fmt.Printf("faults: lost=%d delayed=%d crashed=%d\n", faults.Drops, faults.Delays, faults.Crashes)
+			fmt.Printf("faults: lost=%d delayed=%d crashed=%d mutated=%d\n", faults.Drops, faults.Delays, faults.Crashes, faults.Mutations)
 		}
 		return nil
 	}
@@ -217,7 +228,7 @@ func run() error {
 	}
 	printResult(res)
 	if faults != nil {
-		fmt.Printf("faults: lost=%d delayed=%d crashed=%d\n", faults.Drops, faults.Delays, faults.Crashes)
+		fmt.Printf("faults: lost=%d delayed=%d crashed=%d mutated=%d\n", faults.Drops, faults.Delays, faults.Crashes, faults.Mutations)
 	}
 	if phaseObs != nil {
 		fmt.Println("per-phase breakdown (tu doubles each phase):")
@@ -241,9 +252,9 @@ func runProtocol(g *wcle.Graph, name string, cfg wcle.ProtocolConfig, opts wcle.
 	res := rep.Result
 	fmt.Printf("graph %s: n=%d m=%d\n", g.Name(), g.N(), g.M())
 	fmt.Printf("protocol: %s slots=%v\n", res.Protocol, res.Slots)
-	fmt.Printf("rounds=%d messages=%d bits=%d dropped=%d lost=%d delayed=%d\n",
+	fmt.Printf("rounds=%d messages=%d bits=%d dropped=%d lost=%d delayed=%d mutated=%d\n",
 		res.Rounds, res.Metrics.Messages, res.Metrics.Bits, res.Metrics.Dropped,
-		res.Metrics.FaultDrops, res.Metrics.Delayed)
+		res.Metrics.FaultDrops, res.Metrics.Delayed, res.Metrics.Mutated)
 	// One line per slot: the [min, max] envelope of that output column.
 	for s, slot := range res.Slots {
 		lo, hi := res.Outputs[0][s], res.Outputs[0][s]
@@ -274,7 +285,7 @@ func runProtocol(g *wcle.Graph, name string, cfg wcle.ProtocolConfig, opts wcle.
 }
 
 // buildFault assembles the run's fault plane from the CLI flags.
-func buildFault(drop float64, delay int, crash string) (wcle.FaultPlane, error) {
+func buildFault(drop float64, delay int, crash, byz string) (wcle.FaultPlane, error) {
 	var planes []wcle.FaultPlane
 	if drop > 0 {
 		planes = append(planes, &wcle.Drop{P: drop})
@@ -289,7 +300,36 @@ func buildFault(drop float64, delay int, crash string) (wcle.FaultPlane, error) 
 		}
 		planes = append(planes, plane)
 	}
+	if byz != "" {
+		plane, err := parseByz(byz)
+		if err != nil {
+			return nil, err
+		}
+		planes = append(planes, plane)
+	}
 	return wcle.ComposeFaults(planes...), nil
+}
+
+// parseByz accepts a fraction in (0, 1) — a seed-sampled adversary
+// minority, recognized by its decimal point — or a comma list of node
+// indices, a pinned adversary set.
+func parseByz(spec string) (wcle.FaultPlane, error) {
+	if strings.Contains(spec, ".") {
+		f, err := strconv.ParseFloat(spec, 64)
+		if err != nil || f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("bad byzantine fraction %q (want 0 < frac < 1, e.g. 0.15)", spec)
+		}
+		return &wcle.Byzantine{Frac: f}, nil
+	}
+	var nodes []int
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad byzantine node %q (want a fraction like 0.15 or a node list \"1,9\")", s)
+		}
+		nodes = append(nodes, v)
+	}
+	return &wcle.Byzantine{Nodes: nodes}, nil
 }
 
 // parseCrash accepts "frac@round" (a sampled crash set) or a comma list of
@@ -328,7 +368,7 @@ func printResult(res *wcle.Result) {
 	fmt.Printf("outcome: leaders=%v success=%v stopped=%d suppressed=%d failed=%d\n",
 		res.Leaders, res.Success, len(res.Stopped), len(res.Suppressed), len(res.Failed))
 	fmt.Printf("phases=%d leaderRound=%d totalRounds=%d\n", res.PhasesUsed, res.LeaderRound, res.Rounds)
-	fmt.Printf("messages=%d bits=%d dropped=%d lost=%d delayed=%d byKind=%v\n",
+	fmt.Printf("messages=%d bits=%d dropped=%d lost=%d delayed=%d mutated=%d byKind=%v\n",
 		res.Metrics.Messages, res.Metrics.Bits, res.Metrics.Dropped,
-		res.Metrics.FaultDrops, res.Metrics.Delayed, res.Metrics.ByKind)
+		res.Metrics.FaultDrops, res.Metrics.Delayed, res.Metrics.Mutated, res.Metrics.ByKind)
 }

@@ -42,7 +42,10 @@
 // Protocols lists the registry; RunMany runs sharded batches. The same
 // contract holds on every delivery plane: same (protocol, graph, seed)
 // produce identical outputs and per-node message counts on the in-process
-// sim and the wire-level TCP cluster, with and without fault planes.
+// sim and the wire-level TCP cluster, with and without fault planes —
+// including the Byzantine plane, whose forged bytes replay identically on
+// both (ProtocolConfig.Defend wraps any protocol in the committee-sampled
+// validation defense).
 // The election-shaped entry points (Elect, ElectWith, ElectMany,
 // ElectManyWith) remain as deprecated thin wrappers:
 //
@@ -59,7 +62,7 @@
 // internal/spectral (mixing times and conductance), internal/protocol
 // (CONGEST message plumbing), internal/broadcast, internal/baseline,
 // internal/lowerbound, internal/serve (the electd service layer), and
-// internal/experiments (the E1-E22 suite described in DESIGN.md, run on a
+// internal/experiments (the E1-E23 suite described in DESIGN.md, run on a
 // parallel worker-pool harness and rendered into EXPERIMENTS.md by
 // cmd/benchsuite). README.md has the CLI quickstart.
 package wcle

@@ -189,4 +189,8 @@ func assertSameFaultOutcome(t *testing.T, seed int64, what string, a, b *algo.Ou
 		t.Fatalf("seed %d: %s diverged on fault accounting: drops %d vs %d, delayed %d vs %d",
 			seed, what, a.Metrics.FaultDrops, b.Metrics.FaultDrops, a.Metrics.Delayed, b.Metrics.Delayed)
 	}
+	if a.Metrics.Mutated != b.Metrics.Mutated {
+		t.Fatalf("seed %d: %s diverged on mutation accounting: %d vs %d",
+			seed, what, a.Metrics.Mutated, b.Metrics.Mutated)
+	}
 }

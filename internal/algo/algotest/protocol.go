@@ -245,7 +245,7 @@ func assertSameProtocolResult(t *testing.T, seed int64, what string, a, b *engin
 	}
 	am, bm := a.Metrics, b.Metrics
 	if am.Messages != bm.Messages || am.Bits != bm.Bits || am.Deliveries != bm.Deliveries ||
-		am.FaultDrops != bm.FaultDrops || am.Delayed != bm.Delayed {
+		am.FaultDrops != bm.FaultDrops || am.Delayed != bm.Delayed || am.Mutated != bm.Mutated {
 		t.Fatalf("seed %d: %s diverged on accounting:\n  a: %+v\n  b: %+v", seed, what, am, bm)
 	}
 }

@@ -84,3 +84,26 @@ func TestFaultConformanceFloodMax(t *testing.T) {
 func TestFaultConformanceKPPRT(t *testing.T) {
 	algotest.FaultConformance(t, algo.KPPRT, defaultCfg, []int64{0, 1, 2})
 }
+
+// The Byzantine battery: the same backends under an active adversary
+// whose every send is mutated in transit (sampled, pinned, and composed
+// with drops). Elections may abort; what must hold is outcome discipline,
+// honest leadership on pinned cases, determinism, anonymity, and the
+// mutation-extended accounting identity.
+
+func TestByzantineConformanceGilbertRS18(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full elections under three adversaries; skipped in -short mode")
+	}
+	algotest.ByzantineConformance(t, algo.GilbertRS18, func(name string, g *graph.Graph) algo.Config {
+		return algo.Config{Core: core.DefaultConfig()}
+	}, []int64{0, 1, 2})
+}
+
+func TestByzantineConformanceFloodMax(t *testing.T) {
+	algotest.ByzantineConformance(t, algo.FloodMax, defaultCfg, []int64{0, 1, 2})
+}
+
+func TestByzantineConformanceKPPRT(t *testing.T) {
+	algotest.ByzantineConformance(t, algo.KPPRT, defaultCfg, []int64{0, 1, 2})
+}

@@ -284,12 +284,18 @@ func (nd *kNode) land(ctx *sim.Context, id protocol.ID, path []int32) {
 
 // reply routes a verdict back along an announcement's recorded path. An
 // empty path means the candidate is this node (a walk that never moved).
+// A recorded port outside this node's degree cannot come from an honest
+// walk (every hop records the port it arrived on); it is a forgery, and
+// the verdict it claims to route is discarded rather than trusted.
 func (nd *kNode) reply(ctx *sim.Context, win bool, path []int32) {
 	if len(path) == 0 {
 		nd.verdict(ctx, win)
 		return
 	}
 	port := int(path[len(path)-1])
+	if port < 0 || port >= len(nd.outq) {
+		return
+	}
 	rest := path[:len(path)-1]
 	nd.enqueue(port, &kReply{win: win, path: rest, bits: nd.p.replyBits(len(rest))})
 }
@@ -354,6 +360,13 @@ func (nd *kNode) Step(ctx *sim.Context, inbox []sim.Envelope) error {
 	for _, env := range inbox {
 		switch m := env.Payload.(type) {
 		case *kAnnounce:
+			// An honest announcement never carries more remaining rounds
+			// than a walk starts with, nor a path longer than the hops it
+			// could have taken; anything else is a forgery and is dropped
+			// (continuing it would walk — and bill — forever).
+			if m.rounds < 0 || m.rounds > nd.p.hops || len(m.path) > nd.p.hops {
+				continue
+			}
 			// Record the way back, then continue the walk from here.
 			m.path = append(m.path, int32(env.Port))
 			nd.stepWalk(ctx, heldWalk{id: m.id, roundsLeft: m.rounds, path: m.path})

@@ -35,7 +35,7 @@ type Result struct {
 
 // FoldPushPull folds a pushpull engine report — in-process or reassembled
 // by the cluster merge — into a Result. Output rows are [informed,
-// informed_at] per engine's "pushpull" protocol.
+// informed_at, rumor] per engine's "pushpull" protocol.
 func FoldPushPull(n int, eres *engine.Result) *Result {
 	res := &Result{Metrics: eres.Metrics, CompletionRound: -1}
 	last := 0

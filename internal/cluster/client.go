@@ -139,6 +139,9 @@ type LocalOptions struct {
 	LegacyBarrier bool
 	// Compress enables threshold-gated flate compression of data frames.
 	Compress bool
+	// NoByzantine negotiates the Byzantine fault-injection capability off;
+	// the session then refuses adversarial job specs.
+	NoByzantine bool
 }
 
 // StartLocal assembles a shards-process-shaped cluster inside this
@@ -154,6 +157,7 @@ func StartLocalWith(shards int, opt LocalOptions) (*Local, error) {
 		Shards:        shards,
 		LegacyBarrier: opt.LegacyBarrier,
 		Compress:      opt.Compress,
+		NoByzantine:   opt.NoByzantine,
 	})
 	if err != nil {
 		return nil, err

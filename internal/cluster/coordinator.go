@@ -32,6 +32,13 @@ type CoordinatorConfig struct {
 	// coordinator/worker CPU for wire bytes, which only pays off on
 	// message-heavy workloads or thin links.
 	Compress bool
+	// NoByzantine negotiates the Byzantine fault-injection capability off
+	// even when every worker advertises it — for wire-compat testing and
+	// for sessions that must refuse adversarial job specs outright. On by
+	// default (subject to the usual AND with worker capabilities): jobs
+	// carrying a byzantine fault spec mutate adversarial sends at dispatch
+	// exactly as the in-process sim does.
+	NoByzantine bool
 }
 
 // Coordinator is shard 0: the bootstrap listener, the barrier's decider,
@@ -91,7 +98,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		ln:       ln,
 		links:    make([]*link, cfg.Shards),
 		caps:     make([]feats, cfg.Shards),
-		ft:       feats{Piggyback: !cfg.LegacyBarrier, Compress: cfg.Compress},
+		ft:       feats{Piggyback: !cfg.LegacyBarrier, Compress: cfg.Compress, Byzantine: !cfg.NoByzantine},
 		ready:    make(chan struct{}),
 		rejoinCh: make(chan rejoinReq, cfg.Shards),
 	}
@@ -159,7 +166,7 @@ func (c *Coordinator) admitWorker(conn net.Conn, f frame) {
 		// A rejoiner must support the session's negotiated features: they
 		// are fixed for the session's lifetime, and a binary that cannot
 		// speak them would corrupt the first barrier it joins.
-		capable := (!ft.Piggyback || h.Piggyback) && (!ft.Compress || h.Compress)
+		capable := (!ft.Piggyback || h.Piggyback) && (!ft.Compress || h.Compress) && (!ft.Byzantine || h.Byzantine)
 		if supervising && dead && h.Proto == proto && h.Addr != "" && capable {
 			l := newLink(h.Shard, conn)
 			l.addr = h.Addr
@@ -186,7 +193,7 @@ func (c *Coordinator) admitWorker(conn net.Conn, f frame) {
 		l := newLink(h.Shard, conn)
 		l.addr = h.Addr
 		c.links[h.Shard] = l
-		c.caps[h.Shard] = feats{Piggyback: h.Piggyback, Compress: h.Compress}
+		c.caps[h.Shard] = feats{Piggyback: h.Piggyback, Compress: h.Compress, Byzantine: h.Byzantine}
 		c.joined++
 		if c.joined == c.cfg.Shards-1 {
 			links := append([]*link(nil), c.links...)
@@ -226,6 +233,7 @@ func (c *Coordinator) finishSetup(links []*link) {
 	for shard := 1; shard < c.cfg.Shards; shard++ {
 		ft.Piggyback = ft.Piggyback && c.caps[shard].Piggyback
 		ft.Compress = ft.Compress && c.caps[shard].Compress
+		ft.Byzantine = ft.Byzantine && c.caps[shard].Byzantine
 	}
 	c.ft = ft
 	c.mu.Unlock()
@@ -237,7 +245,7 @@ func (c *Coordinator) finishSetup(links []*link) {
 	var err error
 	for shard := 1; shard < c.cfg.Shards && err == nil; shard++ {
 		l := links[shard]
-		if e := l.writeJSON(framePeers, peersMsg{Addrs: addrs, Piggyback: ft.Piggyback, Compress: ft.Compress}); e != nil {
+		if e := l.writeJSON(framePeers, peersMsg{Addrs: addrs, Piggyback: ft.Piggyback, Compress: ft.Compress, Byzantine: ft.Byzantine}); e != nil {
 			err = e
 		} else if e := l.flush(); e != nil {
 			err = e
@@ -344,6 +352,12 @@ func (c *Coordinator) elect(spec JobSpec) (*Result, error) {
 	}
 	if err := spec.Fault.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	// A session that negotiated the Byzantine capability off (an old binary
+	// in the cluster, or NoByzantine) must refuse adversarial specs: a
+	// member that cannot mutate sends would silently diverge from the sim.
+	if spec.Fault.Byzantine() && !ft.Byzantine {
+		return nil, fmt.Errorf("cluster: job carries a byzantine fault spec but the session negotiated that capability off")
 	}
 	g0, err := spec.Graph.Build()
 	if err != nil {

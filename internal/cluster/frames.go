@@ -54,13 +54,15 @@ type helloMsg struct {
 	// Addr is the dialer's own listen address (join hellos only; workers
 	// need it in the peer directory so higher shards can dial them).
 	Addr string `json:"addr,omitempty"`
-	// Piggyback and Compress advertise capabilities (join hellos to the
-	// coordinator only). omitempty keeps the frame byte-identical for
-	// binaries that predate the fields — an old worker naturally
-	// advertises neither, and the session negotiates down to the legacy
-	// ready/advance barrier and raw frames.
+	// Piggyback, Compress, and Byzantine advertise capabilities (join
+	// hellos to the coordinator only). omitempty keeps the frame
+	// byte-identical for binaries that predate the fields — an old worker
+	// naturally advertises none, and the session negotiates down to the
+	// legacy ready/advance barrier, raw frames, and omission-only fault
+	// planes.
 	Piggyback bool `json:"piggyback,omitempty"`
 	Compress  bool `json:"compress,omitempty"`
+	Byzantine bool `json:"byzantine,omitempty"`
 }
 
 // peersMsg is the coordinator's shard directory: Addrs[i] is shard i's
@@ -76,6 +78,7 @@ type peersMsg struct {
 	Live      []bool   `json:"live,omitempty"`
 	Piggyback bool     `json:"piggyback,omitempty"`
 	Compress  bool     `json:"compress,omitempty"`
+	Byzantine bool     `json:"byzantine,omitempty"`
 }
 
 // feats are the negotiated per-session features, as announced in the
@@ -87,6 +90,11 @@ type feats struct {
 	// Compress: data frames above the size threshold cross as flate
 	// streams (frameDataZ).
 	Compress bool
+	// Byzantine: every member mutates adversarial sends at dispatch (the
+	// sim.Byzantine frame-mutation path), so jobs carrying a byzantine
+	// fault spec are admissible. A session that negotiated it off rejects
+	// such jobs instead of running them inconsistently.
+	Byzantine bool
 }
 
 // upMsg signals a worker finished its pairwise link setup.

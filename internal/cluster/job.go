@@ -252,6 +252,12 @@ func (c *nodeCounter) OnSend(round, from, fromPort, to, toPort int, m sim.Messag
 // ft carries the session's negotiated features into the plane.
 func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft feats) partialResult {
 	pr := partialResult{Shard: shard, JobID: jobID, LeaderRound: -1}
+	if spec.Fault.Byzantine() && !ft.Byzantine {
+		// The coordinator gates this too; a shard double-checks so a
+		// mixed-version session can never half-run an adversarial job.
+		pr.Err = "cluster: byzantine fault spec on a session without the byzantine capability"
+		return pr
+	}
 	g0, err := spec.Graph.Build()
 	if err != nil {
 		pr.Err = err.Error()
@@ -409,6 +415,7 @@ func merge(n, shards int, parts []partialResult) (*Result, error) {
 		out.Metrics.Dropped += m.Dropped
 		out.Metrics.FaultDrops += m.FaultDrops
 		out.Metrics.Delayed += m.Delayed
+		out.Metrics.Mutated += m.Mutated
 		out.Metrics.Deliveries += m.Deliveries
 		if m.BusyRounds > out.Metrics.BusyRounds {
 			out.Metrics.BusyRounds = m.BusyRounds

@@ -81,3 +81,24 @@ func TestClusterProtocolParityElection(t *testing.T) {
 	algotest.ProtocolParityOn(t, algo.GilbertRS18, zeroEngineCfg, []int64{1},
 		explicitProtocolRunner, clusterProtocolRunner(local))
 }
+
+// Byzantine parity through the engine path: the forged bytes themselves
+// cross the wire, undefended and under the committee defense. The
+// defended variant is the acceptance test for the whole adversarial
+// plane: claim frames, quorum decisions, and the vouch fast path must
+// replay byte-identically over TCP at the same seed.
+
+func TestClusterByzantineProtocolParityPushPull(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ByzantineProtocolParityOn(t, engine.PushPull, zeroEngineCfg, []int64{1},
+		explicitProtocolRunner, clusterProtocolRunner(local))
+}
+
+func TestClusterByzantineProtocolParityDefended(t *testing.T) {
+	local := startConformanceCluster(t)
+	algotest.ByzantineProtocolParityOn(t, engine.PushPull, func(string, *graph.Graph) engine.Config {
+		// The defense stretches every logical round into ~Copies physical
+		// rounds, so the defended run needs a scaled horizon.
+		return engine.Config{Defend: true, Horizon: 400}
+	}, []int64{1}, explicitProtocolRunner, clusterProtocolRunner(local))
+}

@@ -84,7 +84,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		_ = ln.Close()
 		return nil, fmt.Errorf("cluster: joining %s: %w", cfg.Bootstrap, err)
 	}
-	if err := writeJSONFrame(conn, frameHello, helloMsg{Proto: proto, Shard: cfg.Shard, Addr: advertiseAddr(ln, cfg.Listen), Piggyback: true, Compress: true}); err != nil {
+	if err := writeJSONFrame(conn, frameHello, helloMsg{Proto: proto, Shard: cfg.Shard, Addr: advertiseAddr(ln, cfg.Listen), Piggyback: true, Compress: true, Byzantine: true}); err != nil {
 		_ = conn.Close()
 		_ = ln.Close()
 		return nil, err
@@ -451,7 +451,7 @@ func (w *Worker) setup() ([]*link, error) {
 	if err := decodeJSON(f, &peers); err != nil {
 		return nil, err
 	}
-	w.ft = feats{Piggyback: peers.Piggyback, Compress: peers.Compress}
+	w.ft = feats{Piggyback: peers.Piggyback, Compress: peers.Compress, Byzantine: peers.Byzantine}
 	shards := len(peers.Addrs)
 	if w.cfg.Shard >= shards {
 		return nil, fmt.Errorf("cluster: shard id %d outside the %d-shard directory", w.cfg.Shard, shards)

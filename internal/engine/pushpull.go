@@ -111,13 +111,15 @@ func (nd *gossipNode) rumorMsg() *gossipMsg {
 }
 
 // Output is [informed(0/1), round the rumor arrived (0 for the source,
-// meaningless when uninformed)].
+// meaningless when uninformed), the rumor id actually held]. The rumor
+// slot is the integrity witness: under an active adversary a node can be
+// "informed" by a forged rumor, and only the held id tells the two apart.
 func (nd *gossipNode) Output() []int64 {
 	informed := int64(0)
 	if nd.informed {
 		informed = 1
 	}
-	return []int64{informed, int64(nd.informedAt)}
+	return []int64{informed, int64(nd.informedAt), int64(nd.rumor)}
 }
 
 // pushPullProto is the registered push-pull rumor-spreading protocol.
@@ -142,7 +144,7 @@ func newPushPull(cfg Config) (Protocol, error) {
 }
 
 func (p *pushPullProto) Name() string    { return PushPull }
-func (p *pushPullProto) Slots() []string { return []string{"informed", "informed_at"} }
+func (p *pushPullProto) Slots() []string { return []string{"informed", "informed_at", "rumor"} }
 
 func (p *pushPullProto) Init(g *graph.Graph) (Instance, error) {
 	if p.source < 0 || p.source >= g.N() {

@@ -53,6 +53,16 @@ type Config struct {
 	FixedTu int `json:"fixed_tu,omitempty"`
 	Hops    int `json:"hops,omitempty"`
 	Window  int `json:"window,omitempty"`
+
+	// Defend wraps the built protocol in committee-sampled validation
+	// (see WithCommittee): every logical send travels as repeated claim
+	// frames and receivers reject claims without a byte-identical quorum —
+	// the Byzantine defense, available to every registered protocol.
+	Defend bool `json:"defend,omitempty"`
+	// DefendCopies and DefendQuorum tune the defense (0 = defaults: 3
+	// copies, quorum 2).
+	DefendCopies int `json:"defend_copies,omitempty"`
+	DefendQuorum int `json:"defend_quorum,omitempty"`
 }
 
 // Builder constructs a configured protocol.
@@ -98,7 +108,10 @@ func Names() []string {
 	return out
 }
 
-// New builds the named protocol with cfg.
+// New builds the named protocol with cfg, wrapping it in the committee
+// defense when cfg.Defend is set — so every caller that carries a Config
+// (the cluster JobSpec, electd, the CLI) gets the defense without
+// per-protocol plumbing.
 func New(name string, cfg Config) (Protocol, error) {
 	regMu.RLock()
 	b, ok := builders[name]
@@ -106,5 +119,12 @@ func New(name string, cfg Config) (Protocol, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown protocol %q (known: %v)", name, Names())
 	}
-	return b(cfg)
+	p, err := b(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Defend {
+		return WithCommittee(p, CommitteeConfig{Copies: cfg.DefendCopies, Quorum: cfg.DefendQuorum})
+	}
+	return p, nil
 }

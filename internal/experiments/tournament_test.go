@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestTournamentFixture is the golden drift test for the E23 adversary
+// tournament: the raw results JSON of the quick regime at seed 42 must
+// stay byte-identical to the committed fixture. E23 exercises every layer
+// the Byzantine plane touches — seed-sampled adversary sets, wire-level
+// mutation, the committee defense's claim/quorum/vouch machinery, and the
+// deterministic-abort discipline — so any change to mutation stepping,
+// adversary sampling, claim framing, or quorum accounting shows up here
+// as a byte diff before it shows up as a silently different table.
+//
+// Regenerate (only when a semantic change is intended and documented):
+//
+//	go run ./cmd/benchsuite -experiments E23 -quick -seed 42 \
+//	    -json internal/experiments/testdata/tournament_quick.json -render /dev/null
+func TestTournamentFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs the E23 quick regime (~2 s per plane sweep); skipped in -short mode")
+	}
+	want, err := os.ReadFile("testdata/tournament_quick.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SuiteConfig{Seed: 42, Quick: true}
+	res, err := (&Harness{Config: cfg}).Run([]string{"E23"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("E23 raw results JSON diverged from the committed fixture: the Byzantine determinism contract is broken (see test comment)")
+	}
+}
+
+// TestTournamentRender locks the rendered shape of the E23 table: the
+// full backend × family grid is present, the abort label renders, and
+// every cell of a non-abort column carries the ok/trials · msgs form.
+func TestTournamentRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-runs the E23 quick regime; skipped in -short mode")
+	}
+	cfg := SuiteConfig{Seed: 42, Quick: true}
+	tab, err := RunOne(cfg, "E23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "E23" {
+		t.Fatalf("rendered table %q, want E23", tab.ID)
+	}
+	wantRows := len(e23Backends) * len(e23Families)
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("table has %d rows, want %d (backends × families)", len(tab.Rows), wantRows)
+	}
+	wantCols := 3 + len(e23Scenarios())
+	for _, row := range tab.Rows {
+		if len(row) != wantCols {
+			t.Fatalf("row %v has %d cells, want %d", row, len(row), wantCols)
+		}
+		for _, cell := range row[3:] {
+			if cell != "abort" && !strings.Contains(cell, "/") {
+				t.Fatalf("cell %q is neither an ok/trials count nor an abort", cell)
+			}
+		}
+	}
+	md := tab.Markdown()
+	for _, needle := range []string{"byz15+defend", "| cycle |", "gilbertrs18"} {
+		if !strings.Contains(md, needle) {
+			t.Fatalf("rendered table missing %q:\n%s", needle, md)
+		}
+	}
+}

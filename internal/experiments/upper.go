@@ -81,6 +81,8 @@ func buildFamily(family string, n int, seed int64) (*graph.Graph, error) {
 		return graph.Hypercube(dim, rand.New(rand.NewSource(seed)))
 	case "rr8":
 		return graph.RandomRegular(n, 8, rand.New(rand.NewSource(seed)))
+	case "cycle":
+		return graph.Cycle(n, rand.New(rand.NewSource(seed)))
 	case "torus":
 		side := int(math.Round(math.Sqrt(float64(n))))
 		return graph.Torus2D(side, side, rand.New(rand.NewSource(seed)))

@@ -147,11 +147,24 @@ type FaultSpec struct {
 	PartitionFrac float64 `json:"partition_frac,omitempty"`
 	PartitionFrom int     `json:"partition_from,omitempty"`
 	PartitionTo   int     `json:"partition_to,omitempty"`
+	// Byz samples this node fraction as an active (Byzantine) adversary
+	// whose every send is mutated in transit (sim.Byzantine).
+	Byz float64 `json:"byz,omitempty"`
+	// ByzNodes pins the adversary set explicitly and overrides Byz.
+	ByzNodes []int `json:"byz_nodes,omitempty"`
+}
+
+// Byzantine reports whether the spec carries an active adversary — the
+// one capability cluster sessions negotiate separately, since running it
+// on a member that cannot mutate sends would silently diverge from sim.
+func (f FaultSpec) Byzantine() bool {
+	return f.Byz != 0 || len(f.ByzNodes) > 0
 }
 
 // IsZero reports perfect delivery.
 func (f FaultSpec) IsZero() bool {
-	return f.Drop == 0 && f.DelayMax == 0 && f.CrashFrac == 0 && f.PartitionFrac == 0
+	return f.Drop == 0 && f.DelayMax == 0 && f.CrashFrac == 0 && f.PartitionFrac == 0 &&
+		f.Byz == 0 && len(f.ByzNodes) == 0
 }
 
 // Validate rejects nonsense before a job is queued.
@@ -173,6 +186,14 @@ func (f FaultSpec) Validate() error {
 	}
 	if f.PartitionFrom < 0 || f.PartitionTo < 0 {
 		return fmt.Errorf("serve: fault partition rounds [%d,%d) negative", f.PartitionFrom, f.PartitionTo)
+	}
+	if f.Byz < 0 || f.Byz >= 1 {
+		return fmt.Errorf("serve: fault byz %v out of [0,1)", f.Byz)
+	}
+	for _, v := range f.ByzNodes {
+		if v < 0 {
+			return fmt.Errorf("serve: fault byz_nodes contains negative node %d", v)
+		}
 	}
 	return nil
 }
@@ -196,6 +217,9 @@ func (f FaultSpec) Plane() sim.FaultPlane {
 	}
 	if f.PartitionFrac > 0 {
 		planes = append(planes, &sim.Partition{Frac: f.PartitionFrac, From: f.PartitionFrom, To: f.PartitionTo})
+	}
+	if f.Byz > 0 || len(f.ByzNodes) > 0 {
+		planes = append(planes, &sim.Byzantine{Frac: f.Byz, Nodes: f.ByzNodes})
 	}
 	return sim.Compose(planes...)
 }
@@ -232,6 +256,11 @@ func (p PointSpec) Key() string {
 		p.Fault.Drop, p.Fault.DelayMax, p.Fault.CrashFrac, p.Fault.CrashRound)
 	if alg := algo.Resolve(p.Algorithm); alg != algo.DefaultName {
 		key += "|" + alg
+	}
+	// The byzantine component enters the key only when set, so every
+	// pre-existing request replays the exact seeds it always had.
+	if p.Fault.Byz != 0 || len(p.Fault.ByzNodes) > 0 {
+		key += fmt.Sprintf("|b%.6g:%v", p.Fault.Byz, p.Fault.ByzNodes)
 	}
 	return key
 }

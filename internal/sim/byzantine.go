@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"wcle/internal/graph"
+)
+
+// This file is the active-adversary extension of the fault plane: a
+// seed-sampled set of Byzantine nodes whose every send is adversarially
+// mutated in transit. Omission planes (fault.go) decide whether a send
+// arrives; a Mutator additionally decides what arrives. Mutations operate
+// on the message's canonical wire encoding (the internal/wire codec,
+// injected through RegisterMutator so sim never imports wire), which is
+// what makes the adversary identical on the in-process sim and the
+// sharded TCP cluster: both mutate the same bytes with the same
+// sender-keyed randomness, in the same deterministic dispatch order.
+
+// Mutator is the optional fault-plane capability of an active (Byzantine)
+// adversary: Mutate may rewrite a send's payload in transit. It is
+// consulted once per accepted send, in the engine's deterministic apply
+// order, before the omission Fate. The result contract avoids comparing
+// Message interface values (payload types need not be comparable):
+//
+//	out == nil, deliver == true   the send passes untouched
+//	out != nil, deliver == true   out is delivered in place of m
+//	deliver == false              the send is destroyed (a mutation that
+//	                              no longer decodes): a fault drop
+type Mutator interface {
+	FaultPlane
+	Mutate(round, from, to int, m Message) (out Message, deliver bool)
+}
+
+// MutateFunc is the wire-injected mutation codec: encode m canonically,
+// mutate bytes with rng, decode totally. It follows the Mutator result
+// contract: (nil, true) untouched, (m', true) forged, (nil, false)
+// destroyed.
+type MutateFunc func(rng *Rand, m Message) (Message, bool)
+
+// mutateMessage is the registered mutation codec (see RegisterMutator).
+var mutateMessage MutateFunc
+
+// RegisterMutator installs the byte-level mutation codec the Byzantine
+// plane applies to adversarial sends. internal/wire registers its
+// canonical-encoding mutator from init(); importing any package that
+// registers wire codecs (algo, baseline, engine, protocol) links it in.
+func RegisterMutator(f MutateFunc) { mutateMessage = f }
+
+// byzSetStream and byzMutStream are the DeriveSeed sub-streams of the
+// adversary-set sample and the per-sender mutation randomness.
+const (
+	byzSetStream = 0xB1
+	byzMutStream = 0xB2
+)
+
+// Byzantine is the active adversary: a sampled (or pinned) set of nodes
+// whose every send is mutated in transit — equivocation (different
+// neighbors of one adversarial sender receive independently perturbed
+// payloads), forgery (random spans of the encoded payload, where ids and
+// rounds live, are overwritten), and bit corruption. Mutations that no
+// longer decode destroy the message (a fault drop). Only payload bytes
+// are touched — never the envelope's port or sender stamp — so the
+// model's anonymity (Envelope.From == -1 without DebugFrom) is preserved
+// structurally under forgery.
+//
+// Mutation randomness is keyed per sender (senderRands), and the
+// adversary set is a pure function of the Reset seed, so the plane is
+// shard-safe: a sharded cluster run mutates exactly the bytes the
+// in-process sim mutates at the same seed.
+type Byzantine struct {
+	// Frac is the node fraction sampled into the adversary set.
+	Frac float64
+	// Nodes, when non-empty, pins the adversary set explicitly and
+	// overrides Frac. Tests and experiments use it to know the honest
+	// set by construction.
+	Nodes []int
+
+	adv map[int]struct{}
+	r   senderRands
+}
+
+// Reset implements FaultPlane: sample (or adopt) the adversary set and
+// key the per-sender mutation streams.
+func (b *Byzantine) Reset(seed int64, g *graph.Graph) {
+	b.r.reset(DeriveSeed(seed, byzMutStream), g)
+	if len(b.Nodes) > 0 {
+		b.adv = make(map[int]struct{}, len(b.Nodes))
+		for _, v := range b.Nodes {
+			b.adv[v] = struct{}{}
+		}
+		return
+	}
+	n := g.N()
+	k := int(b.Frac * float64(n))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	b.adv = make(map[int]struct{}, k)
+	for _, v := range NewRand(DeriveSeed(seed, byzSetStream)).Perm(n)[:k] {
+		b.adv[v] = struct{}{}
+	}
+}
+
+// Fate implements FaultPlane: the adversary never omits on its own (it
+// composes with Drop/Delay/Crash for that).
+func (b *Byzantine) Fate(int, int, int) (int, bool) { return 0, true }
+
+// Crashed implements FaultPlane: adversarial nodes stay up — lying is
+// their failure mode.
+func (b *Byzantine) Crashed(int, int) bool { return false }
+
+// ShardSafe implements ShardAware: the adversary set is a pure function
+// of the Reset seed and mutation randomness is sender-keyed.
+func (b *Byzantine) ShardSafe() bool { return true }
+
+// Adversaries returns the adversary set in ascending order (valid after
+// Reset). Experiments use it to check an elected leader is honest.
+func (b *Byzantine) Adversaries() []int {
+	out := make([]int, 0, len(b.adv))
+	for v := range b.adv {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsAdversary reports whether node v is in the adversary set (valid
+// after Reset).
+func (b *Byzantine) IsAdversary(v int) bool {
+	_, ok := b.adv[v]
+	return ok
+}
+
+// Mutate implements Mutator: sends from honest nodes pass untouched;
+// every send from an adversary is mutated through the registered codec.
+// Each send draws fresh per-sender randomness, so one adversarial node's
+// simultaneous sends to different neighbors carry independently mutated
+// payloads — equivocation falls out of the stream, not a special case.
+func (b *Byzantine) Mutate(round, from, to int, m Message) (Message, bool) {
+	if _, bad := b.adv[from]; !bad {
+		return nil, true
+	}
+	if mutateMessage == nil {
+		panic("sim: Byzantine plane needs the wire mutation codec; import wcle/internal/wire (or a package that registers wire codecs)")
+	}
+	return mutateMessage(b.r.at(from), m)
+}
+
+// SampleAdversaries returns the adversary set a Byzantine{Frac: frac}
+// plane would sample at the given Reset seed, without building the plane —
+// the honest-set oracle for tests that ship the fraction over the wire.
+func SampleAdversaries(seed int64, n int, frac float64) []int {
+	k := int(frac * float64(n))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	out := append([]int(nil), NewRand(DeriveSeed(seed, byzSetStream)).Perm(n)[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// mutComposite is the composite returned by Compose when at least one
+// member is a Mutator: Fate/Crashed behave like composite, and Mutate
+// chains the mutator members in order. Every mutator is consulted even
+// after one destroys the send, so each member's random stream advances
+// identically whatever the others decide (the Fate convention).
+type mutComposite struct {
+	composite
+	muts []Mutator
+}
+
+// Mutate implements Mutator, threading the (possibly rewritten) payload
+// through each member in order.
+func (c *mutComposite) Mutate(round, from, to int, m Message) (Message, bool) {
+	var cur Message // nil: original m still untouched
+	alive := true
+	for _, mt := range c.muts {
+		in := m
+		if alive && cur != nil {
+			in = cur
+		}
+		out, ok := mt.Mutate(round, from, to, in)
+		if !alive {
+			continue // consulted for stream advance only
+		}
+		if !ok {
+			alive, cur = false, nil
+			continue
+		}
+		if out != nil {
+			cur = out
+		}
+	}
+	return cur, alive
+}
+
+// String renders the plane for error messages.
+func (b *Byzantine) String() string {
+	if len(b.Nodes) > 0 {
+		return fmt.Sprintf("byzantine(nodes=%v)", b.Nodes)
+	}
+	return fmt.Sprintf("byzantine(frac=%g)", b.Frac)
+}

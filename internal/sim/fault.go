@@ -293,7 +293,19 @@ func Compose(planes ...FaultPlane) FaultPlane {
 	case 1:
 		return eff[0]
 	}
-	return &composite{planes: eff}
+	c := composite{planes: eff}
+	var muts []Mutator
+	for _, p := range eff {
+		if mt, ok := p.(Mutator); ok {
+			muts = append(muts, mt)
+		}
+	}
+	if len(muts) > 0 {
+		// Keep the Mutator capability visible through the composition;
+		// omission-only compositions stay on the cheaper type.
+		return &mutComposite{composite: c, muts: muts}
+	}
+	return &c
 }
 
 type composite struct {
@@ -348,9 +360,10 @@ type FaultKind uint8
 
 // Fault event kinds.
 const (
-	FaultDrop  FaultKind = iota // a send was lost
-	FaultDelay                  // a send was delayed beyond one round
-	FaultCrash                  // a node was first observed crashed
+	FaultDrop   FaultKind = iota // a send was lost
+	FaultDelay                   // a send was delayed beyond one round
+	FaultCrash                   // a node was first observed crashed
+	FaultMutate                  // a send's payload was rewritten in transit
 )
 
 // String returns the kind's name.
@@ -362,6 +375,8 @@ func (k FaultKind) String() string {
 		return "delay"
 	case FaultCrash:
 		return "crash"
+	case FaultMutate:
+		return "mutate"
 	default:
 		return "unknown"
 	}

@@ -132,13 +132,17 @@ const faultSeedStream = ^uint64(0) - 0x5EED
 // count accepted sends (the paper's message complexity); Dropped counts
 // sends suppressed by the message budget; FaultDrops and Delayed count the
 // fault plane's interventions (sends it lost — including deliveries to
-// crashed nodes — and sends it delayed beyond one round).
+// crashed nodes — and sends it delayed beyond one round); Mutated counts
+// sends an active adversary rewrote in transit (mutations that destroyed
+// the message are additionally counted in FaultDrops, preserving
+// Messages == Deliveries + FaultDrops at quiescence).
 type Metrics struct {
 	Messages   int64
 	Bits       int64
 	Dropped    int64
 	FaultDrops int64
 	Delayed    int64
+	Mutated    int64
 	Deliveries int64
 	BusyRounds int64
 	FinalRound int
@@ -170,6 +174,9 @@ type Context struct {
 	sentPort []bool
 	out      []stagedSend
 	wakes    []int
+
+	capSend func(port int, m Message) error
+	capWake func(round int)
 }
 
 // Node returns this node's index (used for instrumentation; the protocol
@@ -195,6 +202,11 @@ func (c *Context) Send(port int, m Message) error {
 	if port < 0 || port >= c.Degree() {
 		return fmt.Errorf("%w: node %d port %d out of range [0,%d)", ErrCongest, c.node, port, c.Degree())
 	}
+	if c.capSend != nil {
+		// Captured sends are logical: the capturing wrapper owns the
+		// physical frames (and their CONGEST accounting) itself.
+		return c.capSend(port, m)
+	}
 	if c.sentPort[port] {
 		return fmt.Errorf("%w: node %d sent twice on port %d in round %d", ErrCongest, c.node, port, c.round)
 	}
@@ -212,7 +224,31 @@ func (c *Context) WakeAt(round int) {
 	if round <= c.round {
 		round = c.round + 1
 	}
+	if c.capWake != nil {
+		c.capWake(round)
+		return
+	}
 	c.wakes = append(c.wakes, round)
+}
+
+// Capture reroutes this context's Send and WakeAt calls to the given
+// hooks until the returned restore function runs. A protocol wrapper
+// (engine's committee validation) installs it around the inner
+// protocol's Step so inner sends become logical intents the wrapper
+// re-transmits under its own framing: captured sends skip the per-port
+// CONGEST bookkeeping and the bit cap (the wrapper enforces both on the
+// frames it actually emits), captured wakes arrive pre-clamped to a
+// strictly future round. Either hook may be nil to leave that path
+// un-captured. Captures nest; restore must run before Step returns.
+func (c *Context) Capture(onSend func(port int, m Message) error, onWake func(round int)) (restore func()) {
+	prevSend, prevWake := c.capSend, c.capWake
+	if onSend != nil {
+		c.capSend = onSend
+	}
+	if onWake != nil {
+		c.capWake = onWake
+	}
+	return func() { c.capSend, c.capWake = prevSend, prevWake }
 }
 
 // Runner executes processes on a graph, composing the scheduler, transport
@@ -229,6 +265,7 @@ type Runner struct {
 	sched *scheduler
 	tr    *transport
 	fault FaultPlane
+	mut   Mutator // r.fault's Mutator capability, cached off the hot path
 
 	awake      []int  // reused per-round scratch
 	crashNoted []bool // fault events emitted once per crashed node
@@ -270,6 +307,9 @@ func NewRunner(cfg Config, procs []Process) (*Runner, error) {
 	if r.fault != nil {
 		r.fault.Reset(DeriveSeed(cfg.Seed, faultSeedStream), r.g)
 		r.crashNoted = make([]bool, cfg.Graph.N())
+		if mt, ok := r.fault.(Mutator); ok {
+			r.mut = mt
+		}
 	}
 	for v := range r.ctxs {
 		r.ctxs[v] = &Context{
@@ -531,6 +571,27 @@ func (r *Runner) dispatch(from, fromPort int, payload Message) {
 	}
 	if r.cfg.Observer != nil {
 		r.cfg.Observer.OnSend(r.round, from, fromPort, to, toPort, payload)
+	}
+	// The active adversary rewrites the payload after the send is accounted
+	// (the sender paid message complexity for the original) and before the
+	// omission Fate; a mutation that destroyed the message is a fault drop.
+	if r.mut != nil {
+		forged, deliver := r.mut.Mutate(r.round, from, to, payload)
+		if !deliver {
+			r.metrics.Mutated++
+			r.metrics.FaultDrops++
+			if r.cfg.FaultObserver != nil {
+				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultMutate, Node: to, From: from})
+			}
+			return
+		}
+		if forged != nil {
+			r.metrics.Mutated++
+			if r.cfg.FaultObserver != nil {
+				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultMutate, Node: to, From: from})
+			}
+			payload = forged
+		}
 	}
 	due := r.round + 1
 	if r.fault != nil {

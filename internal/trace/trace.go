@@ -105,15 +105,16 @@ func (kc *KindCounter) OnSend(round int, from, fromPort, to, toPort int, m sim.M
 // FaultLog records the fault plane's interventions: up to Cap events
 // (0 means DefaultCap) plus always-on aggregate counts per kind. Attach it
 // via Config.FaultObserver (or core.RunOptions.FaultObserver) to make a
-// faulty run's drops, delays, and crashes observable.
+// faulty run's drops, delays, crashes, and mutations observable.
 type FaultLog struct {
 	Cap     int
 	Events  []sim.FaultEvent
 	Skipped int64
 
-	Drops   int64
-	Delays  int64
-	Crashes int64
+	Drops     int64
+	Delays    int64
+	Crashes   int64
+	Mutations int64
 }
 
 var _ sim.FaultObserver = (*FaultLog)(nil)
@@ -127,6 +128,8 @@ func (l *FaultLog) OnFault(ev sim.FaultEvent) {
 		l.Delays++
 	case sim.FaultCrash:
 		l.Crashes++
+	case sim.FaultMutate:
+		l.Mutations++
 	}
 	cap := l.Cap
 	if cap == 0 {

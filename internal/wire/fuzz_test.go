@@ -1,9 +1,14 @@
 package wire_test
 
 import (
+	"encoding/binary"
 	"reflect"
 	"testing"
 
+	// Linked for its wire registrations: the built-in protocol codecs and
+	// the committee claim frame (id 14), so the fuzzers cover the
+	// adversarial frame path too.
+	_ "wcle/internal/engine"
 	"wcle/internal/protocol"
 	"wcle/internal/wire"
 )
@@ -53,6 +58,15 @@ func FuzzWireDecode(f *testing.F) {
 	if z, ok := wire.AppendCompressed(nil, make([]byte, 4096)); ok {
 		f.Add(z)
 	}
+	// A committee claim frame (the Byzantine defense's physical message,
+	// wire id 14) wrapping the token message — the adversarial frame path.
+	tok, err := wire.AppendMessage(nil, c.Token(9, 1, 30, 4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	claim := []byte{14, 5, 0, 3} // id, seq=5, idx=0, total=3
+	claim = binary.AppendUvarint(claim, uint64(len(tok)))
+	f.Add(append(claim, tok...))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {

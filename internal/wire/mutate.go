@@ -1,0 +1,74 @@
+package wire
+
+import "wcle/internal/sim"
+
+// This file is the byte half of the Byzantine fault plane (sim.Byzantine):
+// the mutation codec that turns a sim.Message into the forgery an
+// adversarial sender actually transmits. Mutations run on the message's
+// canonical wire encoding — the exact bytes a cluster frame would carry —
+// so the in-process sim and the sharded TCP cluster forge identically, and
+// a mutation that breaks the encoding is detected by the same total
+// decoders that guard real frames: the message is destroyed (a fault
+// drop), never a panic (FuzzByzantineMutate holds the codec to it).
+//
+// The codec reaches the sim through sim.RegisterMutator from init(), so
+// sim never imports wire; any build that registers message codecs links
+// the mutator in.
+
+func init() {
+	sim.RegisterMutator(MutateMessage)
+}
+
+// MutateBytes applies one adversarial mutation to an encoded message
+// (wire id + payload), drawing all randomness from rng, and returns the
+// mutated copy. The wire id byte is preserved — a forged id is just an
+// instant decode failure, while keeping the kind valid lets forged
+// payloads (spoofed ids, rounds, levels) reach protocol logic. Inputs
+// with no payload bytes come back unchanged.
+func MutateBytes(rng *sim.Rand, b []byte) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) <= 1 {
+		return out
+	}
+	body := out[1:]
+	switch rng.Intn(3) {
+	case 0:
+		// Corrupt: flip 1–4 payload bits.
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			body[rng.Intn(len(body))] ^= 1 << uint(rng.Intn(8))
+		}
+	case 1:
+		// Forge: overwrite a random span with random bytes.
+		start := rng.Intn(len(body))
+		span := 1 + rng.Intn(len(body)-start)
+		for i := start; i < start+span; i++ {
+			body[i] = byte(rng.Intn(256))
+		}
+	default:
+		// Spoof: nudge one byte by a small delta — varint-encoded ids and
+		// rounds shift to nearby (often still-decodable) values, the
+		// subtlest equivocation the codec produces.
+		body[rng.Intn(len(body))] += byte(1 + rng.Intn(3))
+	}
+	return out
+}
+
+// MutateMessage is the sim.MutateFunc the Byzantine plane applies to every
+// adversarial send: encode canonically, mutate bytes, decode totally.
+// Following the sim.Mutator contract it returns (forgery, true) when the
+// mutation still decodes, (nil, false) when it destroyed the message, and
+// (nil, true) — untouched — for message kinds with no registered codec
+// (pure in-process types that never cross a wire; one rng draw keeps the
+// sender's stream advancing identically either way).
+func MutateMessage(rng *sim.Rand, m sim.Message) (sim.Message, bool) {
+	enc, err := AppendMessage(nil, m)
+	if err != nil {
+		rng.Int63()
+		return nil, true
+	}
+	out, err := DecodeMessage(MutateBytes(rng, enc))
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}

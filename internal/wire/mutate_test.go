@@ -1,0 +1,154 @@
+package wire_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"wcle/internal/protocol"
+	"wcle/internal/sim"
+	"wcle/internal/wire"
+)
+
+// seedMessages builds one registered message per protocol-package codec
+// for the mutation fuzzers.
+func seedMessages(t interface{ Fatal(...interface{}) }) []sim.Message {
+	c, err := protocol.NewCodec(128, protocol.ModeCongest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := c.Up(42, 3, protocol.UpX1, []protocol.ID{7}, -2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := c.Down(41, 2, protocol.DownFinal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []sim.Message{c.Token(9, 1, 30, 4), up, down}
+}
+
+// FuzzByzantineMutate: the mutation codec is total. Whatever message the
+// adversary starts from and whatever randomness drives it, MutateMessage
+// never panics, and anything it delivers is a decodable, re-encodable
+// message — the Byzantine plane can only inject payloads the wire codec
+// itself accepts, never malformed state.
+func FuzzByzantineMutate(f *testing.F) {
+	for _, m := range seedMessages(f) {
+		enc, err := wire.AppendMessage(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc, int64(1))
+		f.Add(enc, int64(-7))
+	}
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte{14}, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		// The byte op itself: total, length-preserving, id-preserving.
+		mb := wire.MutateBytes(sim.NewRand(seed), data)
+		if len(mb) != len(data) {
+			t.Fatalf("MutateBytes changed length %d -> %d", len(data), len(mb))
+		}
+		if len(data) > 0 && mb[0] != data[0] {
+			t.Fatalf("MutateBytes rewrote the wire id %d -> %d", data[0], mb[0])
+		}
+		m, err := wire.DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		out, ok := wire.MutateMessage(sim.NewRand(seed), m)
+		if !ok {
+			if out != nil {
+				t.Fatal("destroyed mutation returned a message")
+			}
+			return
+		}
+		if out == nil {
+			return // untouched
+		}
+		enc, err := wire.AppendMessage(nil, out)
+		if err != nil {
+			t.Fatalf("delivered forgery does not re-encode: %v", err)
+		}
+		back, err := wire.DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-encoded forgery does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, out) {
+			t.Fatalf("forgery is not canonical: %#v -> %#v", out, back)
+		}
+	})
+}
+
+// TestMutateMessageDeterministic pins the parity-critical property: the
+// same rng state and input message always produce the identical mutation
+// decision and bytes, which is what makes same-seed Byzantine cluster
+// runs byte-identical to the sim.
+func TestMutateMessageDeterministic(t *testing.T) {
+	for _, m := range seedMessages(t) {
+		for seed := int64(0); seed < 16; seed++ {
+			a, okA := wire.MutateMessage(sim.NewRand(seed), m)
+			b, okB := wire.MutateMessage(sim.NewRand(seed), m)
+			if okA != okB || !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d: mutation not deterministic: (%#v,%v) vs (%#v,%v)", seed, a, okA, b, okB)
+			}
+		}
+	}
+}
+
+// TestMutateMessageMutates: over enough draws the codec must actually
+// forge (deliver a message encoding differently from the original) and
+// actually destroy — an adversary that never changes anything defends
+// nothing worth testing.
+func TestMutateMessageMutates(t *testing.T) {
+	m := seedMessages(t)[0]
+	orig, err := wire.AppendMessage(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(11)
+	forged, destroyed := false, false
+	for i := 0; i < 200 && !(forged && destroyed); i++ {
+		out, ok := wire.MutateMessage(rng, m)
+		if !ok {
+			destroyed = true
+			continue
+		}
+		if out == nil {
+			continue
+		}
+		enc, err := wire.AppendMessage(nil, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, orig) {
+			forged = true
+		}
+	}
+	if !forged || !destroyed {
+		t.Fatalf("200 mutation draws produced forged=%v destroyed=%v, want both", forged, destroyed)
+	}
+}
+
+// TestMutateUnregisteredKindPassesThrough: a message type with no wire
+// codec (a purely in-process payload) is passed through untouched — and
+// the rng stream still advances, so planes stay deterministic whichever
+// message kinds a protocol mixes.
+func TestMutateUnregisteredKindPassesThrough(t *testing.T) {
+	rng := sim.NewRand(5)
+	before := rng.Int63()
+	rng = sim.NewRand(5)
+	out, ok := wire.MutateMessage(rng, unregisteredMsg{})
+	if out != nil || !ok {
+		t.Fatalf("unregistered kind should pass through untouched, got (%#v, %v)", out, ok)
+	}
+	if rng.Int63() == before {
+		t.Fatal("mutation of an unregistered kind did not advance the rng stream")
+	}
+}
+
+type unregisteredMsg struct{}
+
+func (unregisteredMsg) Bits() int    { return 8 }
+func (unregisteredMsg) Kind() string { return "mutate-test-unregistered" }

@@ -64,8 +64,8 @@ type (
 	ProtocolBatchResult = engine.BatchResult
 
 	// FaultPlane is the delivery-plane adversary interface (see
-	// internal/sim): Perfect, Drop, Delay, Crash, CrashSample, or a
-	// Compose of them, all seed-deterministic.
+	// internal/sim): Perfect, Drop, Delay, Crash, CrashSample, Partition,
+	// Byzantine, or a Compose of them, all seed-deterministic.
 	FaultPlane = sim.FaultPlane
 	// Drop loses each send independently with probability P.
 	Drop = sim.Drop
@@ -78,6 +78,11 @@ type (
 	// Partition splits the graph into a seed-sampled minority/majority cut
 	// and drops everything crossing it during rounds [From, To).
 	Partition = sim.Partition
+	// Byzantine is the active adversary: a sampled fraction (Frac) or
+	// pinned set (Nodes) of nodes whose every send is mutated in transit —
+	// equivocation, forgery, or bit corruption on the canonical wire
+	// encoding, seed-deterministic like every other plane.
+	Byzantine = sim.Byzantine
 	// BatchOptions parameterizes ElectMany.
 	BatchOptions = core.BatchOptions
 	// BatchResult aggregates an ElectMany batch.
