@@ -5,6 +5,7 @@ import (
 
 	"wcle"
 	"wcle/internal/experiments"
+	"wcle/internal/obs"
 	"wcle/internal/protocol"
 	"wcle/internal/wire"
 )
@@ -78,6 +79,32 @@ func BenchmarkElectClique64(b *testing.B) {
 		msgs = res.Metrics.Messages
 	}
 	b.ReportMetric(float64(msgs), "congest-msgs")
+}
+
+// Tracer overhead: the same expander election with no tracer (the nil
+// fast path every untraced run takes — this must stay indistinguishable
+// from BenchmarkElectExpander128) and with the always-on flight ring the
+// cluster runtimes attach (a bounded mutex push per round span).
+func benchElectTraced(b *testing.B, tr *obs.Tracer) {
+	g, err := wcle.NewRandomRegular(128, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcle.Elect(g, wcle.DefaultConfig(), wcle.Options{Seed: int64(i), Tracer: tr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Emitted()), "trace-events")
+}
+
+func BenchmarkElectTracerDisabled(b *testing.B) {
+	benchElectTraced(b, nil)
+}
+
+func BenchmarkElectTracerFlightRing(b *testing.B) {
+	benchElectTraced(b, obs.New(obs.NewRing(0), 0))
 }
 
 func BenchmarkElectConcurrentEngine(b *testing.B) {

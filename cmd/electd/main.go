@@ -14,6 +14,7 @@
 //	GET  /v1/elections/{id}  job status, deterministic result, timing
 //	GET  /healthz            liveness (503 while draining)
 //	GET  /metrics            Prometheus text ops metrics
+//	GET  /flightz            flight-recorder trace snapshot (NDJSON, electtrace-readable)
 //
 // With -cluster, electd becomes the HTTP face of a wire-level election
 // cluster: every election is dispatched to a running cmd/electnode
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"wcle/internal/cluster"
+	"wcle/internal/obs"
 	"wcle/internal/serve"
 )
 
@@ -67,11 +69,26 @@ func run() error {
 		clusterAddr  = flag.String("cluster", "", "dispatch every election to the wire-level cluster coordinator at this address (see cmd/electnode) instead of running in-process")
 		readyFile    = flag.String("ready-file", "", "write the bound address to this file once listening (for scripts using port 0)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs")
+		traceOut     = flag.String("trace", "", "stream every election's trace events to this NDJSON file (electtrace-readable); the bounded flight recorder at /flightz is always on")
 	)
 	flag.Parse()
 
 	opts := serve.Options{Workers: *workers, QueueCap: *queueCap,
 		ElectionWorkers: *electWorkers, RetainJobs: *retainJobs}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		ws := obs.NewWriterSink(f)
+		opts.TraceSink = ws
+		defer func() {
+			if err := ws.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "electd: trace flush:", err)
+			}
+			f.Close()
+		}()
+	}
 	if *clusterAddr != "" {
 		cl, err := cluster.Dial(*clusterAddr)
 		if err != nil {

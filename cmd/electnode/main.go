@@ -51,6 +51,7 @@ import (
 	"wcle"
 	"wcle/internal/algo"
 	"wcle/internal/cluster"
+	"wcle/internal/obs"
 )
 
 func main() {
@@ -94,6 +95,10 @@ func run() error {
 
 		compress      = flag.Bool("compress", false, "coordinator mode: flate-compress large data frames (negotiated; falls back raw if a worker cannot)")
 		legacyBarrier = flag.Bool("legacy-barrier", false, "coordinator mode: force the frameReady/frameAdvance coordinator star instead of piggybacked round advancement")
+
+		debugAddr  = flag.String("debug-addr", "", "serve ops endpoints (/metrics /healthz /flightz /debug/pprof/) on this address")
+		flightDump = flag.String("flight-dump", "", "dump the flight recorder (NDJSON) to this file on crash, re-election, or SIGQUIT")
+		traceOut   = flag.String("trace", "", "stream this process's trace events to this NDJSON file (coordinator or worker)")
 	)
 	flag.Parse()
 
@@ -116,9 +121,15 @@ func run() error {
 		return err
 	}
 
+	sink, flushSink, err := openTraceSink(*traceOut)
+	if err != nil {
+		return err
+	}
+	defer flushSink()
+
 	switch {
 	case *bootstrap != "":
-		return runWorker(*bootstrap, *shard, *listen)
+		return runWorker(*bootstrap, *shard, *listen, *debugAddr, *flightDump, sink)
 	case *submit != "":
 		res, err := cluster.Submit(*submit, spec)
 		if err != nil {
@@ -129,9 +140,31 @@ func run() error {
 		cfg := cluster.CoordinatorConfig{
 			Listen: *listen, Shards: *shards,
 			Compress: *compress, LegacyBarrier: *legacyBarrier,
+			TraceSink: sink,
 		}
-		return runCoordinator(cfg, *serve, *supervise, *readyFile, spec, *jsonOut)
+		return runCoordinator(cfg, *serve, *supervise, *readyFile, spec, *jsonOut, *debugAddr, *flightDump)
 	}
+}
+
+// openTraceSink opens -trace's NDJSON stream; the returned flush closes
+// it on the way out. A blank path yields a nil sink (tracing still feeds
+// the always-on flight recorder).
+func openTraceSink(path string) (obs.Sink, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-trace: %w", err)
+	}
+	ws := obs.NewWriterSink(f)
+	flush := func() {
+		if err := ws.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "electnode: trace flush: %v\n", err)
+		}
+		f.Close()
+	}
+	return ws, flush, nil
 }
 
 // buildJob assembles the JobSpec from the job flags.
@@ -166,11 +199,18 @@ func buildJob(family string, n, d int, gseed int64, algoName string, seed int64,
 }
 
 // runWorker joins and serves until the session ends.
-func runWorker(bootstrap string, shard int, listen string) error {
-	w, err := cluster.NewWorker(cluster.WorkerConfig{Bootstrap: bootstrap, Shard: shard, Listen: listen})
+func runWorker(bootstrap string, shard int, listen, debugAddr, flightDump string, sink obs.Sink) error {
+	w, err := cluster.NewWorker(cluster.WorkerConfig{Bootstrap: bootstrap, Shard: shard, Listen: listen, TraceSink: sink})
 	if err != nil {
 		return err
 	}
+	m := workerMember(w, shard)
+	if debugAddr != "" {
+		if _, err := startDebugServer(debugAddr, m); err != nil {
+			return err
+		}
+	}
+	watchSIGQUIT(m, flightDump)
 	fmt.Fprintf(os.Stderr, "electnode: shard %d listening on %s, joined %s\n", shard, w.Addr(), bootstrap)
 	done := make(chan error, 1)
 	go func() { done <- w.Run() }()
@@ -180,6 +220,8 @@ func runWorker(bootstrap string, shard int, listen string) error {
 	case err := <-done:
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "electnode: shard %d shut down cleanly\n", shard)
+		} else {
+			dumpFlight(m, flightDump, "crash")
 		}
 		return err
 	case <-sig:
@@ -191,12 +233,19 @@ func runWorker(bootstrap string, shard int, listen string) error {
 // runCoordinator assembles the cluster, then serves submissions (-serve),
 // supervises a leased election (-supervise), or runs the one job described
 // by the flags.
-func runCoordinator(cfg cluster.CoordinatorConfig, serve, supervise bool, readyFile string, spec cluster.JobSpec, jsonOut bool) error {
+func runCoordinator(cfg cluster.CoordinatorConfig, serve, supervise bool, readyFile string, spec cluster.JobSpec, jsonOut bool, debugAddr, flightDump string) error {
 	coord, err := cluster.NewCoordinator(cfg)
 	if err != nil {
 		return err
 	}
 	defer coord.Shutdown()
+	m := coordinatorMember(coord)
+	if debugAddr != "" {
+		if _, err := startDebugServer(debugAddr, m); err != nil {
+			return err
+		}
+	}
+	watchSIGQUIT(m, flightDump)
 	fmt.Fprintf(os.Stderr, "electnode: coordinator of %d shards listening on %s\n", cfg.Shards, coord.Addr())
 	if readyFile != "" {
 		// Write-then-rename so pollers never read a partial address.
@@ -209,7 +258,7 @@ func runCoordinator(cfg cluster.CoordinatorConfig, serve, supervise bool, readyF
 		}
 	}
 	if supervise {
-		return runSupervised(coord, spec)
+		return runSupervised(coord, spec, m, flightDump)
 	}
 	if serve {
 		sig := make(chan os.Signal, 1)
@@ -230,7 +279,7 @@ func runCoordinator(cfg cluster.CoordinatorConfig, serve, supervise bool, readyF
 // runSupervised runs the job under supervision: elect, lease, monitor,
 // re-elect on crashes and rejoins, printing one line per event, until
 // SIGTERM stops the supervision cleanly.
-func runSupervised(coord *cluster.Coordinator, spec cluster.JobSpec) error {
+func runSupervised(coord *cluster.Coordinator, spec cluster.JobSpec, m member, flightDump string) error {
 	sup, err := coord.Supervise(cluster.SuperviseConfig{
 		Spec: spec,
 		OnEvent: func(ev cluster.Event) {
@@ -239,6 +288,7 @@ func runSupervised(coord *cluster.Coordinator, spec cluster.JobSpec) error {
 				fmt.Printf("lease: epoch=%d leader=%d shard=%d\n", ev.Epoch, ev.Leader, ev.LeaderShard)
 			case cluster.EventDeath:
 				fmt.Printf("death: epoch=%d shard=%d err=%v\n", ev.Epoch, ev.Shard, ev.Err)
+				dumpFlight(m, flightDump, "re-election")
 			case cluster.EventRejoin:
 				fmt.Printf("rejoin: epoch=%d shard=%d\n", ev.Epoch, ev.Shard)
 			}

@@ -27,6 +27,7 @@ import (
 	"wcle"
 	"wcle/internal/algo"
 	"wcle/internal/core"
+	"wcle/internal/obs"
 	"wcle/internal/protocol"
 	"wcle/internal/trace"
 )
@@ -104,8 +105,27 @@ func run() error {
 		byz      = flag.String("byz", "", "fault plane: Byzantine adversary, a fraction (\"0.15\") or pinned node list (\"1,9\")")
 		defend   = flag.Bool("defend", false, "protocol mode: wrap the protocol in committee-sampled validation (engine.WithCommittee)")
 		resend   = flag.Int("resend", 0, "retransmit each idempotent protocol message this many extra times")
+		traceOut = flag.String("trace", "", "write a structured trace of the run (NDJSON, electtrace-readable) to this file")
 	)
 	flag.Parse()
+
+	// -trace attaches a strictly observational tracer: the run's outcome
+	// and costs are byte-identical with and without it.
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		ws := obs.NewWriterSink(f)
+		tr = obs.New(ws, 0)
+		defer func() {
+			if err := ws.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "electsim: trace flush: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *protoName != "" {
 		g, err := buildGraph(*family, *n, *d, *alpha, *seed)
@@ -124,7 +144,7 @@ func run() error {
 			Op:      *op,
 			Hops:    *hops,
 			Defend:  *defend,
-		}, wcle.AlgorithmOptions{Seed: *seed, Budget: *budget, Fault: fault})
+		}, wcle.AlgorithmOptions{Seed: *seed, Budget: *budget, Fault: fault, Tracer: tr})
 	}
 	if *defend {
 		// The committee wrapper lives in the engine path; the election
@@ -157,7 +177,7 @@ func run() error {
 		cfg.FixedWalkLen = *fixed
 	}
 	cfg.Resend = *resend
-	opts := wcle.Options{Seed: *seed, Budget: *budget}
+	opts := wcle.Options{Seed: *seed, Budget: *budget, Tracer: tr}
 	fault, err := buildFault(*drop, *delay, *crash, *byz)
 	if err != nil {
 		return err
@@ -194,6 +214,7 @@ func run() error {
 			Observer:      opts.Observer,
 			Fault:         opts.Fault,
 			FaultObserver: opts.FaultObserver,
+			Tracer:        tr,
 		})
 		if err != nil {
 			return err

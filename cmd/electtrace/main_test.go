@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wcle/internal/cluster"
+	"wcle/internal/obs"
+	"wcle/internal/serve"
+)
+
+// TestAnalyzeClusterTrace drives the full path the tool exists for: a real
+// wire-level cluster run over TCP, its flight-recorder events written as
+// NDJSON, read back, and rendered by every analysis mode.
+func TestAnalyzeClusterTrace(t *testing.T) {
+	lc, err := cluster.StartLocal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	spec := cluster.JobSpec{
+		Graph: serve.GraphSpec{Family: "rr", N: 48, D: 8, Seed: 1},
+		Seed:  7,
+	}
+	if _, err := lc.Elect(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := lc.TraceEvents()
+	if len(evs) == 0 {
+		t.Fatal("cluster run produced no trace events")
+	}
+	var wireSpans, jobSpans, kindInstants int
+	for _, ev := range evs {
+		switch {
+		case ev.Cat == "cluster" && ev.Dur > 0:
+			wireSpans++
+		case ev.Cat == "job" && ev.Dur > 0:
+			jobSpans++
+		case ev.Cat == "kind":
+			kindInstants++
+		}
+	}
+	if wireSpans == 0 {
+		t.Error("no cluster wire spans (wire-flush/drain) in the trace")
+	}
+	if jobSpans == 0 {
+		t.Error("no job spans in the trace")
+	}
+	if kindInstants == 0 {
+		t.Error("no per-kind message summaries in the trace")
+	}
+
+	path := filepath.Join(t.TempDir(), "cluster.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteNDJSON(f, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	back, err := obs.ReadNDJSON(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round trip lost events: wrote %d, read %d", len(evs), len(back))
+	}
+
+	// Every renderer must handle a real multi-shard trace without error.
+	if err := waterfall(back, 8); err != nil {
+		t.Errorf("waterfall: %v", err)
+	}
+	if err := critical(back); err != nil {
+		t.Errorf("critical: %v", err)
+	}
+	if err := kinds(back); err != nil {
+		t.Errorf("kinds: %v", err)
+	}
+	chrome := filepath.Join(t.TempDir(), "cluster.json")
+	cf, err := os.Create(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(cf, back); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(chrome); err != nil || st.Size() == 0 {
+		t.Fatalf("chrome export empty: %v", err)
+	}
+}

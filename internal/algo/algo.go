@@ -2,6 +2,7 @@ package algo
 
 import (
 	"wcle/internal/graph"
+	"wcle/internal/obs"
 	"wcle/internal/protocol"
 	"wcle/internal/sim"
 )
@@ -38,6 +39,9 @@ type Options struct {
 	// sim configuration unchanged, which is what makes the cluster
 	// runtime backend-agnostic.
 	Remote sim.RemotePlane
+	// Tracer, when non-nil, records the run's spans and instants
+	// (sim.Config.Tracer); strictly observational.
+	Tracer *obs.Tracer
 }
 
 // Outcome is the backend-independent summary every algorithm reports.

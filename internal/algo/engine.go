@@ -51,6 +51,7 @@ func engineOptions(opts Options, countSends bool) engine.Options {
 		Fault:         opts.Fault,
 		FaultObserver: opts.FaultObserver,
 		Remote:        opts.Remote,
+		Tracer:        opts.Tracer,
 	}
 }
 

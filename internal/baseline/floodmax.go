@@ -5,6 +5,7 @@ import (
 
 	"wcle/internal/engine"
 	"wcle/internal/graph"
+	"wcle/internal/obs"
 	"wcle/internal/protocol"
 	"wcle/internal/sim"
 )
@@ -132,6 +133,9 @@ type Config struct {
 	// Remote, when non-nil, hosts this run's shard of a distributed
 	// election (sim.Config.Remote; see internal/cluster).
 	Remote sim.RemotePlane
+	// Tracer, when non-nil, records the run's spans and instants
+	// (sim.Config.Tracer); strictly observational.
+	Tracer *obs.Tracer
 }
 
 // Instance is one run's worth of FloodMax node machines. It implements
@@ -241,6 +245,7 @@ func Run(g *graph.Graph, cfg Config) (*FloodMaxResult, error) {
 		Fault:          cfg.Fault,
 		FaultObserver:  cfg.FaultObserver,
 		Remote:         cfg.Remote,
+		Tracer:         cfg.Tracer,
 	}, procs)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: floodmax failed: %w", err)

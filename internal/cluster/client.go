@@ -8,10 +8,12 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"wcle/internal/algo"
+	"wcle/internal/obs"
 	"wcle/internal/serve"
 )
 
@@ -122,6 +124,8 @@ func Submit(addr string, spec JobSpec) (*Result, error) {
 type Local struct {
 	Coord *Coordinator
 
+	traceSink obs.Sink // forwarded to restarted workers too
+
 	mu      sync.Mutex
 	workers map[int]*localWorker
 }
@@ -142,6 +146,9 @@ type LocalOptions struct {
 	// NoByzantine negotiates the Byzantine fault-injection capability off;
 	// the session then refuses adversarial job specs.
 	NoByzantine bool
+	// TraceSink, when non-nil, receives every trace event of every shard
+	// (coordinator and workers share it; sinks are concurrency-safe).
+	TraceSink obs.Sink
 }
 
 // StartLocal assembles a shards-process-shaped cluster inside this
@@ -158,11 +165,12 @@ func StartLocalWith(shards int, opt LocalOptions) (*Local, error) {
 		LegacyBarrier: opt.LegacyBarrier,
 		Compress:      opt.Compress,
 		NoByzantine:   opt.NoByzantine,
+		TraceSink:     opt.TraceSink,
 	})
 	if err != nil {
 		return nil, err
 	}
-	l := &Local{Coord: coord, workers: map[int]*localWorker{}}
+	l := &Local{Coord: coord, traceSink: opt.TraceSink, workers: map[int]*localWorker{}}
 	for i := 1; i < shards; i++ {
 		if err := l.startWorker(i); err != nil {
 			l.Close()
@@ -173,7 +181,7 @@ func StartLocalWith(shards int, opt LocalOptions) (*Local, error) {
 }
 
 func (l *Local) startWorker(shard int) error {
-	w, err := NewWorker(WorkerConfig{Bootstrap: l.Coord.Addr(), Shard: shard, Listen: "127.0.0.1:0"})
+	w, err := NewWorker(WorkerConfig{Bootstrap: l.Coord.Addr(), Shard: shard, Listen: "127.0.0.1:0", TraceSink: l.traceSink})
 	if err != nil {
 		return err
 	}
@@ -190,6 +198,21 @@ func (l *Local) Elect(spec JobSpec) (*Result, error) { return l.Coord.Elect(spec
 
 // Run is Elect under its protocol-generic name (see Coordinator.Run).
 func (l *Local) Run(spec JobSpec) (*Result, error) { return l.Coord.Elect(spec) }
+
+// TraceEvents merges every shard's flight-recorder snapshot (coordinator
+// plus all running workers) into one timeline ordered by wall-clock start
+// — the whole-cluster trace an E19-style run leaves behind without any
+// sink configured up front.
+func (l *Local) TraceEvents() []obs.Ev {
+	evs := l.Coord.Flight().Snapshot()
+	l.mu.Lock()
+	for _, lw := range l.workers {
+		evs = append(evs, lw.w.Flight().Snapshot()...)
+	}
+	l.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	return evs
+}
 
 // Kill crashes one worker shard the way a dying process would: every
 // connection and its listener close abruptly, mid-frame if one is in

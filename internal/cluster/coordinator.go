@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wcle/internal/algo"
+	"wcle/internal/obs"
 )
 
 // CoordinatorConfig parameterizes NewCoordinator.
@@ -39,6 +40,13 @@ type CoordinatorConfig struct {
 	// carrying a byzantine fault spec mutate adversarial sends at dispatch
 	// exactly as the in-process sim does.
 	NoByzantine bool
+	// TraceSink, when non-nil, additionally receives every trace event the
+	// coordinator's shard records (the always-on flight recorder gets them
+	// regardless). Tracing is strictly observational: a traced election is
+	// byte-identical to an untraced one at the same seed.
+	TraceSink obs.Sink
+	// FlightCap bounds the flight recorder (0 = obs.DefaultFlightCap).
+	FlightCap int
 }
 
 // Coordinator is shard 0: the bootstrap listener, the barrier's decider,
@@ -46,6 +54,11 @@ type CoordinatorConfig struct {
 type Coordinator struct {
 	cfg CoordinatorConfig
 	ln  net.Listener
+
+	// flight is the always-on bounded flight recorder of shard 0; tracer
+	// tees every event into it (plus cfg.TraceSink when set).
+	flight *obs.Ring
+	tracer *obs.Tracer
 
 	mu       sync.Mutex
 	links    []*link // by shard id; [0] stays nil
@@ -68,7 +81,19 @@ type Coordinator struct {
 	supervising bool
 	rejoinCh    chan rejoinReq
 
+	// stats accumulates shard 0's per-job accounting for the ops surface.
+	statsMu sync.Mutex
+	stats   SessionStats
+
 	shutdownOnce sync.Once
+}
+
+// Stats returns a copy of the coordinator's accumulated session stats
+// (shard 0's own traffic, not the cluster total).
+func (c *Coordinator) Stats() SessionStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
 }
 
 // rejoinReq is one crashed shard announcing itself back to an active
@@ -93,9 +118,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	flight := obs.NewRing(cfg.FlightCap)
 	c := &Coordinator{
 		cfg:      cfg,
 		ln:       ln,
+		flight:   flight,
+		tracer:   obs.New(obs.Tee(flight, cfg.TraceSink), 0),
 		links:    make([]*link, cfg.Shards),
 		caps:     make([]feats, cfg.Shards),
 		ft:       feats{Piggyback: !cfg.LegacyBarrier, Compress: cfg.Compress, Byzantine: !cfg.NoByzantine},
@@ -111,6 +139,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 
 // Addr returns the bound bootstrap address.
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Flight returns the coordinator's always-on flight recorder: the last
+// trace events shard 0 produced, ready to dump on crash or re-election.
+func (c *Coordinator) Flight() *obs.Ring { return c.flight }
+
+// Tracer returns the coordinator's tracer (never nil: the flight
+// recorder is always attached).
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
 
 // acceptLoop admits workers (hello) and clients (submit) until the
 // listener closes.
@@ -395,7 +431,11 @@ func (c *Coordinator) elect(spec JobSpec) (*Result, error) {
 	}
 
 	parts := make([]partialResult, 0, c.cfg.Shards)
-	parts = append(parts, runShard(links, 0, c.cfg.Shards, c.jobID, spec, ft))
+	own := runShard(links, 0, c.cfg.Shards, c.jobID, spec, ft, c.tracer)
+	c.statsMu.Lock()
+	c.stats.addJob(own)
+	c.statsMu.Unlock()
+	parts = append(parts, own)
 	for shard := 1; shard < c.cfg.Shards; shard++ {
 		if !live[shard] {
 			continue

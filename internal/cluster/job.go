@@ -13,6 +13,7 @@ import (
 	"wcle/internal/core"
 	"wcle/internal/engine"
 	"wcle/internal/graph"
+	"wcle/internal/obs"
 	"wcle/internal/protocol"
 	"wcle/internal/serve"
 	"wcle/internal/sim"
@@ -132,13 +133,13 @@ func (s JobSpec) backend() (algo.Algorithm, error) {
 // counts, and on the engine path the output matrix); the election path
 // additionally returns the Outcome. Resolving before the plane exists
 // keeps a bad spec from ever touching the barrier.
-func (s JobSpec) runner() (func(g *graph.Graph, pl *plane) (*algo.Outcome, *engine.Result, error), error) {
+func (s JobSpec) runner() (func(g *graph.Graph, pl *plane, tr *obs.Tracer) (*algo.Outcome, *engine.Result, error), error) {
 	if s.Protocol != "" {
 		p, err := engine.New(s.Protocol, s.Engine)
 		if err != nil {
 			return nil, err
 		}
-		return func(g *graph.Graph, pl *plane) (*algo.Outcome, *engine.Result, error) {
+		return func(g *graph.Graph, pl *plane, tr *obs.Tracer) (*algo.Outcome, *engine.Result, error) {
 			res, err := engine.Run(p, g, engine.Options{
 				Seed:       s.Seed,
 				MaxRounds:  s.MaxRounds,
@@ -146,6 +147,7 @@ func (s JobSpec) runner() (func(g *graph.Graph, pl *plane) (*algo.Outcome, *engi
 				CountSends: true,
 				Fault:      s.Fault.Plane(),
 				Remote:     pl,
+				Tracer:     tr,
 			})
 			return nil, res, err
 		}, nil
@@ -154,13 +156,14 @@ func (s JobSpec) runner() (func(g *graph.Graph, pl *plane) (*algo.Outcome, *engi
 	if err != nil {
 		return nil, err
 	}
-	return func(g *graph.Graph, pl *plane) (*algo.Outcome, *engine.Result, error) {
+	return func(g *graph.Graph, pl *plane, tr *obs.Tracer) (*algo.Outcome, *engine.Result, error) {
 		opts := algo.Options{
 			Seed:      s.Seed,
 			MaxRounds: s.MaxRounds,
 			DebugFrom: s.DebugFrom,
 			Fault:     s.Fault.Plane(),
 			Remote:    pl,
+			Tracer:    tr,
 		}
 		var counter *nodeCounter
 		if algo.Protocol(a) == nil {
@@ -249,8 +252,9 @@ func (c *nodeCounter) OnSend(round, from, fromPort, to, toPort int, m sim.Messag
 // runShard executes one shard's slice of a job. It always returns a
 // partialResult; failures ride in its Err field so the coordinator can
 // merge errors like outcomes. links is indexed by shard id (nil at own);
-// ft carries the session's negotiated features into the plane.
-func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft feats) partialResult {
+// ft carries the session's negotiated features into the plane; tr (nil ok)
+// records the shard's job span and the run's round spans.
+func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft feats, tr *obs.Tracer) partialResult {
 	pr := partialResult{Shard: shard, JobID: jobID, LeaderRound: -1}
 	if spec.Fault.Byzantine() && !ft.Byzantine {
 		// The coordinator gates this too; a shard double-checks so a
@@ -286,8 +290,22 @@ func runShard(links []*link, shard, shards int, jobID int64, spec JobSpec, ft fe
 			jobLinks[s] = l
 		}
 	}
-	pl := newPlane(jobLinks, shard, shards, owner, ft)
-	out, eres, err := run(g, pl)
+	pl := newPlane(jobLinks, shard, shards, owner, ft, tr)
+	jobName := spec.Algorithm
+	if spec.Protocol != "" {
+		jobName = spec.Protocol
+	}
+	if jobName == "" {
+		jobName = "default"
+	}
+	jobSp := tr.Start("job", jobName, -1)
+	jobSp.Arg("job_id", jobID)
+	jobSp.Arg("seed", spec.Seed)
+	jobSp.Arg("nodes", int64(g.N()))
+	out, eres, err := run(g, pl, tr)
+	jobSp.Arg("envelopes", pl.stats.Envelopes)
+	jobSp.Arg("barriers", pl.stats.Barriers)
+	jobSp.End()
 	pr.Wire = pl.stats
 	// A shard's nodes stay contiguous after induced renumbering (members
 	// are ascending and original ranges are contiguous), so Lo + a slice

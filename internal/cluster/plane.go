@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"wcle/internal/obs"
 	"wcle/internal/sim"
 	"wcle/internal/wire"
 )
@@ -136,12 +137,13 @@ type plane struct {
 
 	stats   WireStats
 	aborted bool
+	tr      *obs.Tracer // nil ok: wire-flush/drain spans per barrier
 }
 
 // newPlane builds the shard plane for a graph whose node i is hosted by
 // shard owner[i]. contiguousOwners builds the full-membership default;
 // re-elections after membership loss pass the survivors' owner table.
-func newPlane(links []*link, shard, shards int, owner []int, ft feats) *plane {
+func newPlane(links []*link, shard, shards int, owner []int, ft feats, tr *obs.Tracer) *plane {
 	return &plane{
 		shard:   shard,
 		shards:  shards,
@@ -152,6 +154,7 @@ func newPlane(links []*link, shard, shards int, owner []int, ft feats) *plane {
 		sentMin: -1,
 		ready:   make(chan struct{}, 1),
 		done:    make([]bool, shards),
+		tr:      tr,
 	}
 }
 
@@ -215,10 +218,17 @@ func (p *plane) Barrier(round, localNext int, inject func(due, to int, env sim.E
 		contribution = p.sentMin
 	}
 	p.sentMin = -1
-	if err := p.writeRound(round, contribution); err != nil {
+	framesBefore := p.stats.Frames
+	flushSp := p.tr.Start("cluster", "wire-flush", int64(round))
+	err := p.writeRound(round, contribution)
+	flushSp.Arg("frames", p.stats.Frames-framesBefore)
+	flushSp.End()
+	if err != nil {
 		return 0, p.abort(err)
 	}
+	drainSp := p.tr.Start("cluster", "drain", int64(round))
 	peersNext, injMin, err := p.recvAll(round, inject)
+	drainSp.End()
 	if err != nil {
 		return 0, p.abort(err)
 	}

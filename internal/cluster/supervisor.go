@@ -219,6 +219,17 @@ func (s *Supervision) finish(err error) {
 }
 
 func (s *Supervision) emit(ev Event) {
+	if tr := s.c.tracer; tr.Enabled() {
+		args := map[string]int64{"epoch": int64(ev.Epoch)}
+		switch ev.Kind {
+		case EventLease:
+			args["leader"] = int64(ev.Leader)
+			args["leader_shard"] = int64(ev.LeaderShard)
+		default:
+			args["shard"] = int64(ev.Shard)
+		}
+		tr.Instant("epoch", string(ev.Kind), -1, args)
+	}
 	if s.cfg.OnEvent != nil {
 		s.cfg.OnEvent(ev)
 	}
@@ -268,6 +279,9 @@ func (s *Supervision) run() {
 		spec := s.cfg.Spec
 		spec.Members = members
 		t0 := time.Now()
+		electSp := c.tracer.Start("epoch", "elect", -1)
+		electSp.Arg("epoch", int64(epoch))
+		electSp.Arg("members", int64(len(members)))
 		var res *Result
 		var err error
 		attempts := 0
@@ -279,6 +293,8 @@ func (s *Supervision) run() {
 				break
 			}
 		}
+		electSp.Arg("attempts", int64(attempts))
+		electSp.End()
 		electWall := time.Since(t0)
 		if err != nil {
 			dead := s.deadShards(live)
@@ -493,8 +509,14 @@ func (s *Supervision) monitorLease(live []bool) (leaseEvent, []deadShard) {
 // survivor's ack (draining whatever the dying epoch left queued). It
 // returns the shards that failed to quiesce — dead, for the caller to
 // retire next.
-func (s *Supervision) quiesce(epoch uint64, live []bool, rj *rejoinReq) []deadShard {
+func (s *Supervision) quiesce(epoch uint64, live []bool, rj *rejoinReq) (dead []deadShard) {
 	c := s.c
+	quiesceSp := c.tracer.Start("epoch", "quiesce", -1)
+	quiesceSp.Arg("epoch", int64(epoch))
+	defer func() {
+		quiesceSp.Arg("dead", int64(len(dead)))
+		quiesceSp.End()
+	}()
 	shards := len(live)
 	rejoin := -1
 	var rejoinAddr string
@@ -550,7 +572,6 @@ func (s *Supervision) quiesce(epoch uint64, live []bool, rj *rejoinReq) []deadSh
 			deadSet[rj.shard] = fmt.Errorf("cluster: rejoiner %d reported up as shard %d", rj.shard, up.Shard)
 		}
 	}
-	var dead []deadShard
 	for p := 1; p < shards; p++ {
 		if err, ok := deadSet[p]; ok {
 			dead = append(dead, deadShard{p, err})

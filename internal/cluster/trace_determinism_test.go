@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"wcle/internal/obs"
+	"wcle/internal/serve"
+)
+
+// TestClusterTracerPreservesDeterminism is the wire-plane half of the
+// observability contract (DESIGN.md section 10.1): attaching an extra
+// trace sink to every shard must not perturb the election. A cluster
+// run with an external TraceSink produces the identical leader, rounds,
+// message totals, and per-node send counts as the same spec on a
+// flight-ring-only cluster — and the sink actually sees the run.
+func TestClusterTracerPreservesDeterminism(t *testing.T) {
+	spec := JobSpec{
+		Graph: serve.GraphSpec{Family: "rr", N: 24, D: 6, Seed: 7},
+		Seed:  41,
+	}
+
+	plainCluster, err := StartLocal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plainCluster.Close()
+	plain, err := plainCluster.Elect(spec)
+	if err != nil {
+		t.Fatalf("flight-ring-only cluster elect: %v", err)
+	}
+
+	sink := obs.NewRing(0)
+	tracedCluster, err := StartLocalWith(3, LocalOptions{TraceSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tracedCluster.Close()
+	traced, err := tracedCluster.Elect(spec)
+	if err != nil {
+		t.Fatalf("traced cluster elect: %v", err)
+	}
+
+	if len(sink.Snapshot()) == 0 {
+		t.Fatal("the external trace sink saw nothing; the cluster run was not actually traced")
+	}
+	if len(tracedCluster.TraceEvents()) == 0 {
+		t.Fatal("TraceEvents is empty on the traced cluster")
+	}
+
+	assertOutcomesMatch(t, &plain.Outcome, &traced.Outcome)
+	if !reflect.DeepEqual(plain.PerNodeMessages, traced.PerNodeMessages) {
+		t.Fatalf("per-node send counts diverged with a trace sink attached:\n  plain:  %v\n  traced: %v",
+			plain.PerNodeMessages, traced.PerNodeMessages)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"wcle/internal/obs"
 	"wcle/internal/wire"
 )
 
@@ -37,6 +38,12 @@ type WorkerConfig struct {
 	Listen string
 	// DialTimeout bounds each connection attempt (0 = 10s).
 	DialTimeout time.Duration
+	// TraceSink, when non-nil, additionally receives every trace event
+	// this shard records (the always-on flight recorder gets them
+	// regardless).
+	TraceSink obs.Sink
+	// FlightCap bounds the flight recorder (0 = obs.DefaultFlightCap).
+	FlightCap int
 }
 
 // Worker is one joined shard process.
@@ -44,6 +51,10 @@ type Worker struct {
 	cfg   WorkerConfig
 	ln    net.Listener
 	link0 *link
+	// flight is the shard's always-on flight recorder; tracer tees every
+	// event into it (plus cfg.TraceSink when set).
+	flight *obs.Ring
+	tracer *obs.Tracer
 	// ft holds the session features negotiated by the coordinator, as
 	// announced in the setup directory (owned by the run goroutine).
 	ft feats
@@ -63,6 +74,51 @@ type Worker struct {
 	// heartbeater state (owned by the run goroutine).
 	heartStop chan struct{}
 	heartDone chan struct{}
+
+	// stats accumulates per-job accounting for the ops surface.
+	statsMu sync.Mutex
+	stats   SessionStats
+}
+
+// SessionStats aggregates one cluster member's job accounting across its
+// session: what it put on the wire and what the fault planes did to its
+// shard's traffic. Served by electnode's /metrics.
+type SessionStats struct {
+	// Jobs counts completed job attempts (failed ones included);
+	// JobErrors counts the failed ones.
+	Jobs      int64
+	JobErrors int64
+	// Wire sums this member's shard-local wire traffic.
+	Wire WireStats
+	// Messages/FaultDrops/Delayed/Mutated sum the shard-local sim
+	// accounting of every job.
+	Messages   int64
+	FaultDrops int64
+	Delayed    int64
+	Mutated    int64
+	// BusyRounds sums the busy (stepped) rounds across jobs.
+	BusyRounds int64
+}
+
+// addJob folds one finished shard run into the session stats.
+func (s *SessionStats) addJob(pr partialResult) {
+	s.Jobs++
+	if pr.Err != "" {
+		s.JobErrors++
+	}
+	s.Wire.add(pr.Wire)
+	s.Messages += pr.Metrics.Messages
+	s.FaultDrops += pr.Metrics.FaultDrops
+	s.Delayed += pr.Metrics.Delayed
+	s.Mutated += pr.Metrics.Mutated
+	s.BusyRounds += pr.Metrics.BusyRounds
+}
+
+// Stats returns a copy of the worker's accumulated session stats.
+func (w *Worker) Stats() SessionStats {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.stats
 }
 
 // NewWorker binds the worker's listener and joins the cluster through the
@@ -89,9 +145,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		_ = ln.Close()
 		return nil, err
 	}
+	flight := obs.NewRing(cfg.FlightCap)
 	w := &Worker{
 		cfg:    cfg,
 		ln:     ln,
+		flight: flight,
+		tracer: obs.New(obs.Tee(flight, cfg.TraceSink), cfg.Shard),
 		parked: map[int]*link{},
 		pnote:  make(chan struct{}),
 	}
@@ -144,6 +203,14 @@ func advertiseAddr(ln net.Listener, spec string) string {
 
 // Addr returns the worker's bound listen address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Flight returns the worker's always-on flight recorder: the last trace
+// events this shard produced, ready to dump on crash or SIGQUIT.
+func (w *Worker) Flight() *obs.Ring { return w.flight }
+
+// Tracer returns the worker's tracer (never nil: the flight recorder is
+// always attached).
+func (w *Worker) Tracer() *obs.Tracer { return w.tracer }
 
 // acceptLoop admits inbound peer connections for the whole session. Each
 // accepted hello is parked; setup and the epoch-change handler claim
@@ -255,7 +322,10 @@ func (w *Worker) Run() error {
 			if err := decodeJSON(f, &st); err != nil {
 				return err
 			}
-			pr := runShard(links, w.cfg.Shard, shards, st.JobID, st.Spec, w.ft)
+			pr := runShard(links, w.cfg.Shard, shards, st.JobID, st.Spec, w.ft, w.tracer)
+			w.statsMu.Lock()
+			w.stats.addJob(pr)
+			w.statsMu.Unlock()
 			if err := w.link0.writeJSON(frameResult, pr); err != nil {
 				return err
 			}

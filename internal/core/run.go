@@ -5,6 +5,7 @@ import (
 
 	"wcle/internal/engine"
 	"wcle/internal/graph"
+	"wcle/internal/obs"
 	"wcle/internal/protocol"
 	"wcle/internal/sim"
 )
@@ -40,6 +41,9 @@ type RunOptions struct {
 	// Remote, when non-nil, hosts this run's shard of a distributed
 	// election (sim.Config.Remote; see internal/cluster).
 	Remote sim.RemotePlane
+	// Tracer, when non-nil, records the run's spans and instants
+	// (sim.Config.Tracer); strictly observational.
+	Tracer *obs.Tracer
 }
 
 // Result summarizes one election run.
@@ -161,6 +165,7 @@ func Run(g *graph.Graph, cfg Config, opts RunOptions) (*Result, error) {
 		Observer:       opts.Observer,
 		FaultObserver:  opts.FaultObserver,
 		Remote:         opts.Remote,
+		Tracer:         opts.Tracer,
 	}
 	metrics, err := sim.Run(simCfg, procs)
 	if err != nil {

@@ -142,6 +142,28 @@ func (i *committeeInstance) Node(v int) Node { return i.nodes[v] }
 // Limits implements Instance.
 func (i *committeeInstance) Limits() Limits { return i.lim }
 
+// TraceSummary implements TraceSummarizer: the defense's claim-validation
+// totals across all nodes, folded into the trace at end of run. Purely
+// observational — the counters are written on paths whose control flow is
+// unchanged by their existence.
+func (i *committeeInstance) TraceSummary() (string, map[string]int64) {
+	var delivered, rejected, unconfirmed int64
+	for _, n := range i.nodes {
+		delivered += n.delivered
+		rejected += n.rejected
+		for _, b := range n.recv {
+			if !b.done {
+				unconfirmed++
+			}
+		}
+	}
+	return "committee", map[string]int64{
+		"delivered":   delivered,
+		"rejected":    rejected,
+		"unconfirmed": unconfirmed,
+	}
+}
+
 // claimMsg is the physical frame of the defense: one of Total copies of a
 // logical send, carrying the inner message's canonical wire encoding.
 type claimMsg struct {
@@ -241,6 +263,10 @@ type committeeNode struct {
 	recv    map[portSeq]*claimBucket
 	vouched map[uint64]map[int]struct{} // digest -> confirming committee ports
 	ready   []delivery                  // confirmed, not yet handed to inner
+
+	// Observational validation counters (see TraceSummary).
+	delivered int64 // claims confirmed and handed to the inner protocol
+	rejected  int64 // confirmed claims whose body failed decode, and bad frames
 }
 
 // start samples the committee on first step. Drawing from the node's
@@ -274,6 +300,7 @@ func (n *committeeNode) start(ctx *sim.Context) {
 func (n *committeeNode) ingest(env sim.Envelope) {
 	c, ok := env.Payload.(*claimMsg)
 	if !ok || int(c.Total) != n.cfg.Copies || int(c.Idx) >= n.cfg.Copies {
+		n.rejected++
 		return
 	}
 	key := portSeq{port: env.Port, seq: c.Seq}
@@ -314,8 +341,10 @@ func (n *committeeNode) ingest(env sim.Envelope) {
 	b.done = true
 	msg, err := wire.DecodeMessage(c.Body)
 	if err != nil {
+		n.rejected++
 		return // a quorum of identical garbage still fails total decode
 	}
+	n.delivered++
 	n.ready = append(n.ready, delivery{port: env.Port, seq: c.Seq, from: b.from, msg: msg})
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"wcle/internal/graph"
+	"wcle/internal/obs"
 	"wcle/internal/sim"
 )
 
@@ -101,6 +102,10 @@ type Options struct {
 	// (sim.Config.Remote): only locally hosted nodes step, and only their
 	// outputs are collected.
 	Remote sim.RemotePlane
+	// Tracer, when non-nil, records the run's spans and instants
+	// (sim.Config.Tracer). Strictly observational: a traced run is
+	// byte-identical to an untraced one at the same seed.
+	Tracer *obs.Tracer
 }
 
 // Result is the protocol-independent report of one run.
@@ -120,6 +125,14 @@ type Result struct {
 	Rounds int `json:"rounds"`
 	// Metrics is the sim-level cost accounting of the run.
 	Metrics sim.Metrics `json:"metrics"`
+}
+
+// TraceSummarizer is an optional Instance extension: at end of run,
+// RunInstance emits the returned (name, args) as one instant event in
+// category "engine" when a tracer is attached. Implementations must keep
+// the summary observational — reading it cannot change protocol behavior.
+type TraceSummarizer interface {
+	TraceSummary() (name string, args map[string]int64)
 }
 
 // SendCounter tallies per-node accepted sends through the observer tap.
@@ -175,14 +188,14 @@ func RunInstance(p Protocol, g *graph.Graph, inst Instance, opts Options) (*Resu
 		nodes[v] = inst.Node(v)
 		procs[v] = nodes[v]
 	}
-	obs := opts.Observer
+	observer := opts.Observer
 	var counter *SendCounter
 	if opts.CountSends {
 		counter = &SendCounter{Counts: make([]int64, n)}
-		if obs != nil {
-			obs = teeObserver{a: counter, b: obs}
+		if observer != nil {
+			observer = teeObserver{a: counter, b: observer}
 		} else {
-			obs = counter
+			observer = counter
 		}
 	}
 	metrics, err := sim.Run(sim.Config{
@@ -194,13 +207,20 @@ func RunInstance(p Protocol, g *graph.Graph, inst Instance, opts Options) (*Resu
 		Concurrent:     opts.Concurrent,
 		LeanMetrics:    opts.LeanMetrics,
 		DebugFrom:      opts.DebugFrom,
-		Observer:       obs,
+		Observer:       observer,
 		Fault:          opts.Fault,
 		FaultObserver:  opts.FaultObserver,
 		Remote:         opts.Remote,
+		Tracer:         opts.Tracer,
 	}, procs)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %s run failed: %w", p.Name(), err)
+	}
+	// Instances may fold protocol-internal counters into the trace (the
+	// committee validator reports its claim-validation traffic).
+	if ts, ok := inst.(TraceSummarizer); ok && opts.Tracer.Enabled() {
+		name, args := ts.TraceSummary()
+		opts.Tracer.Instant("engine", name, -1, args)
 	}
 	res := &Result{
 		Protocol: p.Name(),

@@ -1,0 +1,212 @@
+package obs
+
+// Trace export and import: NDJSON (one Ev per line; the flight recorder's
+// dump format and electsim -trace's stream format) and the Chrome
+// trace-event JSON array that chrome://tracing and Perfetto load directly.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// WriteNDJSON writes events one JSON object per line.
+func WriteNDJSON(w io.Writer, evs []Ev) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses an NDJSON trace stream; blank lines are skipped.
+func ReadNDJSON(r io.Reader) ([]Ev, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var out []Ev
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Ev
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriterSink streams each emitted event as one NDJSON line (buffered).
+// electsim -trace uses it; Flush before closing the underlying writer.
+type WriterSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewWriterSink wraps w in a streaming NDJSON sink.
+func NewWriterSink(w io.Writer) *WriterSink {
+	bw := bufio.NewWriter(w)
+	return &WriterSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+var _ Sink = (*WriterSink)(nil)
+
+// Emit implements Sink. The first write error sticks (see Err); later
+// events are discarded.
+func (s *WriterSink) Emit(ev Ev) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(ev)
+	}
+	s.mu.Unlock()
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *WriterSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Err returns the sticky first error.
+func (s *WriterSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// chromeEv is one trace-event object of the Chrome/Perfetto JSON format.
+type chromeEv struct {
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat,omitempty"`
+	Ph    string           `json:"ph"`
+	TS    float64          `json:"ts"` // microseconds
+	Dur   float64          `json:"dur,omitempty"`
+	PID   int              `json:"pid"`
+	TID   int              `json:"tid"`
+	Scope string           `json:"s,omitempty"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts events to the Chrome trace-event JSON array
+// (complete "X" events for spans, "i" instants), loadable by Perfetto and
+// chrome://tracing. Shards map to pids; categories map to per-pid tids
+// with thread_name metadata, so each shard renders as one process with
+// one lane per subsystem. Timestamps are rebased to the earliest event.
+func WriteChromeTrace(w io.Writer, evs []Ev) error {
+	var base int64
+	for i, ev := range evs {
+		if i == 0 || ev.TS < base {
+			base = ev.TS
+		}
+	}
+	// Stable category -> tid mapping across all shards.
+	cats := map[string]int{}
+	var catNames []string
+	for _, ev := range evs {
+		if _, ok := cats[ev.Cat]; !ok {
+			cats[ev.Cat] = 0
+			catNames = append(catNames, ev.Cat)
+		}
+	}
+	sort.Strings(catNames)
+	for i, c := range catNames {
+		cats[c] = i
+	}
+	out := make([]json.RawMessage, 0, len(evs)+len(cats))
+	add := func(ce chromeEv) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		out = append(out, b)
+		return nil
+	}
+	seenPID := map[int]bool{}
+	for _, ev := range evs {
+		seenPID[ev.Shard] = true
+	}
+	for pid := range seenPID {
+		for _, c := range catNames {
+			nameArgs, _ := json.Marshal(struct {
+				Name string `json:"name"`
+			}{Name: c})
+			meta, err := json.Marshal(struct {
+				Name string          `json:"name"`
+				Ph   string          `json:"ph"`
+				PID  int             `json:"pid"`
+				TID  int             `json:"tid"`
+				Args json.RawMessage `json:"args"`
+			}{Name: "thread_name", Ph: "M", PID: pid, TID: cats[c], Args: nameArgs})
+			if err != nil {
+				return err
+			}
+			out = append(out, meta)
+		}
+	}
+	for _, ev := range evs {
+		args := ev.Args
+		if ev.Round >= 0 {
+			args = make(map[string]int64, len(ev.Args)+1)
+			for k, v := range ev.Args {
+				args[k] = v
+			}
+			args["round"] = ev.Round
+		}
+		ce := chromeEv{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			TS:   float64(ev.TS-base) / 1e3,
+			PID:  ev.Shard,
+			TID:  cats[ev.Cat],
+			Args: args,
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.Scope = "t"
+		}
+		if err := add(ce); err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, b := range out {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,183 @@
+// Package obs is the observability spine: structured spans and instant
+// events recorded by every runtime layer (sim rounds, cluster barriers,
+// supervision epochs, fault planes), buffered in bounded flight-recorder
+// rings or streamed as NDJSON, and exportable to Chrome trace-event JSON
+// for Perfetto.
+//
+// The package is deliberately stdlib-only and imports nothing from the
+// rest of the module, so the lowest layers (internal/sim) can depend on it
+// without cycles. Tracing is strictly observational: a tracer only reads
+// wall-clock time and never feeds it back into any scheduling decision,
+// so a traced run stays byte-identical to an untraced one at the same
+// seed — the keystone determinism contract holds with the recorder
+// attached (enforced by test).
+//
+// A nil *Tracer is the disabled tracer: every method is a no-op behind a
+// single nil check, which is what keeps the sim's send/step hot paths
+// cheap when nobody is listening (the disabled-overhead benchmark in
+// bench_test.go gates regressions).
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Ev is one trace record: a completed span (Dur > 0) or an instant event
+// (Dur == 0). The NDJSON export writes one Ev per line.
+type Ev struct {
+	// TS is the event's wall-clock start in nanoseconds since the Unix
+	// epoch. Observational only: no consumer may feed it back into
+	// scheduling.
+	TS int64 `json:"ts"`
+	// Dur is the span's duration in nanoseconds; 0 marks an instant.
+	Dur int64 `json:"dur,omitempty"`
+	// Cat groups events by subsystem: "sim", "cluster", "epoch", "fault",
+	// "kind", "job", ...
+	Cat string `json:"cat"`
+	// Name is the event within its category: "compute", "flush", "drain",
+	// "elect", "death", ...
+	Name string `json:"name"`
+	// Shard is the recording shard (0 in-process / coordinator).
+	Shard int `json:"shard"`
+	// Round is the simulated round the event belongs to (-1 when the
+	// event is not tied to a round: epochs, jobs).
+	Round int64 `json:"round"`
+	// Args carries small integer attributes (counts, node ids, epochs).
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// Sink receives finished events. Implementations must be safe for
+// concurrent Emit calls: one tracer may be shared by the runner goroutine
+// and a supervisor.
+type Sink interface {
+	Emit(Ev)
+}
+
+// Tracer stamps events with its shard id and hands them to its sink. The
+// zero value is unusable; a nil *Tracer is the disabled tracer and every
+// method on it is a cheap no-op.
+type Tracer struct {
+	shard   int
+	sink    Sink
+	emitted atomic.Int64
+}
+
+// New returns a tracer writing to sink. A nil sink yields a nil (disabled)
+// tracer, so callers can thread an optional sink through unconditionally.
+func New(sink Sink, shard int) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{shard: shard, sink: sink}
+}
+
+// Enabled reports whether events are being recorded. The hot-path guard:
+// arg maps and counts should only be built when it returns true.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emitted returns how many events this tracer has recorded.
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted.Load()
+}
+
+// Shard returns the tracer's shard stamp.
+func (t *Tracer) Shard() int {
+	if t == nil {
+		return 0
+	}
+	return t.shard
+}
+
+func (t *Tracer) emit(ev Ev) {
+	ev.Shard = t.shard
+	t.emitted.Add(1)
+	t.sink.Emit(ev)
+}
+
+// Instant records a point event. round is -1 for events not tied to a
+// simulated round; args may be nil.
+func (t *Tracer) Instant(cat, name string, round int64, args map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Ev{TS: time.Now().UnixNano(), Cat: cat, Name: name, Round: round, Args: args})
+}
+
+// Span is an in-flight timed region, created by Start and finished by End.
+// The zero Span (from a disabled tracer) ignores every call.
+type Span struct {
+	t     *Tracer
+	start time.Time
+	cat   string
+	name  string
+	round int64
+	args  map[string]int64
+}
+
+// Start opens a span. On a nil tracer it returns the inert zero Span
+// without reading the clock.
+func (t *Tracer) Start(cat, name string, round int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: time.Now(), cat: cat, name: name, round: round}
+}
+
+// Arg attaches one integer attribute to the span.
+func (s *Span) Arg(k string, v int64) {
+	if s.t == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]int64, 4)
+	}
+	s.args[k] = v
+}
+
+// End closes the span and emits it. Idempotent: a second End is a no-op.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.emit(Ev{
+		TS:    s.start.UnixNano(),
+		Dur:   int64(time.Since(s.start)),
+		Cat:   s.cat,
+		Name:  s.name,
+		Round: s.round,
+		Args:  s.args,
+	})
+	s.t = nil
+}
+
+// tee fans events out to several sinks.
+type tee []Sink
+
+func (t tee) Emit(ev Ev) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// Tee combines sinks; nil members are elided. It returns nil when nothing
+// remains (so New(Tee(), 0) is the disabled tracer) and the sink itself
+// when exactly one remains.
+func Tee(sinks ...Sink) Sink {
+	var out tee
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memSink collects events for assertions.
+type memSink struct {
+	mu  sync.Mutex
+	evs []Ev
+}
+
+func (m *memSink) Emit(ev Ev) {
+	m.mu.Lock()
+	m.evs = append(m.evs, ev)
+	m.mu.Unlock()
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Shard() != 0 || tr.Emitted() != 0 {
+		t.Fatal("nil tracer accessors not zero")
+	}
+	tr.Instant("sim", "x", 1, nil)
+	sp := tr.Start("sim", "compute", 3)
+	sp.Arg("k", 1)
+	sp.End()
+	sp.End() // idempotent on zero span too
+
+	if New(nil, 5) != nil {
+		t.Fatal("New(nil sink) should return nil tracer")
+	}
+	if New(Tee(nil, nil), 5) != nil {
+		t.Fatal("New(Tee of nils) should return nil tracer")
+	}
+}
+
+func TestTracerEmitsStampedEvents(t *testing.T) {
+	sink := &memSink{}
+	tr := New(sink, 7)
+	if !tr.Enabled() {
+		t.Fatal("tracer should be enabled")
+	}
+	tr.Instant("fault", "crash", 12, map[string]int64{"node": 3})
+	sp := tr.Start("sim", "compute", 12)
+	sp.Arg("awake", 9)
+	sp.End()
+	sp.End() // second End must not double-emit
+
+	if got := tr.Emitted(); got != 2 {
+		t.Fatalf("emitted = %d, want 2", got)
+	}
+	if len(sink.evs) != 2 {
+		t.Fatalf("sink has %d events, want 2", len(sink.evs))
+	}
+	in := sink.evs[0]
+	if in.Shard != 7 || in.Cat != "fault" || in.Name != "crash" || in.Round != 12 || in.Dur != 0 {
+		t.Fatalf("instant mis-stamped: %+v", in)
+	}
+	if in.Args["node"] != 3 {
+		t.Fatalf("instant args lost: %+v", in.Args)
+	}
+	span := sink.evs[1]
+	if span.Shard != 7 || span.Cat != "sim" || span.Name != "compute" || span.Round != 12 {
+		t.Fatalf("span mis-stamped: %+v", span)
+	}
+	if span.Args["awake"] != 9 {
+		t.Fatalf("span args lost: %+v", span.Args)
+	}
+	if span.Dur <= 0 {
+		t.Fatalf("span duration not positive: %d", span.Dur)
+	}
+}
+
+func TestTeeFansOutAndElidesNils(t *testing.T) {
+	a, b := &memSink{}, &memSink{}
+	if Tee() != nil {
+		t.Fatal("empty Tee should be nil")
+	}
+	if got := Tee(nil, a, nil); got != Sink(a) {
+		t.Fatal("single-sink Tee should return the sink itself")
+	}
+	tr := New(Tee(a, nil, b), 0)
+	tr.Instant("x", "y", -1, nil)
+	if len(a.evs) != 1 || len(b.evs) != 1 {
+		t.Fatalf("tee fan-out: a=%d b=%d, want 1 each", len(a.evs), len(b.evs))
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Ev{Round: int64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	snap := r.Snapshot()
+	for i, ev := range snap {
+		if want := int64(6 + i); ev.Round != want {
+			t.Fatalf("snapshot[%d].Round = %d, want %d (oldest-first)", i, ev.Round, want)
+		}
+	}
+}
+
+func TestRingDefaultCap(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < DefaultFlightCap+10; i++ {
+		r.Emit(Ev{Round: int64(i)})
+	}
+	if r.Len() != DefaultFlightCap {
+		t.Fatalf("len = %d, want %d", r.Len(), DefaultFlightCap)
+	}
+	if r.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", r.Dropped())
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Emit(Ev{Shard: g, Round: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("len = %d, want 64", r.Len())
+	}
+	if got := r.Dropped(); got != 8*200-64 {
+		t.Fatalf("dropped = %d, want %d", got, 8*200-64)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	evs := []Ev{
+		{TS: 100, Dur: 50, Cat: "sim", Name: "compute", Shard: 1, Round: 3, Args: map[string]int64{"awake": 4}},
+		{TS: 160, Cat: "fault", Name: "drop", Shard: 2, Round: 3},
+		{TS: 200, Dur: 10, Cat: "cluster", Name: "drain", Shard: 1, Round: 4},
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("NDJSON lines = %d, want 3", got)
+	}
+	back, err := ReadNDJSON(strings.NewReader(buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if back[i].TS != evs[i].TS || back[i].Dur != evs[i].Dur ||
+			back[i].Cat != evs[i].Cat || back[i].Name != evs[i].Name ||
+			back[i].Shard != evs[i].Shard || back[i].Round != evs[i].Round {
+			t.Fatalf("round trip mismatch at %d: %+v vs %+v", i, back[i], evs[i])
+		}
+	}
+	if back[0].Args["awake"] != 4 {
+		t.Fatalf("args lost in round trip: %+v", back[0].Args)
+	}
+}
+
+func TestReadNDJSONBadLine(t *testing.T) {
+	_, err := ReadNDJSON(strings.NewReader("{\"cat\":\"sim\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 parse error, got %v", err)
+	}
+}
+
+func TestWriterSinkStreams(t *testing.T) {
+	var buf bytes.Buffer
+	ws := NewWriterSink(&buf)
+	tr := New(ws, 3)
+	for i := 0; i < 5; i++ {
+		tr.Instant("sim", "tick", int64(i), nil)
+	}
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Err(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("streamed %d events, want 5", len(back))
+	}
+	for i, ev := range back {
+		if ev.Shard != 3 || ev.Round != int64(i) {
+			t.Fatalf("streamed event %d wrong: %+v", i, ev)
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("disk full")
+}
+
+func TestWriterSinkStickyError(t *testing.T) {
+	ws := NewWriterSink(&failWriter{})
+	tr := New(ws, 0)
+	// Overflow the bufio buffer so the write error surfaces.
+	big := map[string]int64{}
+	for i := 0; i < 64; i++ {
+		big[strings.Repeat("k", 100)+fmt.Sprint(i)] = int64(i)
+	}
+	for i := 0; i < 200; i++ {
+		tr.Instant("sim", "tick", int64(i), big)
+	}
+	if ws.Flush() == nil {
+		t.Fatal("expected sticky error from failing writer")
+	}
+}
+
+func TestDumpFile(t *testing.T) {
+	r := NewRing(8)
+	r.Emit(Ev{TS: 1, Cat: "sim", Name: "compute", Round: 0})
+	r.Emit(Ev{TS: 2, Cat: "fault", Name: "crash", Round: 1})
+	path := filepath.Join(t.TempDir(), "flight.ndjson")
+	if err := r.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("tmp file left behind")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := ReadNDJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Name != "compute" || back[1].Name != "crash" {
+		t.Fatalf("dump round trip wrong: %+v", back)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	evs := []Ev{
+		{TS: 2_000_000, Dur: 500_000, Cat: "sim", Name: "compute", Shard: 0, Round: 1},
+		{TS: 2_600_000, Cat: "fault", Name: "drop", Shard: 1, Round: 1},
+		{TS: 1_000_000, Dur: 100_000, Cat: "cluster", Name: "drain", Shard: 1, Round: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	var xCount, iCount, mCount int
+	minTS := 1e18
+	for _, e := range parsed {
+		switch e["ph"] {
+		case "X":
+			xCount++
+		case "i":
+			iCount++
+		case "M":
+			mCount++
+			continue
+		}
+		if ts, ok := e["ts"].(float64); ok && ts < minTS {
+			minTS = ts
+		}
+	}
+	if xCount != 2 || iCount != 1 {
+		t.Fatalf("ph counts X=%d i=%d, want 2/1", xCount, iCount)
+	}
+	// 2 shards x 3 categories of thread_name metadata.
+	if mCount != 6 {
+		t.Fatalf("metadata events = %d, want 6", mCount)
+	}
+	if minTS != 0 {
+		t.Fatalf("timestamps not rebased: min ts = %v", minTS)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+// The flight recorder: a bounded ring of the most recent events, always on
+// in the cluster coordinator and every shard. Cheap enough to leave
+// running (one mutex'd copy per event, fixed memory), and dumped as NDJSON
+// on crash, re-election, or SIGQUIT — the artifact a dead shard leaves
+// behind.
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultFlightCap bounds a Ring built with capacity <= 0.
+const DefaultFlightCap = 4096
+
+// Ring is a bounded ring-buffer Sink keeping the most recent events.
+// Safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Ev
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewRing returns a ring keeping the last capacity events
+// (DefaultFlightCap when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultFlightCap
+	}
+	return &Ring{buf: make([]Ev, 0, capacity)}
+}
+
+var _ Sink = (*Ring)(nil)
+
+// Emit implements Sink: the newest event overwrites the oldest once the
+// ring is full (overwrites are counted as drops).
+func (r *Ring) Emit(ev Ev) {
+	r.mu.Lock()
+	if !r.full && len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		if len(r.buf) == cap(r.buf) {
+			r.full = true
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.full = true
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+	r.dropped++
+	r.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped reports how many events have been overwritten since creation.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the retained events out, oldest first.
+func (r *Ring) Snapshot() []Ev {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Ev, 0, len(r.buf))
+	if r.full && r.next > 0 {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+// WriteNDJSON dumps the retained events to w, oldest first.
+func (r *Ring) WriteNDJSON(w io.Writer) error {
+	return WriteNDJSON(w, r.Snapshot())
+}
+
+// DumpFile writes the retained events to path (truncating), via a rename
+// so a reader never sees a half-written dump.
+func (r *Ring) DumpFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteNDJSON(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

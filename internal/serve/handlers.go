@@ -9,6 +9,7 @@ import (
 
 	"wcle/internal/algo"
 	"wcle/internal/engine"
+	"wcle/internal/obs"
 	"wcle/internal/spectral"
 )
 
@@ -28,6 +29,11 @@ type Options struct {
 	// Cluster, when non-nil, dispatches every election to a wire-level
 	// cluster instead of the in-process engine (electd -cluster).
 	Cluster ClusterElector
+	// TraceSink, when non-nil, receives every trace event in addition to
+	// the always-on flight recorder (electd -trace).
+	TraceSink obs.Sink
+	// FlightCap sizes the flight recorder (0 = obs.DefaultFlightCap).
+	FlightCap int
 	// testBeforeRun is the scheduler's test hook (see SchedulerOptions).
 	testBeforeRun func(*Job)
 }
@@ -39,7 +45,11 @@ type Server struct {
 	Registry *Registry
 	Sched    *Scheduler
 	Met      *Metrics
-	mux      *http.ServeMux
+	// Flight is the always-on flight recorder; Tracer feeds it (and the
+	// optional TraceSink) from every election the daemon runs.
+	Flight *obs.Ring
+	Tracer *obs.Tracer
+	mux    *http.ServeMux
 }
 
 // NewServer builds the service stack.
@@ -51,6 +61,9 @@ func NewServer(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: pre-registering %q: %w", name, err)
 		}
 	}
+	flight := obs.NewRing(opts.FlightCap)
+	tracer := obs.New(obs.Tee(flight, opts.TraceSink), 0)
+	met.TraceStats = func() (int64, int64) { return tracer.Emitted(), flight.Dropped() }
 	s := &Server{
 		Registry: reg,
 		Sched: NewScheduler(reg, met, SchedulerOptions{
@@ -59,10 +72,13 @@ func NewServer(opts Options) (*Server, error) {
 			ElectionWorkers: opts.ElectionWorkers,
 			RetainJobs:      opts.RetainJobs,
 			Cluster:         opts.Cluster,
+			Tracer:          tracer,
 			testBeforeRun:   opts.testBeforeRun,
 		}),
-		Met: met,
-		mux: http.NewServeMux(),
+		Met:    met,
+		Flight: flight,
+		Tracer: tracer,
+		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -72,7 +88,16 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/elections/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /flightz", s.handleFlightz)
 	return s, nil
+}
+
+// handleFlightz streams the flight recorder's current contents as NDJSON —
+// the last obs.DefaultFlightCap trace events of whatever the daemon ran,
+// electtrace-readable.
+func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.Flight.WriteNDJSON(w)
 }
 
 // Handler returns the HTTP handler.

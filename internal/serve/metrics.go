@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,51 @@ type Metrics struct {
 	latMu     sync.Mutex
 	latencies []float64
 	latNext   int
+
+	// algoHist holds one latency histogram per backend/protocol (point
+	// execution wall time). Bounded by the registry size.
+	histMu   sync.Mutex
+	algoHist map[string]*latencyHist
+
+	// TraceStats, when set, reports the attached tracer's emitted-event
+	// and flight-recorder drop totals at render time (electd wires it up
+	// when tracing is enabled; nil renders zeros).
+	TraceStats func() (emitted, dropped int64)
+}
+
+// latencyBounds are the histogram's upper bounds in seconds (plus an
+// implicit +Inf): exponential, 1ms to ~100s, matching election wall times
+// from quick sim points to big cluster jobs.
+var latencyBounds = [...]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+
+// latencyHist is one Prometheus-style cumulative histogram.
+type latencyHist struct {
+	counts [len(latencyBounds) + 1]int64 // per-bucket (last = +Inf)
+	sum    float64
+	total  int64
+}
+
+func (h *latencyHist) observe(s float64) {
+	i := sort.SearchFloat64s(latencyBounds[:], s)
+	h.counts[i]++
+	h.sum += s
+	h.total++
+}
+
+// ObserveAlgoLatency records one point's execution wall time under its
+// backend/protocol name.
+func (m *Metrics) ObserveAlgoLatency(name string, d time.Duration) {
+	m.histMu.Lock()
+	defer m.histMu.Unlock()
+	if m.algoHist == nil {
+		m.algoHist = make(map[string]*latencyHist)
+	}
+	h := m.algoHist[name]
+	if h == nil {
+		h = &latencyHist{}
+		m.algoHist[name] = h
+	}
+	h.observe(d.Seconds())
 }
 
 // AddClusterWire accumulates one cluster election's wire traffic.
@@ -169,4 +215,47 @@ func (m *Metrics) WriteProm(w io.Writer, reg *Registry, queueDepth, queueCap, ru
 	fmt.Fprintf(w, "electd_cluster_compressed_frames_total %d\n", m.ClusterCompressedFrames.Load())
 	fmt.Fprintf(w, "electd_cluster_raw_bytes_total %d\n", m.ClusterRawBytes.Load())
 	fmt.Fprintf(w, "electd_cluster_compressed_bytes_total %d\n", m.ClusterCompressedBytes.Load())
+	// Tracer counters: always emitted (zero without a tracer) so smoke
+	// checks can assert on their presence.
+	var emitted, dropped int64
+	if m.TraceStats != nil {
+		emitted, dropped = m.TraceStats()
+	}
+	fmt.Fprintf(w, "electd_trace_events_total %d\n", emitted)
+	fmt.Fprintf(w, "electd_trace_dropped_total %d\n", dropped)
+	m.writeHistograms(w)
+}
+
+// writeHistograms renders the per-backend point-latency histograms in
+// Prometheus exposition format (cumulative buckets, sum, count).
+func (m *Metrics) writeHistograms(w io.Writer) {
+	m.histMu.Lock()
+	names := make([]string, 0, len(m.algoHist))
+	for name := range m.algoHist {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hists := make([]latencyHist, len(names))
+	for i, name := range names {
+		hists[i] = *m.algoHist[name]
+	}
+	m.histMu.Unlock()
+	for i, name := range names {
+		h := &hists[i]
+		cum := int64(0)
+		for b, bound := range latencyBounds {
+			cum += h.counts[b]
+			fmt.Fprintf(w, "electd_point_latency_seconds_bucket{algorithm=%q,le=%q} %d\n", name, trimFloat(bound), cum)
+		}
+		cum += h.counts[len(latencyBounds)]
+		fmt.Fprintf(w, "electd_point_latency_seconds_bucket{algorithm=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "electd_point_latency_seconds_sum{algorithm=%q} %.6f\n", name, h.sum)
+		fmt.Fprintf(w, "electd_point_latency_seconds_count{algorithm=%q} %d\n", name, h.total)
+	}
+}
+
+// trimFloat renders a bucket bound the Prometheus way (no trailing
+// zeros: "0.001", "2.5", "100").
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }

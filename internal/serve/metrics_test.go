@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencyWindowWraparound drives more observations through the
+// latency window than it holds and checks the quantiles are computed over
+// the surviving (most recent) samples, not stale or zeroed slots.
+func TestLatencyWindowWraparound(t *testing.T) {
+	m := NewMetrics()
+	// Fill the window with 1s samples, then wrap it completely with 2s
+	// ones: after the wrap every slot must hold 2s.
+	for i := 0; i < latencyWindowSize; i++ {
+		m.ObserveJobLatency(time.Second)
+	}
+	for i := 0; i < latencyWindowSize; i++ {
+		m.ObserveJobLatency(2 * time.Second)
+	}
+	p50, p99, n := m.latencyQuantiles()
+	if n != latencyWindowSize {
+		t.Fatalf("window size %d, want %d", n, latencyWindowSize)
+	}
+	if p50 != 2 || p99 != 2 {
+		t.Fatalf("after a full wrap every sample is 2s; got p50=%v p99=%v", p50, p99)
+	}
+
+	// A partial wrap (half the window) leaves a half-and-half mix: the
+	// median must sit between the two values, whichever slots survived.
+	m2 := NewMetrics()
+	for i := 0; i < latencyWindowSize; i++ {
+		m2.ObserveJobLatency(time.Second)
+	}
+	for i := 0; i < latencyWindowSize/2; i++ {
+		m2.ObserveJobLatency(3 * time.Second)
+	}
+	p50, p99, n = m2.latencyQuantiles()
+	if n != latencyWindowSize {
+		t.Fatalf("window size %d, want %d", n, latencyWindowSize)
+	}
+	if p50 < 1 || p50 > 3 {
+		t.Fatalf("mixed-window p50 out of range: %v", p50)
+	}
+	if p99 != 3 {
+		t.Fatalf("mixed-window p99 should see the new samples: %v", p99)
+	}
+}
+
+// TestMetricsConcurrentObserve hammers every observe path from many
+// goroutines (run with -race) and checks totals come out exact.
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	const goroutines = 8
+	const perG = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("algo-%d", g%2)
+			for i := 0; i < perG; i++ {
+				m.ObserveJobLatency(time.Duration(i%7+1) * time.Millisecond)
+				m.ObserveAlgoLatency(name, time.Duration(i%5+1)*time.Millisecond)
+				m.AddAlgoElections(name, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if _, _, n := m.latencyQuantiles(); n != latencyWindowSize {
+		t.Fatalf("window should be full after %d observations, got %d", goroutines*perG, n)
+	}
+	names, counts := m.algoElections()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if len(names) != 2 || total != goroutines*perG {
+		t.Fatalf("election counters lost updates: names=%v total=%d want %d", names, total, goroutines*perG)
+	}
+
+	var sb strings.Builder
+	m.WriteProm(&sb, nil, 0, 0, 0)
+	out := sb.String()
+	wantCount := fmt.Sprintf("electd_point_latency_seconds_count{algorithm=\"algo-0\"} %d", goroutines/2*perG)
+	if !strings.Contains(out, wantCount) {
+		t.Fatalf("histogram lost observations; want %q in:\n%s", wantCount, out)
+	}
+	if !strings.Contains(out, "le=\"+Inf\"") {
+		t.Fatalf("histogram missing +Inf bucket:\n%s", out)
+	}
+}
+
+// TestHistogramBuckets checks the cumulative bucket math: a sample lands
+// in every bucket at or above its bound, and only there.
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveAlgoLatency("x", 2*time.Millisecond)  // bucket le=0.0025
+	m.ObserveAlgoLatency("x", 40*time.Millisecond) // bucket le=0.05
+	m.ObserveAlgoLatency("x", 200*time.Second)     // +Inf only
+	var sb strings.Builder
+	m.writeHistograms(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`electd_point_latency_seconds_bucket{algorithm="x",le="0.001"} 0`,
+		`electd_point_latency_seconds_bucket{algorithm="x",le="0.0025"} 1`,
+		`electd_point_latency_seconds_bucket{algorithm="x",le="0.025"} 1`,
+		`electd_point_latency_seconds_bucket{algorithm="x",le="0.05"} 2`,
+		`electd_point_latency_seconds_bucket{algorithm="x",le="100"} 2`,
+		`electd_point_latency_seconds_bucket{algorithm="x",le="+Inf"} 3`,
+		`electd_point_latency_seconds_count{algorithm="x"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"wcle/internal/algo"
 	"wcle/internal/core"
+	"wcle/internal/obs"
 	"wcle/internal/sim"
 	"wcle/internal/stats"
 )
@@ -128,6 +129,10 @@ type Scheduler struct {
 	// cluster instead of running in process.
 	cluster ClusterElector
 
+	// tracer observes every in-process election (nil = disabled). It is
+	// strictly observational, so traced results stay byte-identical.
+	tracer *obs.Tracer
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	finished []string // finished job ids, oldest first, for bounded retention
@@ -161,6 +166,8 @@ type SchedulerOptions struct {
 	// cluster. Fault planes ride along: every FaultSpec plane is
 	// shard-safe, so faulty cluster runs stay seed-deterministic.
 	Cluster ClusterElector
+	// Tracer, when non-nil, observes every in-process election.
+	Tracer *obs.Tracer
 	// testBeforeRun, when non-nil, runs on the worker goroutine before a
 	// job executes; tests use it to hold workers busy deterministically.
 	// Construction-time only, so workers never race a later mutation.
@@ -186,6 +193,7 @@ func NewScheduler(reg *Registry, met *Metrics, opts SchedulerOptions) *Scheduler
 		met:             met,
 		electionWorkers: opts.ElectionWorkers,
 		cluster:         opts.Cluster,
+		tracer:          opts.Tracer,
 		jobs:            make(map[string]*Job),
 		retain:          retain,
 		queue:           make(chan *Job, queueCap),
@@ -347,11 +355,13 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 		}
 		baseSeed := sim.SeedForKey(req.Seed, fmt.Sprintf("electd|%d|%s", i, p.Key()))
 		algName := algo.Resolve(p.Algorithm)
+		pt0 := time.Now()
 		if s.cluster != nil {
 			pr, err := s.runPointCluster(i, p, algName, baseSeed, reg)
 			if err != nil {
 				return nil, err
 			}
+			s.met.ObserveAlgoLatency(algName, time.Since(pt0))
 			s.attachProfile(&pr, p.Graph)
 			out.Points = append(out.Points, pr)
 			continue
@@ -365,7 +375,7 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 			return nil, fmt.Errorf("serve: point %d: %w", i, err)
 		}
 		opts := algo.BatchOptions{
-			Base:          algo.Options{Seed: baseSeed, LeanMetrics: true},
+			Base:          algo.Options{Seed: baseSeed, LeanMetrics: true, Tracer: s.tracer},
 			Trials:        p.Trials,
 			Workers:       s.electionWorkers,
 			CollectTrials: true,
@@ -380,6 +390,7 @@ func (s *Scheduler) runPoints(req SubmitRequest) (*JobResult, error) {
 		}
 		s.met.ElectionsServed.Add(int64(p.Trials))
 		s.met.AddAlgoElections(algName, int64(p.Trials))
+		s.met.ObserveAlgoLatency(algName, time.Since(pt0))
 		pr := PointResult{
 			Graph:        p.Graph,
 			Algorithm:    algName,

@@ -98,7 +98,10 @@ func (r *Runner) runRemote() error {
 		if !r.Quiet() {
 			localNext = r.nextEventRound()
 		}
+		quiesceSp := r.cfg.Tracer.Start("sim", "quiesce", int64(r.round))
 		next, err := plane.Barrier(r.round, localNext, r.inject)
+		quiesceSp.Arg("next", int64(next))
+		quiesceSp.End()
 		if err != nil {
 			return err
 		}

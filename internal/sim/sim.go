@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"wcle/internal/graph"
+	"wcle/internal/obs"
 )
 
 // Message is a protocol payload. Bits reports the message size for CONGEST
@@ -119,6 +120,13 @@ type Config struct {
 	// FaultObserver, when non-nil, is invoked for every fault event
 	// (drops, delays, crashes).
 	FaultObserver FaultObserver
+
+	// Tracer, when non-nil, records per-busy-round compute/flush spans,
+	// fault instants, and (on sharded runs) quiesce-barrier spans.
+	// Strictly observational: it reads the wall clock but never feeds
+	// timing back into scheduling, so a traced run stays byte-identical
+	// to an untraced one at the same seed.
+	Tracer *obs.Tracer
 }
 
 // DefaultMaxRounds bounds runaway protocols.
@@ -398,8 +406,22 @@ func (r *Runner) noteCrash(v int) {
 		return
 	}
 	r.crashNoted[v] = true
+	r.observeFault(FaultEvent{Round: r.round, Kind: FaultCrash, Node: v, From: -1})
+}
+
+// observeFault fans one fault event out to the configured observer and, as
+// an instant event, to the tracer. Fault events are rare relative to sends,
+// so the two nil checks per event are off the hot path.
+func (r *Runner) observeFault(ev FaultEvent) {
 	if r.cfg.FaultObserver != nil {
-		r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultCrash, Node: v, From: -1})
+		r.cfg.FaultObserver.OnFault(ev)
+	}
+	if tr := r.cfg.Tracer; tr.Enabled() {
+		args := map[string]int64{"node": int64(ev.Node), "from": int64(ev.From)}
+		if ev.Delay > 0 {
+			args["delay"] = int64(ev.Delay)
+		}
+		tr.Instant("fault", ev.Kind.String(), int64(ev.Round), args)
 	}
 }
 
@@ -448,6 +470,8 @@ func (r *Runner) stepRound() error {
 		r.metrics.FinalRound = r.round
 	}
 
+	computeSp := r.cfg.Tracer.Start("sim", "compute", int64(r.round))
+	computeSp.Arg("awake", int64(len(awake)))
 	if r.cfg.Concurrent && len(awake) > 1 {
 		r.stepNodesConcurrent(awake)
 	} else {
@@ -458,6 +482,7 @@ func (r *Runner) stepRound() error {
 			}
 		}
 	}
+	computeSp.End()
 	r.tr.release()
 	if r.stepErr != nil {
 		return r.stepErr
@@ -467,6 +492,8 @@ func (r *Runner) stepRound() error {
 	// deterministically in node order; the fault plane rules on each send
 	// here, so its random stream advances identically in both execution
 	// modes.
+	flushSp := r.cfg.Tracer.Start("sim", "flush", int64(r.round))
+	msgsBefore := r.metrics.Messages
 	for _, v := range awake {
 		ctx := r.ctxs[v]
 		for _, s := range ctx.out {
@@ -478,6 +505,8 @@ func (r *Runner) stepRound() error {
 		}
 		ctx.wakes = ctx.wakes[:0]
 	}
+	flushSp.Arg("sends", r.metrics.Messages-msgsBefore)
+	flushSp.End()
 	// A remote send may have failed during dispatch (stepErr is also how
 	// the plane surfaces a broken connection mid-round).
 	return r.stepErr
@@ -580,16 +609,12 @@ func (r *Runner) dispatch(from, fromPort int, payload Message) {
 		if !deliver {
 			r.metrics.Mutated++
 			r.metrics.FaultDrops++
-			if r.cfg.FaultObserver != nil {
-				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultMutate, Node: to, From: from})
-			}
+			r.observeFault(FaultEvent{Round: r.round, Kind: FaultMutate, Node: to, From: from})
 			return
 		}
 		if forged != nil {
 			r.metrics.Mutated++
-			if r.cfg.FaultObserver != nil {
-				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultMutate, Node: to, From: from})
-			}
+			r.observeFault(FaultEvent{Round: r.round, Kind: FaultMutate, Node: to, From: from})
 			payload = forged
 		}
 	}
@@ -598,16 +623,12 @@ func (r *Runner) dispatch(from, fromPort int, payload Message) {
 		delay, deliver := r.fault.Fate(r.round, from, to)
 		if !deliver {
 			r.metrics.FaultDrops++
-			if r.cfg.FaultObserver != nil {
-				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultDrop, Node: to, From: from})
-			}
+			r.observeFault(FaultEvent{Round: r.round, Kind: FaultDrop, Node: to, From: from})
 			return
 		}
 		if delay > 0 {
 			r.metrics.Delayed++
-			if r.cfg.FaultObserver != nil {
-				r.cfg.FaultObserver.OnFault(FaultEvent{Round: r.round, Kind: FaultDelay, Node: to, From: from, Delay: delay})
-			}
+			r.observeFault(FaultEvent{Round: r.round, Kind: FaultDelay, Node: to, From: from, Delay: delay})
 			due += delay
 		}
 	}
@@ -636,5 +657,18 @@ func Run(cfg Config, procs []Process) (Metrics, error) {
 	if err := r.Run(); err != nil {
 		return r.Metrics(), err
 	}
-	return r.Metrics(), nil
+	m := r.Metrics()
+	// End-of-run message-kind breakdown, one instant per kind in sorted
+	// order so trace files are deterministic for a deterministic run.
+	if tr := cfg.Tracer; tr.Enabled() && len(m.ByKind) > 0 {
+		kinds := make([]string, 0, len(m.ByKind))
+		for k := range m.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			tr.Instant("kind", k, -1, map[string]int64{"count": m.ByKind[k]})
+		}
+	}
+	return m, nil
 }

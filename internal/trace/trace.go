@@ -32,15 +32,20 @@ var _ sim.Observer = (*Recorder)(nil)
 // OnSend implements sim.Observer.
 func (r *Recorder) OnSend(round int, from, fromPort, to, toPort int, m sim.Message) {
 	r.Total++
-	cap := r.Cap
-	if cap == 0 {
-		cap = DefaultCap
-	}
-	if len(r.Events) >= cap {
+	if len(r.Events) >= effectiveCap(r.Cap) {
 		r.Skipped++
 		return
 	}
 	r.Events = append(r.Events, Event{Round: round, From: from, To: to, Kind: m.Kind(), Bits: m.Bits()})
+}
+
+// effectiveCap resolves a Cap field to the bound actually enforced
+// (0 means DefaultCap), so skip messages report the real limit.
+func effectiveCap(c int) int {
+	if c == 0 {
+		return DefaultCap
+	}
+	return c
 }
 
 // Dump writes the recorded events as text, one per line.
@@ -51,7 +56,7 @@ func (r *Recorder) Dump(w io.Writer) error {
 		}
 	}
 	if r.Skipped > 0 {
-		if _, err := fmt.Fprintf(w, "... %d further events not recorded (cap %d)\n", r.Skipped, r.Cap); err != nil {
+		if _, err := fmt.Fprintf(w, "... %d further events not recorded (cap %d)\n", r.Skipped, effectiveCap(r.Cap)); err != nil {
 			return err
 		}
 	}
@@ -131,11 +136,7 @@ func (l *FaultLog) OnFault(ev sim.FaultEvent) {
 	case sim.FaultMutate:
 		l.Mutations++
 	}
-	cap := l.Cap
-	if cap == 0 {
-		cap = DefaultCap
-	}
-	if len(l.Events) >= cap {
+	if len(l.Events) >= effectiveCap(l.Cap) {
 		l.Skipped++
 		return
 	}
@@ -151,7 +152,7 @@ func (l *FaultLog) Dump(w io.Writer) error {
 		}
 	}
 	if l.Skipped > 0 {
-		if _, err := fmt.Fprintf(w, "... %d further fault events not recorded (cap %d)\n", l.Skipped, l.Cap); err != nil {
+		if _, err := fmt.Fprintf(w, "... %d further fault events not recorded (cap %d)\n", l.Skipped, effectiveCap(l.Cap)); err != nil {
 			return err
 		}
 	}

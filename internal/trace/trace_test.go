@@ -148,3 +148,36 @@ func TestFaultLogRecordsAndCaps(t *testing.T) {
 		}
 	}
 }
+
+func TestDumpReportsEffectiveCap(t *testing.T) {
+	// With Cap unset the enforced bound is DefaultCap; the skip line must
+	// report that bound, not the literal zero.
+	r := &Recorder{}
+	r.Skipped = 3 // as if DefaultCap had been exceeded
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(cap 100000)") {
+		t.Fatalf("recorder dump should report the effective cap, got:\n%s", sb.String())
+	}
+
+	l := &FaultLog{Skipped: 2}
+	sb.Reset()
+	if err := l.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(cap 100000)") {
+		t.Fatalf("fault log dump should report the effective cap, got:\n%s", sb.String())
+	}
+
+	// An explicit cap still prints as itself.
+	e := &Recorder{Cap: 7, Skipped: 1}
+	sb.Reset()
+	if err := e.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(cap 7)") {
+		t.Fatalf("explicit cap should print verbatim, got:\n%s", sb.String())
+	}
+}

@@ -26,6 +26,12 @@
 # restarted shard back in, and shut down with three reigns. Every wait
 # has a timeout; a hang fails the script. This is also the CI cluster
 # smoke job.
+#
+# An observability pass rides along: the first coordinator serves
+# -debug-addr, whose /metrics, /healthz, /flightz, and /debug/pprof/
+# must all answer with live data, and the supervised pass runs with
+# -flight-dump, whose re-election must leave a non-empty NDJSON
+# flight-recorder dump.
 set -euo pipefail
 
 SHARDS="${1:-3}"
@@ -53,8 +59,9 @@ trap cleanup EXIT
 echo "cluster_local: building electnode..."
 go build -o "$bin" ./cmd/electnode
 
-echo "cluster_local: starting coordinator (-serve, $SHARDS shards)..."
+echo "cluster_local: starting coordinator (-serve, $SHARDS shards, debug endpoints)..."
 "$bin" -listen 127.0.0.1:0 -shards "$SHARDS" -serve -ready-file "$ready" \
+    -debug-addr 127.0.0.1:0 \
     2>"$workdir/coordinator.log" &
 coord_pid=$!
 
@@ -102,6 +109,45 @@ for backend in gilbertrs18 floodmax kpprt; do
         echo "cluster_local: OK: $backend elected exactly one leader ($envelopes envelopes, 0 barrier control frames)"
     fi
 done
+
+# ---- observability pass: electnode debug endpoints --------------------------
+
+# The coordinator exposed -debug-addr; the elections above must show up
+# in its /metrics, the flight recorder must hold trace events, and pprof
+# must answer.
+dbg="$(sed -n 's#.*debug endpoints on http://\([^ ]*\) .*#\1#p' "$workdir/coordinator.log" | head -n1)"
+if [ -n "$dbg" ]; then
+    nmetrics="$(curl -fsS "http://$dbg/metrics")"
+    njobs="$(printf '%s\n' "$nmetrics" | awk '/^electnode_jobs_total /{print $2}')"
+    nframes="$(printf '%s\n' "$nmetrics" | awk '/^electnode_wire_frames_total /{print $2}')"
+    ntrace="$(printf '%s\n' "$nmetrics" | awk '/^electnode_trace_events_total /{print $2}')"
+    if [ -z "$njobs" ] || [ "$njobs" -lt 3 ]; then
+        echo "cluster_local: FAIL: /metrics shows $njobs jobs after 3 elections" >&2
+        fail=1
+    elif [ -z "$nframes" ] || [ "$nframes" -eq 0 ]; then
+        echo "cluster_local: FAIL: /metrics shows no wire frames" >&2
+        fail=1
+    elif [ -z "$ntrace" ] || [ "$ntrace" -eq 0 ]; then
+        echo "cluster_local: FAIL: /metrics shows no trace events (flight recorder dark)" >&2
+        fail=1
+    elif ! curl -fsS "http://$dbg/healthz" | grep -q ok; then
+        echo "cluster_local: FAIL: /healthz did not answer ok" >&2
+        fail=1
+    elif ! curl -fsS "http://$dbg/debug/pprof/" | grep -qi profile; then
+        echo "cluster_local: FAIL: /debug/pprof/ did not serve an index" >&2
+        fail=1
+    elif ! curl -fsS "http://$dbg/flightz" -o "$workdir/flightz.ndjson" \
+        || ! head -n1 "$workdir/flightz.ndjson" | grep -q '"ts"'; then
+        echo "cluster_local: FAIL: /flightz snapshot is empty" >&2
+        fail=1
+    else
+        echo "cluster_local: OK: debug endpoints live ($njobs jobs, $nframes frames, $ntrace trace events)"
+    fi
+else
+    echo "cluster_local: FAIL: coordinator never announced its debug address" >&2
+    cat "$workdir/coordinator.log" >&2
+    fail=1
+fi
 
 # ---- electd -cluster pass: wire counters through /metrics -------------------
 
@@ -282,8 +328,10 @@ await_line() {
 echo "cluster_local: supervised pass: -supervise with kpprt, killing the leader's shard..."
 sready="$workdir/supervisor.addr"
 slog="$workdir/supervisor.out"
+flight_dump="$workdir/flight.ndjson"
 "$bin" -listen 127.0.0.1:0 -shards "$SHARDS" -supervise -ready-file "$sready" \
     -graph "$GRAPH" -n "$N" -algo kpprt -seed "$SEED" \
+    -flight-dump "$flight_dump" \
     >"$slog" 2>"$workdir/supervisor.log" &
 coord_pid=$!
 for _ in $(seq 1 100); do
@@ -310,6 +358,19 @@ wait "$victim_pid" 2>/dev/null || true
 
 await_line "$slog" '^death: .*shard='"$victim"
 await_line "$slog" '^lease: epoch=2 '
+# The death event must have dumped the flight recorder: a non-empty
+# NDJSON file whose first line is a trace event.
+flight_ok=0
+for _ in $(seq 1 50); do
+    [ -s "$flight_dump" ] && flight_ok=1 && break
+    sleep 0.1
+done
+if [ "$flight_ok" != "1" ] || ! head -n1 "$flight_dump" | grep -q '"ts"'; then
+    echo "cluster_local: FAIL: re-election did not produce a flight-recorder dump at $flight_dump" >&2
+    fail=1
+else
+    echo "cluster_local: OK: re-election dumped the flight recorder ($(wc -l <"$flight_dump") events)"
+fi
 echo "cluster_local: death detected, epoch 2 lease granted; restarting shard $victim..."
 "$bin" -bootstrap "$saddr" -shard "$victim" -listen 127.0.0.1:0 \
     2>"$workdir/sworker$victim.rejoin.log" &

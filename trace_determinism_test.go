@@ -1,0 +1,60 @@
+package wcle_test
+
+// The observability spine's load-bearing contract: tracing is strictly
+// observational. A run with a tracer attached must produce the
+// byte-identical leader, rounds, message totals, and per-node send
+// counts as the same seed without one — in the sim and over the wire
+// (DESIGN.md section 10.1).
+
+import (
+	"reflect"
+	"testing"
+
+	"wcle"
+	"wcle/internal/obs"
+)
+
+// TestTracerPreservesDeterminism runs the same elections with the tracer
+// off and on (flight-ring sink) and demands identical results.
+func TestTracerPreservesDeterminism(t *testing.T) {
+	g, err := wcle.NewRandomRegular(64, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, protocol := range []string{wcle.DefaultAlgorithm(), "floodmax", "kpprt", "pushpull"} {
+		t.Run(protocol, func(t *testing.T) {
+			cfg := wcle.ProtocolConfig{Rumor: 7, Horizon: 200}
+			plain, err := wcle.Run(protocol, g, cfg, wcle.AlgorithmOptions{Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ring := obs.NewRing(0)
+			tr := obs.New(ring, 0)
+			traced, err := wcle.Run(protocol, g, cfg, wcle.AlgorithmOptions{Seed: 11, Tracer: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Emitted() == 0 {
+				t.Fatal("the tracer saw nothing; the run was not actually traced")
+			}
+
+			p, q := plain.Result, traced.Result
+			if p.Rounds != q.Rounds || p.Metrics.Messages != q.Metrics.Messages || p.Metrics.Bits != q.Metrics.Bits {
+				t.Fatalf("traced run diverged: rounds %d vs %d, messages %d vs %d, bits %d vs %d",
+					p.Rounds, q.Rounds, p.Metrics.Messages, q.Metrics.Messages, p.Metrics.Bits, q.Metrics.Bits)
+			}
+			if !reflect.DeepEqual(p.PerNodeMessages, q.PerNodeMessages) {
+				t.Fatal("per-node send counts diverged with the tracer attached")
+			}
+			if !reflect.DeepEqual(p.Outputs, q.Outputs) {
+				t.Fatal("per-node outputs diverged with the tracer attached")
+			}
+			if plain.Election != nil || traced.Election != nil {
+				if plain.Election == nil || traced.Election == nil ||
+					!reflect.DeepEqual(plain.Election.Leaders, traced.Election.Leaders) {
+					t.Fatalf("leaders diverged: %+v vs %+v", plain.Election, traced.Election)
+				}
+			}
+		})
+	}
+}

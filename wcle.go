@@ -240,6 +240,7 @@ func Run(protocol string, g *Graph, cfg ProtocolConfig, opts AlgorithmOptions) (
 		Observer:      opts.Observer,
 		Fault:         opts.Fault,
 		FaultObserver: opts.FaultObserver,
+		Tracer:        opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -286,6 +287,7 @@ func Elect(g *Graph, cfg Config, opts Options) (*Result, error) {
 		Observer:      opts.Observer,
 		Fault:         opts.Fault,
 		FaultObserver: opts.FaultObserver,
+		Tracer:        opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
